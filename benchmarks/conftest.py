@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one artefact of the paper (table, figure or
+listing result) and measures the cost of the pipeline stage behind it.
+Expensive shared state (engine, reasoned scenarios) is session-scoped so a
+``pytest benchmarks/ --benchmark-only`` run stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ExplanationEngine
+from repro.core.questions import ContrastiveQuestion, WhatIfConditionQuestion, WhyQuestion
+from repro.foodkg import build_core_catalog, generate_catalog, load_catalog
+from repro.ontology.feo import build_combined_ontology
+from repro.owl import Reasoner
+from repro.users.personas import paper_context, paper_user
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return ExplanationEngine()
+
+
+@pytest.fixture(scope="session")
+def user():
+    return paper_user()
+
+
+@pytest.fixture(scope="session")
+def context():
+    return paper_context()
+
+
+@pytest.fixture(scope="session")
+def cq1_scenario(engine, user, context):
+    question = WhyQuestion(text="Why should I eat Cauliflower Potato Curry?",
+                           recipe="Cauliflower Potato Curry")
+    return engine.build_scenario(question, user, context)
+
+
+@pytest.fixture(scope="session")
+def cq2_scenario(engine, user, context):
+    question = ContrastiveQuestion(
+        text="Why should I eat Butternut Squash Soup over a Broccoli Cheddar Soup?",
+        primary="Butternut Squash Soup", secondary="Broccoli Cheddar Soup")
+    return engine.build_scenario(question, user, context)
+
+
+@pytest.fixture(scope="session")
+def cq3_scenario(engine, user, context):
+    question = WhatIfConditionQuestion(text="What if I was pregnant?", condition="pregnancy")
+    return engine.build_scenario(question, user, context)
+
+
+def build_kg(extra_recipes: int = 0, extra_ingredients: int = 0):
+    """Build (asserted) ontology + knowledge graph at a chosen synthetic scale."""
+    catalog = generate_catalog(extra_ingredients=extra_ingredients, extra_recipes=extra_recipes)
+    graph = build_combined_ontology()
+    load_catalog(catalog, graph)
+    return catalog, graph
+
+
+@pytest.fixture(scope="session")
+def inferred_core_kg():
+    """The curated knowledge graph, reasoned (no scenario individuals)."""
+    _, graph = build_kg()
+    return Reasoner(graph).run()

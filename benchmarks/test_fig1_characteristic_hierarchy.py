@@ -1,0 +1,54 @@
+"""Experiment E2 (Figure 1): the subclass tree under feo:Characteristic.
+
+Regenerates the hierarchy the paper's Figure 1 draws (Parameter, User- and
+SystemCharacteristic with their food-specific leaves) from the reasoned
+ontology, and measures the cost of building the class hierarchy view.
+"""
+
+from __future__ import annotations
+
+from repro.ontology import feo
+from repro.owl import ClassHierarchy, render_tree
+
+
+def test_fig1_characteristic_subclass_tree(benchmark, cq1_scenario):
+    inferred = cq1_scenario.inferred
+
+    hierarchy = benchmark(ClassHierarchy, inferred)
+    tree = hierarchy.tree(feo.Characteristic)
+
+    print("\nFigure 1 — subclasses of feo:Characteristic")
+    print(render_tree(tree, inferred.namespace_manager))
+
+    top_level = hierarchy.direct_children(feo.Characteristic)
+    # The three main subclasses the paper names.
+    assert feo.Parameter in top_level
+    assert feo.UserCharacteristic in top_level
+    assert feo.SystemCharacteristic in top_level
+
+    user_side = hierarchy.descendants(feo.UserCharacteristic)
+    assert {feo.LikedFoodCharacteristic, feo.DislikedFoodCharacteristic,
+            feo.AllergicFoodCharacteristic, feo.DietCharacteristic,
+            feo.HealthConditionCharacteristic, feo.NutritionalGoalCharacteristic,
+            feo.BudgetCharacteristic} <= user_side
+
+    system_side = hierarchy.descendants(feo.SystemCharacteristic)
+    assert {feo.SeasonCharacteristic, feo.LocationCharacteristic,
+            feo.TimeCharacteristic} <= system_side
+
+
+def test_fig1_every_characteristic_class_reaches_the_root(benchmark, cq1_scenario):
+    inferred = cq1_scenario.inferred
+    hierarchy = ClassHierarchy(inferred)
+
+    leaves = [feo.LikedFoodCharacteristic, feo.AllergicFoodCharacteristic,
+              feo.SeasonCharacteristic, feo.LocationCharacteristic,
+              feo.DietCharacteristic, feo.BudgetCharacteristic,
+              feo.HealthConditionCharacteristic, feo.NutritionalGoalCharacteristic,
+              feo.TimeCharacteristic, feo.DislikedFoodCharacteristic]
+
+    def check():
+        return [hierarchy.is_a(leaf, feo.Characteristic) for leaf in leaves]
+
+    results = benchmark(check)
+    assert all(results)

@@ -1,0 +1,52 @@
+"""Experiment E3 (Figure 2): the property lattice around FEO's super-properties.
+
+Figure 2 shows the two super-properties (isCharacteristicOf, isOpposedBy)
+and selected sub-properties, with feo:forbids inheriting from both.  This
+benchmark regenerates the lattice with the Figure 2 SPARQL query and with
+the property-hierarchy view, and asserts the paper's key relationships.
+"""
+
+from __future__ import annotations
+
+from repro.core.queries import property_lattice_query
+from repro.ontology import feo, food
+from repro.owl import PropertyHierarchy
+from repro.sparql import prepare
+
+
+def test_fig2_property_lattice_query(benchmark, cq1_scenario):
+    inferred = cq1_scenario.inferred
+    prepared = prepare(property_lattice_query(), inferred.namespace_manager)
+
+    result = benchmark(prepared.evaluate, inferred)
+
+    print("\nFigure 2 — sub-property lattice")
+    print(result.to_table(inferred.namespace_manager))
+
+    pairs = {(row["property"].local_name(), row["superProperty"].local_name()) for row in result}
+    # The interplay the paper highlights: forbids under BOTH super-properties.
+    assert ("forbids", "isOpposedBy") in pairs
+    assert ("forbids", "isCharacteristicOf") in pairs
+    assert ("recommends", "isCharacteristicOf") in pairs
+    # The user- and food-profile properties feed hasCharacteristic.
+    assert ("likes", "hasCharacteristic") in pairs
+    assert ("availableInSeason", "hasCharacteristic") in pairs
+    assert ("hasIngredient", "hasCharacteristic") in pairs
+
+
+def test_fig2_property_hierarchy_view(benchmark, cq1_scenario):
+    inferred = cq1_scenario.inferred
+
+    def build_and_check():
+        lattice = PropertyHierarchy(inferred)
+        return {
+            "forbids_under_opposed": feo.forbids in lattice.descendants(feo.isOpposedBy),
+            "forbids_under_characteristic": feo.forbids in lattice.descendants(feo.isCharacteristicOf),
+            "likes_under_has_characteristic": feo.likes in lattice.descendants(feo.hasCharacteristic),
+            "allergic_under_opposed": feo.allergicTo in lattice.descendants(feo.isOpposedBy),
+            "has_ingredient_under_has_characteristic":
+                food.hasIngredient in lattice.descendants(feo.hasCharacteristic),
+        }
+
+    flags = benchmark(build_and_check)
+    assert all(flags.values()), flags

@@ -1,0 +1,55 @@
+"""Experiment E5 (Figure 4): the post-reasoning neighbourhood of competency question 1.
+
+Figure 4 shows the slice of the ontology (after reasoning) needed to answer
+"Why should I eat Cauliflower Potato Curry?": the question, its parameter,
+the parameter's characteristics, their classes and the isInternal flags.
+This benchmark extracts that neighbourhood as a CONSTRUCT query and checks
+the edges the figure draws.
+"""
+
+from __future__ import annotations
+
+from repro.core.queries import PREFIXES
+from repro.ontology import feo
+from repro.rdf.namespace import FOODKG
+from repro.rdf.terms import IRI
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+def _neighbourhood_query(question_iri) -> str:
+    return f"""{PREFIXES}
+CONSTRUCT {{
+  <{question_iri}> feo:hasParameter ?parameter .
+  ?parameter feo:hasCharacteristic ?characteristic .
+  ?characteristic a ?cls .
+  ?characteristic feo:isInternal ?flag .
+}}
+WHERE {{
+  <{question_iri}> feo:hasParameter ?parameter .
+  ?parameter feo:hasCharacteristic ?characteristic .
+  ?characteristic a ?cls .
+  ?cls rdfs:subClassOf feo:Characteristic .
+  OPTIONAL {{ ?characteristic feo:isInternal ?flag . }}
+}}
+"""
+
+
+def test_fig4_cq1_neighbourhood(benchmark, cq1_scenario):
+    query_text = _neighbourhood_query(cq1_scenario.question_iri)
+
+    result = benchmark(cq1_scenario.query, query_text)
+    subgraph = result.graph
+
+    print(f"\nFigure 4 — CQ1 neighbourhood: {len(subgraph)} triples")
+    print(subgraph.serialize("turtle"))
+
+    curry = IRI(FOODKG.CauliflowerPotatoCurry)
+    # The figure's backbone: question -> parameter -> characteristic -> class.
+    assert (cq1_scenario.question_iri, feo.hasParameter, curry) in subgraph
+    assert (curry, feo.hasCharacteristic, feo.SEASONS["autumn"]) in subgraph
+    assert (feo.SEASONS["autumn"], _RDF_TYPE, feo.SeasonCharacteristic) in subgraph
+    # And the internal/external flag used by the contextual query.
+    assert any(True for _ in subgraph.triples((feo.SEASONS["autumn"], feo.isInternal, None)))
+    # The ingredient path (curry -> cauliflower) is also part of the figure.
+    assert (curry, feo.hasCharacteristic, IRI(FOODKG.Cauliflower)) in subgraph

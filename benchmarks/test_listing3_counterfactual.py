@@ -1,0 +1,57 @@
+"""Experiment E8 (Listing 3): the counterfactual-explanation competency question.
+
+Reproduces Listing 3 — "What if I was pregnant?" — and its result table
+(feo:forbids feo:Sushi; feo:recommends feo:Spinach with feo:SpinachFrittata
+as the inherited dish), plus the full counterfactual explanation and the
+scenario-assembly cost for a what-if question.
+"""
+
+from __future__ import annotations
+
+from repro.core.generators import CounterfactualExplanationGenerator
+from repro.core.queries import counterfactual_query
+from repro.core.questions import WhatIfConditionQuestion
+from repro.sparql import prepare
+
+
+def test_listing3_query_result(benchmark, cq3_scenario):
+    prepared = prepare(counterfactual_query(cq3_scenario.question_iri),
+                       cq3_scenario.inferred.namespace_manager)
+
+    result = benchmark(prepared.evaluate, cq3_scenario.inferred)
+
+    print("\nListing 3 — counterfactual explanation query result")
+    print(result.to_table(cq3_scenario.inferred.namespace_manager))
+
+    rows = {
+        (row["property"].local_name(), row["baseFood"].local_name(),
+         row["inheritedFood"].local_name() if row.get("inheritedFood") else None)
+        for row in result
+    }
+    # The paper's two result rows.
+    assert ("forbids", "Sushi", None) in rows or any(
+        prop == "forbids" and base == "Sushi" for prop, base, _ in rows)
+    assert ("recommends", "Spinach", "SpinachFrittata") in rows
+    # Only forbids/recommends qualify as sub-properties of isCharacteristicOf.
+    assert {prop for prop, _, _ in rows} <= {"forbids", "recommends"}
+
+
+def test_listing3_full_explanation_generation(benchmark, cq3_scenario):
+    generator = CounterfactualExplanationGenerator()
+
+    explanation = benchmark(generator.generate, cq3_scenario)
+
+    print("\nListing 3 — rendered counterfactual explanation")
+    print(" ", explanation.text)
+    forbidden = {item.subject for item in explanation.items_with_role("forbidden")}
+    recommended = {item.subject for item in explanation.items_with_role("recommended")}
+    assert "Sushi" in forbidden
+    assert "Spinach" in recommended
+
+
+def test_listing3_scenario_assembly_cost(benchmark, engine, user, context):
+    question = WhatIfConditionQuestion(text="What if I was pregnant?", condition="pregnancy")
+
+    scenario = benchmark.pedantic(engine.build_scenario, args=(question, user, context),
+                                  rounds=3, iterations=1)
+    assert len(scenario.inferred) > len(scenario.asserted)

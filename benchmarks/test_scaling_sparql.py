@@ -1,0 +1,60 @@
+"""Experiment E9b (ablation): SPARQL query cost vs. knowledge-graph size.
+
+Measures the three competency-question queries over reasoned scenario
+graphs built from increasingly large synthetic catalogues, plus the cost
+split between parsing and evaluation (prepared vs. unprepared queries).
+The paper stresses that its queries stay simple; this ablation shows they
+also stay cheap as the knowledge graph grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ExplanationEngine
+from repro.core.queries import contextual_query
+from repro.core.questions import WhyQuestion
+from repro.foodkg import generate_catalog
+from repro.sparql import parse_query, prepare
+from repro.users.personas import paper_context, paper_user
+
+
+def _scenario_for_scale(extra_recipes: int):
+    catalog = generate_catalog(extra_ingredients=extra_recipes // 3, extra_recipes=extra_recipes)
+    engine = ExplanationEngine(catalog=catalog)
+    question = WhyQuestion(text="Why should I eat Cauliflower Potato Curry?",
+                           recipe="Cauliflower Potato Curry")
+    return engine.build_scenario(question, paper_user(), paper_context())
+
+
+@pytest.mark.parametrize("extra_recipes", [0, 100, 300],
+                         ids=["core", "core+100recipes", "core+300recipes"])
+def test_contextual_query_scaling(benchmark, extra_recipes):
+    scenario = _scenario_for_scale(extra_recipes)
+    prepared = prepare(contextual_query(scenario.question_iri),
+                       scenario.inferred.namespace_manager)
+
+    result = benchmark(prepared.evaluate, scenario.inferred)
+
+    pairs = {(row["characteristic"].local_name(), row["classes"].local_name()) for row in result}
+    print(f"\ncontextual query over {len(scenario.inferred)} triples -> {len(pairs)} rows")
+    # The paper's expected row must survive at every scale.
+    assert ("Autumn", "SeasonCharacteristic") in pairs
+
+
+def test_query_parse_cost(benchmark, cq1_scenario):
+    query_text = contextual_query(cq1_scenario.question_iri)
+
+    algebra = benchmark(parse_query, query_text, cq1_scenario.inferred.namespace_manager)
+    assert algebra is not None
+
+
+def test_prepared_query_amortises_parsing(benchmark, cq1_scenario):
+    query_text = contextual_query(cq1_scenario.question_iri)
+    prepared = prepare(query_text, cq1_scenario.inferred.namespace_manager)
+
+    def run_five_times():
+        return [len(list(prepared.evaluate(cq1_scenario.inferred))) for _ in range(5)]
+
+    counts = benchmark(run_five_times)
+    assert len(set(counts)) == 1

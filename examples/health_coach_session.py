@@ -1,0 +1,66 @@
+"""A personalised Health Coach session with explanations for every suggestion.
+
+Run with::
+
+    python examples/health_coach_session.py [persona]
+
+where ``persona`` is one of the built-in personas (default: ``pregnant_user``).
+This is the consumer-facing scenario the paper motivates: a recommender
+(our Health Coach substitute) produces a ranked menu, and FEO explains
+each suggestion with contextual, scientific and trace-based explanations,
+plus a contrastive explanation against the runner-up.
+"""
+
+import sys
+
+from repro import ExplanationEngine
+from repro.core.questions import ContrastiveQuestion, WhyQuestion
+from repro.users import PERSONAS, persona
+
+
+def main(persona_key: str = "pregnant_user") -> None:
+    user, context = persona(persona_key)
+    engine = ExplanationEngine()
+
+    print(f"Persona: {persona_key} ({user.name})")
+    print("Profile:", user.summary())
+    print("Context:", context.summary())
+    print()
+
+    recommendations = engine.recommender.recommend(user, context, top_k=3)
+    if not recommendations:
+        print("No recipe satisfies this user's hard constraints.")
+        return
+
+    for recommendation in recommendations:
+        print("=" * 72)
+        print(f"#{recommendation.rank}  {recommendation.recipe}  (score {recommendation.score:.2f})")
+        question = WhyQuestion(text=f"Why should I eat {recommendation.recipe}?",
+                               recipe=recommendation.recipe)
+        scenario = engine.build_scenario(question, user, context, recommendation=recommendation)
+
+        for explanation_type in ("contextual", "scientific", "trace_based"):
+            explanation = engine.explain(question, user, context,
+                                         explanation_type=explanation_type,
+                                         recommendation=recommendation,
+                                         scenario=scenario)
+            print(f"\n[{explanation_type}]")
+            print(" ", explanation.text)
+
+        print()
+
+    top, runner_up = recommendations[0], recommendations[1]
+    contrast = ContrastiveQuestion(
+        text=f"Why was {top.recipe} recommended over {runner_up.recipe}?",
+        primary=top.recipe, secondary=runner_up.recipe)
+    explanation = engine.explain(contrast, user, context, explanation_type="contrastive")
+    print("=" * 72)
+    print(f"Q: {contrast.text}")
+    print("A:", explanation.text)
+
+
+if __name__ == "__main__":
+    key = sys.argv[1] if len(sys.argv) > 1 else "pregnant_user"
+    if key not in PERSONAS:
+        raise SystemExit(f"Unknown persona {key!r}; choose one of {PERSONAS}")
+    main(key)

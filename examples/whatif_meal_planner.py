@@ -1,0 +1,47 @@
+"""Counterfactual meal planning: how recommendations change with health conditions.
+
+Run with::
+
+    python examples/whatif_meal_planner.py
+
+For each health condition modelled in FEO this example answers the
+counterfactual question "What if I was <condition>?" (which foods become
+forbidden or recommended), then re-runs the Health Coach with the
+condition actually applied and shows how the top recommendations shift —
+the kind of interactive, conversational use the paper positions FEO for.
+"""
+
+from repro import ExplanationEngine, paper_context, paper_user
+from repro.ontology.feo import HEALTH_CONDITIONS
+
+
+def main() -> None:
+    engine = ExplanationEngine()
+    user, context = paper_user(), paper_context()
+
+    baseline = [r.recipe for r in engine.recommender.recommend(user, context, top_k=3)]
+    print(f"Baseline top recommendations for {user.name}: {baseline}")
+    print()
+
+    for condition in sorted(HEALTH_CONDITIONS):
+        explanation = engine.counterfactual_condition(condition, user, context)
+        forbidden = sorted({item.subject for item in explanation.items_with_role("forbidden")})
+        recommended = sorted({item.subject for item in explanation.items_with_role("recommended")})
+
+        shifted_user = user.with_condition(condition)
+        shifted = [r.recipe for r in engine.recommender.recommend(shifted_user, context, top_k=3)]
+
+        print("=" * 72)
+        print(f"What if I was {condition.replace('_', ' ')}?")
+        print("  counterfactual explanation:", explanation.text)
+        print(f"  foods that would be discouraged: {forbidden[:6]}")
+        print(f"  foods that would be encouraged:  {recommended[:6]}")
+        print(f"  top recommendations would become: {shifted}")
+        changed = [recipe for recipe in baseline if recipe not in shifted]
+        if changed:
+            print(f"  (dropped from the baseline menu: {changed})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

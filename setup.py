@@ -1,0 +1,5 @@
+"""Setup shim so that legacy editable installs work offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Reproduction of "Semantic Modeling for Food Recommendation Explanations" (FEO).
+
+The package is organised bottom-up:
+
+* :mod:`repro.rdf` — RDF data model and triple store (the RDFLib substitute);
+* :mod:`repro.sparql` — SPARQL 1.1 subset engine;
+* :mod:`repro.owl` — OWL-RL-style materialising reasoner (the Pellet substitute);
+* :mod:`repro.ontology` — the Explanation Ontology subset, the food ontology
+  and FEO itself;
+* :mod:`repro.foodkg` — the synthetic FoodKG (curated catalogue + generator);
+* :mod:`repro.users` / :mod:`repro.recommender` — user modelling and the
+  Health Coach substitute;
+* :mod:`repro.core` — scenario assembly, fact/foil semantics, the explanation
+  generators and the :class:`~repro.core.engine.ExplanationEngine` facade;
+* :mod:`repro.evaluation` — competency-question and coverage evaluation.
+"""
+
+from .core.engine import ExplanationEngine
+from .core.questions import parse_question
+from .foodkg.catalog import build_core_catalog
+from .recommender.health_coach import HealthCoach
+from .users.context import SystemContext
+from .users.personas import paper_context, paper_user
+from .users.profile import UserProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExplanationEngine",
+    "HealthCoach",
+    "SystemContext",
+    "UserProfile",
+    "__version__",
+    "build_core_catalog",
+    "paper_context",
+    "paper_user",
+    "parse_question",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface for the FEO reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro ask "Why should I eat Cauliflower Potato Curry?" --persona paper
+    python -m repro recommend --persona pregnant_user --top-k 3 --explain
+    python -m repro competency --extended
+    python -m repro coverage
+    python -m repro export --output feo_foodkg.ttl --reasoned
+
+The CLI is a thin layer over :class:`repro.core.engine.ExplanationEngine`
+and the evaluation harness; every command prints plain text so the tool is
+usable in shells and CI logs without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.competency import CompetencySuite
+from .core.engine import ExplanationEngine
+from .evaluation import compute_coverage, run_evaluation
+from .users.personas import PERSONAS, persona
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Food Explanation Ontology (FEO) reproduction — explanation toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    ask = subparsers.add_parser("ask", help="answer a food-recommendation question")
+    ask.add_argument("question", help='e.g. "Why should I eat Sushi?"')
+    ask.add_argument("--persona", default="paper", choices=PERSONAS)
+    ask.add_argument("--type", dest="explanation_type", default=None,
+                     help="force an explanation type (contextual, contrastive, ...)")
+    ask.add_argument("--show-evidence", action="store_true",
+                     help="print the structured evidence items as well")
+    ask.add_argument("--show-query", action="store_true",
+                     help="print the SPARQL query used (when applicable)")
+
+    recommend = subparsers.add_parser("recommend", help="run the Health Coach substitute")
+    recommend.add_argument("--persona", default="paper", choices=PERSONAS)
+    recommend.add_argument("--top-k", type=int, default=3)
+    recommend.add_argument("--explain", action="store_true",
+                           help="attach a contextual explanation to every recommendation")
+
+    competency = subparsers.add_parser("competency",
+                                       help="run the paper's competency questions")
+    competency.add_argument("--extended", action="store_true",
+                            help="also run the extended Table I coverage questions")
+    competency.add_argument("--persona", default="paper", choices=PERSONAS)
+
+    subparsers.add_parser("coverage", help="print the persona x explanation-type coverage matrix")
+
+    evaluate = subparsers.add_parser("evaluate", help="run the full evaluation report")
+    evaluate.add_argument("--skip-extended", action="store_true")
+
+    export = subparsers.add_parser("export", help="export the ontology + knowledge graph")
+    export.add_argument("--output", default="-", help="output file (default: stdout)")
+    export.add_argument("--format", default="turtle", choices=["turtle", "ntriples"])
+    export.add_argument("--reasoned", action="store_true",
+                        help="export the materialised (post-reasoning) graph")
+
+    return parser
+
+
+def _cmd_ask(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    user, context = persona(args.persona)
+    explanation = engine.ask(args.question, user, context,
+                             explanation_type=args.explanation_type)
+    print(f"[{explanation.explanation_type} explanation]")
+    print(explanation.text)
+    if args.show_evidence:
+        print()
+        for item in explanation.items:
+            print("  -", item.describe())
+    if args.show_query and explanation.query:
+        print()
+        print(explanation.query)
+    return 0
+
+
+def _cmd_recommend(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    user, context = persona(args.persona)
+    recommendations = engine.recommender.recommend(user, context, top_k=args.top_k)
+    if not recommendations:
+        print("No recipe satisfies this user's hard constraints.")
+        return 1
+    for recommendation in recommendations:
+        print(f"#{recommendation.rank}  {recommendation.recipe}  (score {recommendation.score:.2f})")
+        for reason in recommendation.reasons():
+            print(f"     - {reason}")
+        if args.explain:
+            explanation = engine.contextual(recommendation.recipe, user, context)
+            print(f"     => {explanation.text}")
+    return 0
+
+
+def _cmd_competency(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    user, context = persona(args.persona)
+    suite = CompetencySuite(engine, user, context)
+    results = suite.run_all() if args.extended else suite.run()
+    failures = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        if not result.passed:
+            failures += 1
+        print(f"[{status}] {result.question.identifier}: {result.question.question.text} "
+              f"({len(result.explanation.items)} evidence items)")
+        if result.missing:
+            print(f"       missing: {[binding.subject for binding in result.missing]}")
+    print(f"\n{len(results) - failures}/{len(results)} competency questions passed")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_coverage(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    matrix = compute_coverage(engine)
+    print(matrix.to_table())
+    print(f"\noverall coverage: {matrix.overall_coverage():.0%}")
+    return 0
+
+
+def _cmd_evaluate(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    report = run_evaluation(engine, include_extended=not args.skip_extended)
+    print(report.to_text())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_export(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    graph = engine.builder._base
+    if args.reasoned:
+        from .owl import Reasoner
+
+        graph = Reasoner(graph.copy()).run()
+    text = graph.serialize(args.format)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(graph)} triples to {args.output}", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "ask": _cmd_ask,
+    "recommend": _cmd_recommend,
+    "competency": _cmd_competency,
+    "coverage": _cmd_coverage,
+    "evaluate": _cmd_evaluate,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None, engine: Optional[ExplanationEngine] = None) -> int:
+    """CLI entry point; ``engine`` can be injected to reuse a prebuilt one in tests."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    engine = engine if engine is not None else ExplanationEngine()
+    handler = _COMMANDS[args.command]
+    return handler(engine, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

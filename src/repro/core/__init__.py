@@ -1,0 +1,55 @@
+"""FEO's explanation core: questions, scenarios, fact/foil semantics, generators, engine."""
+
+from .competency import (
+    CompetencyQuestion,
+    CompetencyResult,
+    CompetencySuite,
+    EXTENDED_COMPETENCY_QUESTIONS,
+    ExpectedBinding,
+    PAPER_COMPETENCY_QUESTIONS,
+)
+from .engine import ExplanationEngine
+from .explanation import Explanation, ExplanationItem
+from .facts_foils import annotate_facts_and_foils, classify_characteristic, fact_foil_matrix
+from .questions import (
+    ContrastiveQuestion,
+    Question,
+    QuestionParseError,
+    QuestionType,
+    WhatIfConditionQuestion,
+    WhatIfIngredientQuestion,
+    WhyQuestion,
+    parse_question,
+)
+from .rdf_export import explanation_iri, explanation_to_rdf
+from .scenario import Scenario, ScenarioBuilder
+from . import queries, templates
+
+__all__ = [
+    "CompetencyQuestion",
+    "CompetencyResult",
+    "CompetencySuite",
+    "ContrastiveQuestion",
+    "EXTENDED_COMPETENCY_QUESTIONS",
+    "ExpectedBinding",
+    "Explanation",
+    "ExplanationEngine",
+    "ExplanationItem",
+    "PAPER_COMPETENCY_QUESTIONS",
+    "Question",
+    "QuestionParseError",
+    "QuestionType",
+    "Scenario",
+    "ScenarioBuilder",
+    "WhatIfConditionQuestion",
+    "WhatIfIngredientQuestion",
+    "WhyQuestion",
+    "annotate_facts_and_foils",
+    "classify_characteristic",
+    "explanation_iri",
+    "explanation_to_rdf",
+    "fact_foil_matrix",
+    "parse_question",
+    "queries",
+    "templates",
+]

@@ -1,0 +1,227 @@
+"""Competency-question evaluation (Section V of the paper).
+
+The paper evaluates FEO with a task-based methodology: three competency
+questions, one per explanation type (contextual, contrastive,
+counterfactual), each judged by whether the SPARQL query over the reasoned
+ontology returns the expected characteristics.  :data:`PAPER_COMPETENCY_QUESTIONS`
+encodes those three questions together with the expectations the paper's
+result tables show; :class:`CompetencySuite` runs them (plus any extended
+questions) against an :class:`~repro.core.engine.ExplanationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..users.context import SystemContext
+from ..users.personas import paper_context, paper_user
+from ..users.profile import UserProfile
+from .engine import ExplanationEngine
+from .explanation import Explanation
+from .questions import (
+    ContrastiveQuestion,
+    Question,
+    WhatIfConditionQuestion,
+    WhyQuestion,
+)
+
+__all__ = [
+    "ExpectedBinding",
+    "CompetencyQuestion",
+    "CompetencyResult",
+    "CompetencySuite",
+    "PAPER_COMPETENCY_QUESTIONS",
+    "EXTENDED_COMPETENCY_QUESTIONS",
+]
+
+
+@dataclass(frozen=True)
+class ExpectedBinding:
+    """One (subject, role/type) pair that must appear in the explanation."""
+
+    subject: str
+    role: Optional[str] = None
+    characteristic_type: Optional[str] = None
+
+    def satisfied_by(self, explanation: Explanation) -> bool:
+        for item in explanation.items:
+            if item.subject != self.subject:
+                continue
+            if self.role is not None and item.role != self.role:
+                continue
+            if (self.characteristic_type is not None
+                    and item.characteristic_type != self.characteristic_type):
+                continue
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class CompetencyQuestion:
+    """One competency question with its expected evidence."""
+
+    identifier: str
+    question: Question
+    explanation_type: str
+    expected: Tuple[ExpectedBinding, ...] = ()
+    description: str = ""
+
+
+@dataclass
+class CompetencyResult:
+    """The outcome of running one competency question."""
+
+    question: CompetencyQuestion
+    explanation: Explanation
+    missing: List[ExpectedBinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.missing and not self.explanation.is_empty
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "id": self.question.identifier,
+            "explanation_type": self.question.explanation_type,
+            "question": self.question.question.text,
+            "passed": self.passed,
+            "items": len(self.explanation.items),
+            "missing": [binding.subject for binding in self.missing],
+        }
+
+
+#: The three competency questions of the paper, with the evidence the paper's
+#: result tables show (Listings 1-3).
+PAPER_COMPETENCY_QUESTIONS: Tuple[CompetencyQuestion, ...] = (
+    CompetencyQuestion(
+        identifier="CQ1",
+        question=WhyQuestion(text="Why should I eat Cauliflower Potato Curry?",
+                             recipe="Cauliflower Potato Curry"),
+        explanation_type="contextual",
+        expected=(ExpectedBinding("Autumn", role="context",
+                                  characteristic_type="SeasonCharacteristic"),),
+        description="Listing 1: the current season (autumn) explains the recommendation.",
+    ),
+    CompetencyQuestion(
+        identifier="CQ2",
+        question=ContrastiveQuestion(
+            text="Why should I eat Butternut Squash Soup over a Broccoli Cheddar Soup?",
+            primary="Butternut Squash Soup", secondary="Broccoli Cheddar Soup"),
+        explanation_type="contrastive",
+        expected=(
+            ExpectedBinding("Autumn", role="fact", characteristic_type="SeasonCharacteristic"),
+            ExpectedBinding("Broccoli", role="foil",
+                            characteristic_type="AllergicFoodCharacteristic"),
+        ),
+        description="Listing 2: butternut squash is in season (fact); the user is allergic to "
+                    "broccoli (foil).",
+    ),
+    CompetencyQuestion(
+        identifier="CQ3",
+        question=WhatIfConditionQuestion(text="What if I was pregnant?", condition="pregnancy"),
+        explanation_type="counterfactual",
+        expected=(
+            ExpectedBinding("Sushi", role="forbidden"),
+            ExpectedBinding("Spinach", role="recommended"),
+        ),
+        description="Listing 3: pregnancy forbids sushi and recommends folate-rich spinach "
+                    "(e.g. in a spinach frittata).",
+    ),
+)
+
+#: Additional competency questions exercising the remaining Table I types.
+EXTENDED_COMPETENCY_QUESTIONS: Tuple[CompetencyQuestion, ...] = (
+    CompetencyQuestion(
+        identifier="CQ4-scientific",
+        question=WhyQuestion(text="What literature recommends Spinach Frittata?",
+                             recipe="Spinach Frittata"),
+        explanation_type="scientific",
+        expected=(ExpectedBinding("high_folate", role="evidence"),),
+        description="Scientific: guideline rationale behind folate-rich recommendations.",
+    ),
+    CompetencyQuestion(
+        identifier="CQ5-statistical",
+        question=WhyQuestion(text="What evidence from data suggests I follow a vegetarian diet?",
+                             recipe="Lentil Soup"),
+        explanation_type="statistical",
+        expected=(ExpectedBinding("vegetarian", role="statistic"),),
+        description="Statistical: share of catalogue recipes compatible with the user's diet.",
+    ),
+    CompetencyQuestion(
+        identifier="CQ6-everyday",
+        question=WhyQuestion(text="What foods go together with Sushi?", recipe="Sushi"),
+        explanation_type="everyday",
+        expected=(),
+        description="Everyday: ingredient pairings from recipe co-occurrence.",
+    ),
+    CompetencyQuestion(
+        identifier="CQ7-simulation",
+        question=WhyQuestion(text="What if I ate Broccoli Cheddar Soup every day?",
+                             recipe="Broccoli Cheddar Soup"),
+        explanation_type="simulation_based",
+        expected=(),
+        description="Simulation: nutritional impact of eating the dish daily.",
+    ),
+    CompetencyQuestion(
+        identifier="CQ8-case-based",
+        question=WhyQuestion(text="What results from other users recommend Spinach Frittata?",
+                             recipe="Spinach Frittata"),
+        explanation_type="case_based",
+        expected=(ExpectedBinding("Priya", role="case"),),
+        description="Case-based: comparable users who also received the recipe.",
+    ),
+    CompetencyQuestion(
+        identifier="CQ9-trace",
+        question=WhyQuestion(text="What steps led to this recommendation?",
+                             recipe="Lentil Soup"),
+        explanation_type="trace_based",
+        expected=(ExpectedBinding("constraint-filter", role="trace_step"),),
+        description="Trace-based: replay of the Health Coach pipeline steps.",
+    ),
+)
+
+
+class CompetencySuite:
+    """Runs competency questions against an explanation engine."""
+
+    def __init__(
+        self,
+        engine: Optional[ExplanationEngine] = None,
+        user: Optional[UserProfile] = None,
+        context: Optional[SystemContext] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else ExplanationEngine()
+        self.user = user if user is not None else paper_user()
+        self.context = context if context is not None else paper_context()
+
+    def run_question(self, competency_question: CompetencyQuestion) -> CompetencyResult:
+        """Run a single competency question and check its expectations."""
+        recommendation = None
+        if competency_question.explanation_type == "trace_based":
+            recipe = getattr(competency_question.question, "recipe", "")
+            recommendation = self.engine.recommender.recommend_one(self.user, self.context)
+            if recommendation is not None and recipe:
+                recommendation.recipe = recipe
+        explanation = self.engine.explain(
+            competency_question.question,
+            self.user,
+            self.context,
+            explanation_type=competency_question.explanation_type,
+            recommendation=recommendation,
+        )
+        missing = [binding for binding in competency_question.expected
+                   if not binding.satisfied_by(explanation)]
+        return CompetencyResult(question=competency_question, explanation=explanation,
+                                missing=missing)
+
+    def run(
+        self,
+        questions: Sequence[CompetencyQuestion] = PAPER_COMPETENCY_QUESTIONS,
+    ) -> List[CompetencyResult]:
+        """Run a sequence of competency questions (the paper's three by default)."""
+        return [self.run_question(question) for question in questions]
+
+    def run_all(self) -> List[CompetencyResult]:
+        """Run the paper's questions plus the extended Table I coverage."""
+        return self.run(tuple(PAPER_COMPETENCY_QUESTIONS) + tuple(EXTENDED_COMPETENCY_QUESTIONS))

@@ -1,0 +1,70 @@
+"""Explanation data model.
+
+An :class:`Explanation` is what the engine hands back to an application:
+the explanation type (one of the nine Table I types), the question it
+addresses, the structured items extracted from the knowledge graph (each
+an :class:`ExplanationItem`), the SPARQL query that produced them (when a
+query was involved) and a natural-language rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .questions import Question
+
+__all__ = ["ExplanationItem", "Explanation"]
+
+
+@dataclass(frozen=True)
+class ExplanationItem:
+    """One piece of evidence inside an explanation."""
+
+    subject: str                  # human-readable subject (e.g. "Autumn")
+    role: str                     # "fact", "foil", "context", "forbidden", "recommended", ...
+    characteristic_type: str = "" # e.g. "SeasonCharacteristic"
+    detail: str = ""              # free-text elaboration
+    value: Optional[str] = None   # optional associated value (e.g. the inherited food)
+
+    def describe(self) -> str:
+        parts = [self.subject]
+        if self.characteristic_type:
+            parts.append(f"({self.characteristic_type})")
+        if self.detail:
+            parts.append(f"- {self.detail}")
+        return " ".join(parts)
+
+
+@dataclass
+class Explanation:
+    """A complete explanation for one user question."""
+
+    explanation_type: str
+    question: Question
+    items: List[ExplanationItem] = field(default_factory=list)
+    text: str = ""
+    query: Optional[str] = None
+    bindings: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no supporting evidence was found."""
+        return not self.items
+
+    def items_with_role(self, role: str) -> List[ExplanationItem]:
+        return [item for item in self.items if item.role == role]
+
+    def subjects(self) -> List[str]:
+        return [item.subject for item in self.items]
+
+    def summary(self) -> Dict[str, Any]:
+        """A dictionary view used by reports and the evaluation harness."""
+        return {
+            "type": self.explanation_type,
+            "question": self.question.text,
+            "items": [item.describe() for item in self.items],
+            "text": self.text,
+            "empty": self.is_empty,
+        }

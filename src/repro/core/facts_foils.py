@@ -1,0 +1,195 @@
+"""Fact and foil semantics (Figure 3 of the paper).
+
+Figure 3 classifies the characteristics at the intersection of a question
+parameter and the ecosystem (user + system):
+
+===================  =======================  =========
+relation to parameter ecosystem presence        verdict
+===================  =======================  =========
+supports              present (supported)       **fact**
+supports              absent                    **foil**
+opposes               present (supported)       **foil**
+opposes               absent                    neither
+===================  =======================  =========
+
+Two of the four cells are monotonic and are already captured by OWL
+equivalent-class axioms in :mod:`repro.ontology.feo` (a characteristic of a
+parameter that the ecosystem also has → ``eo:Fact``; one the ecosystem is
+opposed by → ``eo:Foil``).  The *absent* column is closed-world — OWL cannot
+express "not present in the ecosystem" — so :func:`annotate_facts_and_foils`
+adds those ``eo:Foil`` types after reasoning.  The pure function
+:func:`classify_characteristic` reproduces the full matrix for the Figure 3
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ontology import eo, feo
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal
+
+__all__ = [
+    "classify_characteristic",
+    "fact_foil_matrix",
+    "annotate_facts_and_foils",
+    "EcosystemView",
+]
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+#: Characteristic classes too generic to anchor an "absent from the ecosystem"
+#: judgement — a foil needs a specific class the ecosystem actually has an
+#: expectation about (e.g. the ecosystem names a season, so a *different*
+#: season on the parameter is a foil; a health condition the user does not
+#: have is simply irrelevant, not a foil).
+_GENERIC_CLASSES = frozenset({
+    feo.Characteristic,
+    feo.Parameter,
+    feo.PrimaryParameter,
+    feo.SecondaryParameter,
+    feo.UserCharacteristic,
+    feo.SystemCharacteristic,
+    feo.EcosystemCharacteristic,
+    feo.FoodCharacteristic,
+    eo.Fact,
+    eo.Foil,
+})
+
+
+def classify_characteristic(
+    supports_parameter: bool,
+    present_in_ecosystem: bool,
+    opposes_parameter: bool = False,
+    opposed_by_ecosystem: bool = False,
+) -> str:
+    """Classify one characteristic per Figure 3.
+
+    Returns ``"fact"``, ``"foil"`` or ``"neither"``.  ``opposed_by_ecosystem``
+    captures the allergy-style case (the ecosystem actively opposes the
+    characteristic), which is also a foil whenever the characteristic touches
+    the parameter at all.
+    """
+    touches_parameter = supports_parameter or opposes_parameter
+    if not touches_parameter:
+        return "neither"
+    if supports_parameter and opposed_by_ecosystem:
+        return "foil"
+    if supports_parameter and present_in_ecosystem:
+        return "fact"
+    if supports_parameter and not present_in_ecosystem:
+        return "foil"
+    if opposes_parameter and present_in_ecosystem:
+        return "foil"
+    return "neither"
+
+
+def fact_foil_matrix() -> List[Dict[str, object]]:
+    """The full Figure 3 decision matrix as a list of rows (for the benchmark)."""
+    rows = []
+    for supports in (True, False):
+        for opposes in (True, False):
+            if not supports and not opposes:
+                continue
+            for present in (True, False):
+                for opposed_by in (True, False):
+                    rows.append({
+                        "supports_parameter": supports,
+                        "opposes_parameter": opposes,
+                        "present_in_ecosystem": present,
+                        "opposed_by_ecosystem": opposed_by,
+                        "verdict": classify_characteristic(supports, present, opposes, opposed_by),
+                    })
+    return rows
+
+
+@dataclass
+class EcosystemView:
+    """The ecosystem's positive and opposing characteristics, read from a graph."""
+
+    supported: Set[IRI]
+    opposed: Set[IRI]
+
+    @classmethod
+    def from_graph(cls, graph: Graph, ecosystem_iri: IRI) -> "EcosystemView":
+        supported = {
+            o for o in graph.objects(ecosystem_iri, feo.hasEcosystemCharacteristic)
+            if isinstance(o, IRI)
+        }
+        opposed = {
+            o for o in graph.objects(ecosystem_iri, feo.isOpposedBy)
+            if isinstance(o, IRI)
+        }
+        return cls(supported=supported, opposed=opposed)
+
+    def presence(self, characteristic: IRI) -> Tuple[bool, bool]:
+        """Return ``(present, opposed)`` for one characteristic."""
+        return characteristic in self.supported, characteristic in self.opposed
+
+
+def annotate_facts_and_foils(graph: Graph, ecosystem_iri: IRI) -> Dict[str, int]:
+    """Add the closed-world ``eo:Fact`` / ``eo:Foil`` types to ``graph``.
+
+    The OWL reasoner has already typed the monotonic cases; this pass walks
+    every characteristic of every question parameter and applies the full
+    Figure 3 matrix, adding any missing types.  Returns counts of the types
+    added (used by tests and the coverage report).
+    """
+    ecosystem = EcosystemView.from_graph(graph, ecosystem_iri)
+    parameters = {
+        s for s in graph.subjects(_RDF_TYPE, feo.Parameter) if isinstance(s, IRI)
+    }
+
+    subclassof = IRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+
+    def specific_classes(node: IRI) -> Set[IRI]:
+        return {
+            cls for cls in graph.objects(node, _RDF_TYPE)
+            if isinstance(cls, IRI)
+            and cls not in _GENERIC_CLASSES
+            and (cls, subclassof, feo.Characteristic) in graph
+        }
+
+    # Classes the ecosystem has an expectation about (see _GENERIC_CLASSES).
+    ecosystem_classes: Set[IRI] = set()
+    for supported in ecosystem.supported:
+        ecosystem_classes |= specific_classes(supported)
+
+    added = {"facts": 0, "foils": 0}
+    for parameter in parameters:
+        characteristics = {
+            o for o in graph.objects(parameter, feo.hasCharacteristic)
+            if isinstance(o, IRI)
+        }
+        opposing = {
+            o for o in graph.objects(parameter, feo.isOpposedBy)
+            if isinstance(o, IRI)
+        }
+        for characteristic in characteristics | opposing:
+            present, opposed_by = ecosystem.presence(characteristic)
+            supports = characteristic in characteristics
+            # The closed-world "absent from the ecosystem" foil only applies
+            # when the ecosystem names a characteristic of the same class
+            # (e.g. it has a current season, so a different season is a foil).
+            if supports and not present and not opposed_by:
+                if not (specific_classes(characteristic) & ecosystem_classes):
+                    continue
+            verdict = classify_characteristic(
+                supports_parameter=supports,
+                present_in_ecosystem=present,
+                opposes_parameter=characteristic in opposing,
+                opposed_by_ecosystem=opposed_by,
+            )
+            if verdict == "fact":
+                triple = (characteristic, _RDF_TYPE, eo.Fact)
+                if triple not in graph:
+                    graph.add(triple)
+                    added["facts"] += 1
+            elif verdict == "foil":
+                triple = (characteristic, _RDF_TYPE, eo.Foil)
+                if triple not in graph:
+                    graph.add(triple)
+                    added["foils"] += 1
+    return added

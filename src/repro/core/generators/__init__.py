@@ -1,0 +1,27 @@
+"""Per-type explanation generators (the nine Table I explanation types)."""
+
+from .base import ExplanationGenerator, binding_local_names, local_name
+from .case_based import CaseBasedExplanationGenerator
+from .contextual import ContextualExplanationGenerator
+from .contrastive import ContrastiveExplanationGenerator
+from .counterfactual import CounterfactualExplanationGenerator
+from .everyday import EverydayExplanationGenerator
+from .scientific import ScientificExplanationGenerator
+from .simulation import SimulationExplanationGenerator
+from .statistical import StatisticalExplanationGenerator
+from .trace_based import TraceBasedExplanationGenerator
+
+__all__ = [
+    "CaseBasedExplanationGenerator",
+    "ContextualExplanationGenerator",
+    "ContrastiveExplanationGenerator",
+    "CounterfactualExplanationGenerator",
+    "EverydayExplanationGenerator",
+    "ExplanationGenerator",
+    "ScientificExplanationGenerator",
+    "SimulationExplanationGenerator",
+    "StatisticalExplanationGenerator",
+    "TraceBasedExplanationGenerator",
+    "binding_local_names",
+    "local_name",
+]

@@ -1,0 +1,85 @@
+"""Case-based explanations ('What results from other users recommend food A?').
+
+Deferred to future work in the paper.  Our implementation runs the Health
+Coach recommender for a population of comparison users (by default the
+built-in personas) and reports which comparable users — those sharing a
+diet, condition, goal or liked food with the asker — also received the
+question's recipe among their top recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ...foodkg.schema import FoodCatalog
+from ...recommender.health_coach import HealthCoach
+from ...users.context import SystemContext
+from ...users.personas import all_personas
+from ...users.profile import UserProfile
+from ..explanation import Explanation, ExplanationItem
+from ..scenario import Scenario
+from ..templates import render_case_based
+from .base import ExplanationGenerator
+
+__all__ = ["CaseBasedExplanationGenerator"]
+
+Population = Sequence[Tuple[UserProfile, SystemContext]]
+
+
+def _similarity(a: UserProfile, b: UserProfile) -> int:
+    """Shared likes/diets/conditions/goals between two profiles."""
+    return (
+        len(set(a.likes) & set(b.likes))
+        + len(set(a.diets) & set(b.diets))
+        + len(set(a.conditions) & set(b.conditions))
+        + len(set(a.goals) & set(b.goals))
+    )
+
+
+class CaseBasedExplanationGenerator(ExplanationGenerator):
+    """Finds comparable users whose recommendations include the same recipe."""
+
+    explanation_type = "case_based"
+
+    def __init__(
+        self,
+        catalog: FoodCatalog,
+        population: Optional[Population] = None,
+        top_k: int = 5,
+    ) -> None:
+        self._coach = HealthCoach(catalog)
+        self._population = list(population) if population is not None else [
+            pair for pair in all_personas().values()
+        ]
+        self._top_k = top_k
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        recipe = (getattr(scenario.question, "recipe", "")
+                  or getattr(scenario.question, "primary", ""))
+        items: List[ExplanationItem] = []
+        if recipe:
+            for profile, context in self._population:
+                if profile.identifier == scenario.user.identifier:
+                    continue
+                similarity = _similarity(scenario.user, profile)
+                if similarity == 0:
+                    continue
+                recommendations = self._coach.recommend(profile, context, top_k=self._top_k)
+                matching = [rec for rec in recommendations if rec.recipe == recipe]
+                if matching:
+                    items.append(ExplanationItem(
+                        subject=profile.name or profile.identifier,
+                        role="case",
+                        characteristic_type="UserCharacteristic",
+                        detail=(f"{profile.name or profile.identifier} (similarity {similarity}) was "
+                                f"also recommended {recipe} at rank {matching[0].rank}"),
+                        value=str(matching[0].rank),
+                    ))
+
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_case_based(recipe or "this recipe", items),
+            metadata={"population_size": len(self._population)},
+        )

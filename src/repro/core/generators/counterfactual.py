@@ -1,0 +1,70 @@
+"""Counterfactual explanations (competency question 3, Listing 3).
+
+A counterfactual explanation answers 'What if ...?' questions by exploring
+the consequences of changing the user's profile (e.g. becoming pregnant):
+which foods would be forbidden and which would be recommended, including
+dishes inherited through their ingredients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..explanation import Explanation, ExplanationItem
+from ..queries import counterfactual_query
+from ..scenario import Scenario
+from ..templates import render_counterfactual
+from .base import ExplanationGenerator, local_name
+
+__all__ = ["CounterfactualExplanationGenerator"]
+
+
+class CounterfactualExplanationGenerator(ExplanationGenerator):
+    """Generates counterfactual explanations for what-if questions."""
+
+    explanation_type = "counterfactual"
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        query_text = counterfactual_query(scenario.question_iri)
+        result = scenario.query(query_text)
+
+        forbidden: Dict[str, Optional[str]] = {}
+        recommended: Dict[str, Optional[str]] = {}
+        for row in result:
+            prop = local_name(row.get("property"))
+            base_food = local_name(row.get("baseFood"))
+            inherited = local_name(row.get("inheritedFood")) or None
+            if not base_food:
+                continue
+            if prop == "forbids":
+                forbidden.setdefault(base_food, inherited)
+            elif prop == "recommends":
+                if base_food not in recommended or (inherited and not recommended[base_food]):
+                    recommended[base_food] = inherited
+
+        items: List[ExplanationItem] = []
+        for food_name, inherited in sorted(forbidden.items()):
+            items.append(ExplanationItem(
+                subject=food_name, role="forbidden", value=inherited,
+                characteristic_type="FoodCharacteristic",
+                detail=f"{food_name} would be forbidden under the hypothetical change",
+            ))
+        for food_name, inherited in sorted(recommended.items()):
+            items.append(ExplanationItem(
+                subject=food_name, role="recommended", value=inherited,
+                characteristic_type="FoodCharacteristic",
+                detail=f"{food_name} would be recommended under the hypothetical change",
+            ))
+
+        hypothetical = (getattr(scenario.question, "condition", "")
+                        or getattr(scenario.question, "ingredient", ""))
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_counterfactual(hypothetical,
+                                       [i for i in items if i.role == "forbidden"],
+                                       [i for i in items if i.role == "recommended"]),
+            query=query_text,
+            bindings=[{k: local_name(v) for k, v in row.asdict().items()} for row in result],
+        )

@@ -1,0 +1,71 @@
+"""Everyday explanations ('What foods go together?').
+
+Deferred to future work in the paper.  Everyday explanations appeal to
+common knowledge rather than formal evidence; the closest knowledge-graph
+signal is ingredient co-occurrence — foods that frequently appear in the
+same recipes 'go together' in everyday cooking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from ...foodkg.schema import FoodCatalog
+from ..explanation import Explanation, ExplanationItem
+from ..scenario import Scenario
+from ..templates import render_everyday
+from .base import ExplanationGenerator
+
+__all__ = ["EverydayExplanationGenerator"]
+
+#: Pantry staples excluded from pairings (they co-occur with everything).
+_STAPLES = {"Salt", "Black Pepper", "Olive Oil", "Butter", "Onion", "Garlic",
+            "Vegetable Broth", "Sugar", "Honey"}
+
+
+class EverydayExplanationGenerator(ExplanationGenerator):
+    """Reports the foods that most commonly co-occur with the question's foods."""
+
+    explanation_type = "everyday"
+
+    def __init__(self, catalog: FoodCatalog, max_pairings: int = 5) -> None:
+        self._catalog = catalog
+        self._max_pairings = max_pairings
+
+    def pairings_for(self, food_name: str) -> List[str]:
+        """Foods most frequently co-occurring with ``food_name`` across recipes."""
+        counter: Counter = Counter()
+        if food_name in self._catalog.recipes:
+            anchors = set(self._catalog.recipes[food_name].ingredients)
+        else:
+            anchors = {food_name}
+        for recipe in self._catalog.recipes.values():
+            ingredients = set(recipe.ingredients)
+            if food_name in self._catalog.recipes and recipe.name == food_name:
+                continue
+            if anchors & ingredients or food_name in ingredients:
+                for other in ingredients - anchors - {food_name}:
+                    if other not in _STAPLES:
+                        counter[other] += 1
+        return [name for name, _ in counter.most_common(self._max_pairings)]
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        subject = (getattr(scenario.question, "recipe", "")
+                   or getattr(scenario.question, "primary", "")
+                   or getattr(scenario.question, "ingredient", ""))
+        items: List[ExplanationItem] = []
+        if subject:
+            for pairing in self.pairings_for(subject):
+                items.append(ExplanationItem(
+                    subject=pairing,
+                    role="pairing",
+                    characteristic_type="IngredientCharacteristic",
+                    detail=f"{pairing} commonly appears alongside {subject} in recipes",
+                ))
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_everyday(subject or "this food", items),
+        )

@@ -1,0 +1,77 @@
+"""Scientific explanations ('What literature recommends Food A?').
+
+The paper defers scientific explanations to future work but sketches the
+design: attach guideline/literature evidence that fits the user's
+characteristics and the question parameter.  Our knowledge base carries a
+``rationale`` with every health rule (the stand-in for published dietary
+guidance), so this generator surfaces the rationales whose rule touches
+the question's foods or the user's conditions and goals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ...foodkg.schema import FoodCatalog
+from ..explanation import Explanation, ExplanationItem
+from ..scenario import Scenario
+from ..templates import render_scientific
+from .base import ExplanationGenerator
+
+__all__ = ["ScientificExplanationGenerator"]
+
+
+class ScientificExplanationGenerator(ExplanationGenerator):
+    """Surfaces guideline rationales relevant to the question."""
+
+    explanation_type = "scientific"
+
+    def __init__(self, catalog: FoodCatalog) -> None:
+        self._catalog = catalog
+
+    def _question_foods(self, scenario: Scenario) -> Set[str]:
+        foods: Set[str] = set()
+        question = scenario.question
+        for attribute in ("recipe", "primary", "secondary", "ingredient"):
+            name = getattr(question, attribute, "")
+            if name and name in self._catalog.recipes:
+                foods.add(name)
+                foods.update(self._catalog.recipes[name].ingredients)
+            elif name and name in self._catalog.ingredients:
+                foods.add(name)
+        return foods
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        foods = self._question_foods(scenario)
+        subjects = set(scenario.user.conditions) | set(scenario.user.goals)
+        condition = getattr(scenario.question, "condition", "")
+        if condition:
+            subjects.add(condition)
+
+        items: List[ExplanationItem] = []
+        seen_rationales: Set[str] = set()
+        for rule in self._catalog.condition_rules:
+            relevant_subject = rule.subject in subjects
+            touched = foods & (set(rule.forbids) | set(rule.recommends))
+            if not (relevant_subject or touched):
+                continue
+            if not rule.rationale or rule.rationale in seen_rationales:
+                continue
+            seen_rationales.add(rule.rationale)
+            items.append(ExplanationItem(
+                subject=rule.subject,
+                role="evidence",
+                characteristic_type="KnowledgeRecord",
+                detail=rule.rationale,
+            ))
+
+        subject = (getattr(scenario.question, "recipe", "")
+                   or getattr(scenario.question, "primary", "")
+                   or condition or "the recommendation")
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_scientific(subject, items),
+            metadata={"foods_considered": sorted(foods)},
+        )

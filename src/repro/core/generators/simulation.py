@@ -1,0 +1,88 @@
+"""Simulation-based explanations ('What if I ate food A every day?').
+
+Deferred to future work in the paper.  The generator simulates a week of
+eating the question's recipe once a day, compares the cumulative nutrition
+against simple daily reference values and reports the nutrients that would
+be notably over or under target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...foodkg.schema import FoodCatalog, NutrientProfile
+from ..explanation import Explanation, ExplanationItem
+from ..scenario import Scenario
+from ..templates import render_simulation
+from .base import ExplanationGenerator
+
+__all__ = ["SimulationExplanationGenerator", "DAILY_REFERENCE"]
+
+#: Simplified daily reference intakes (per adult, per day).
+DAILY_REFERENCE: Dict[str, float] = {
+    "calories": 2000.0,
+    "protein": 50.0,
+    "carbohydrates": 275.0,
+    "fat": 70.0,
+    "fiber": 28.0,
+    "sodium": 2300.0,
+}
+
+
+class SimulationExplanationGenerator(ExplanationGenerator):
+    """Simulates repeated consumption of a recipe and reports nutritional impact."""
+
+    explanation_type = "simulation_based"
+
+    def __init__(self, catalog: FoodCatalog, days: int = 7) -> None:
+        self._catalog = catalog
+        self._days = days
+
+    def simulate(self, recipe_name: str) -> Dict[str, float]:
+        """Fraction of the reference intake one daily serving provides, per nutrient."""
+        nutrition = self._catalog.recipe_nutrition(recipe_name)
+        servings = max(1, self._catalog.recipes[recipe_name].servings)
+        per_serving = nutrition.scaled(1.0 / servings)
+        return {
+            "calories": per_serving.calories / DAILY_REFERENCE["calories"],
+            "protein": per_serving.protein / DAILY_REFERENCE["protein"],
+            "carbohydrates": per_serving.carbohydrates / DAILY_REFERENCE["carbohydrates"],
+            "fat": per_serving.fat / DAILY_REFERENCE["fat"],
+            "fiber": per_serving.fiber / DAILY_REFERENCE["fiber"],
+            "sodium": per_serving.sodium / DAILY_REFERENCE["sodium"],
+        }
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        recipe_name = (getattr(scenario.question, "recipe", "")
+                       or getattr(scenario.question, "primary", ""))
+        items: List[ExplanationItem] = []
+        if recipe_name and recipe_name in self._catalog.recipes:
+            fractions = self.simulate(recipe_name)
+            ranked = sorted(fractions.items(), key=lambda kv: -kv[1])
+            for position, (nutrient, fraction) in enumerate(ranked):
+                percent = round(100 * fraction)
+                if fraction >= 0.25:
+                    detail = (f"one serving a day would supply about {percent}% of the daily "
+                              f"{nutrient} reference")
+                    role = "high_contribution"
+                elif fraction <= 0.05:
+                    detail = (f"it would contribute little {nutrient} "
+                              f"(about {percent}% of the daily reference per serving)")
+                    role = "low_contribution"
+                elif position < 3:
+                    detail = (f"one serving a day would cover about {percent}% of the daily "
+                              f"{nutrient} reference")
+                    role = "moderate_contribution"
+                else:
+                    continue
+                items.append(ExplanationItem(
+                    subject=nutrient, role=role,
+                    characteristic_type="NutrientCharacteristic", detail=detail,
+                ))
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_simulation(recipe_name or "this recipe", items),
+            metadata={"days": self._days},
+        )

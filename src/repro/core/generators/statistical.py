@@ -1,0 +1,94 @@
+"""Statistical explanations ('What evidence from data suggests I follow diet D?').
+
+Deferred to future work in the paper; the design sketch is to aggregate
+data from the system's knowledge graph and user population.  This
+generator computes aggregate statistics over the food knowledge graph with
+SPARQL ``COUNT`` queries (share of catalogue recipes matching the user's
+diets, containing the question's key ingredients, fitting the current
+season) and reports them as evidence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...foodkg.schema import FoodCatalog
+from ..explanation import Explanation, ExplanationItem
+from ..queries import PREFIXES
+from ..scenario import Scenario
+from ..templates import humanize, render_statistical
+from .base import ExplanationGenerator, local_name
+
+__all__ = ["StatisticalExplanationGenerator"]
+
+
+class StatisticalExplanationGenerator(ExplanationGenerator):
+    """Aggregates knowledge-graph statistics supporting the recommendation."""
+
+    explanation_type = "statistical"
+
+    def __init__(self, catalog: FoodCatalog) -> None:
+        self._catalog = catalog
+
+    def _count(self, scenario: Scenario, query: str) -> int:
+        result = scenario.query(query)
+        rows = list(result)
+        if not rows:
+            return 0
+        value = rows[0].get("n")
+        try:
+            return int(value.value) if value is not None else 0
+        except (TypeError, ValueError):
+            return 0
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        total_recipes = len(self._catalog.recipes)
+        items: List[ExplanationItem] = []
+
+        total_query = f"{PREFIXES}\nSELECT (COUNT(?r) AS ?n) WHERE {{ ?r a food:Recipe . }}"
+        kg_total = self._count(scenario, total_query) or total_recipes
+
+        for diet in scenario.user.diets:
+            diet_count = sum(1 for r in self._catalog.recipes.values() if diet in r.diets)
+            if diet_count:
+                share = round(100.0 * diet_count / max(1, total_recipes))
+                items.append(ExplanationItem(
+                    subject=diet, role="statistic", characteristic_type="DietCharacteristic",
+                    detail=(f"{diet_count} of {total_recipes} catalogue recipes ({share}%) are "
+                            f"suitable for the {humanize(diet)} diet."),
+                ))
+
+        season = scenario.context.season
+        seasonal_count = sum(
+            1 for r in self._catalog.recipes.values()
+            if season in self._catalog.recipe_seasons(r.name)
+        )
+        if seasonal_count:
+            share = round(100.0 * seasonal_count / max(1, total_recipes))
+            items.append(ExplanationItem(
+                subject=season, role="statistic", characteristic_type="SeasonCharacteristic",
+                detail=(f"{seasonal_count} of {total_recipes} recipes ({share}%) use at least one "
+                        f"ingredient that is in season in {season}."),
+            ))
+
+        recipe_name = getattr(scenario.question, "recipe", "") or getattr(scenario.question, "primary", "")
+        if recipe_name and recipe_name in self._catalog.recipes:
+            for ingredient in self._catalog.recipes[recipe_name].ingredients[:3]:
+                containing = len(self._catalog.recipes_containing(ingredient))
+                if containing > 1:
+                    items.append(ExplanationItem(
+                        subject=ingredient, role="statistic",
+                        characteristic_type="IngredientCharacteristic",
+                        detail=(f"{ingredient} appears in {containing} of {total_recipes} "
+                                f"catalogue recipes."),
+                    ))
+
+        subject = recipe_name or (scenario.user.diets[0] if scenario.user.diets else "the recommendation")
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_statistical(subject, items),
+            query=total_query,
+            metadata={"kg_recipe_count": kg_total},
+        )

@@ -1,0 +1,57 @@
+"""Trace-based explanations ('What steps led to recommendation E?').
+
+Deferred to future work in the paper (their related work covers Dragoni et
+al.'s template traces).  The Health Coach substitute emits a
+machine-readable :class:`~repro.recommender.trace.RecommendationTrace`;
+this generator replays it as an ordered explanation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..explanation import Explanation, ExplanationItem
+from ..scenario import Scenario
+from ..templates import render_trace_based
+from .base import ExplanationGenerator
+
+__all__ = ["TraceBasedExplanationGenerator"]
+
+
+class TraceBasedExplanationGenerator(ExplanationGenerator):
+    """Turns the recommender's trace into an explanation."""
+
+    explanation_type = "trace_based"
+
+    def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        recommendation = scenario.recommendation
+        items: List[ExplanationItem] = []
+        recipe = ""
+        if recommendation is not None:
+            recipe = recommendation.recipe
+            for index, step in enumerate(recommendation.trace, start=1):
+                items.append(ExplanationItem(
+                    subject=step.stage,
+                    role="trace_step",
+                    characteristic_type="ObjectRecord",
+                    detail=f"step {index}: {step.description}",
+                    value=str(index),
+                ))
+            for reason in recommendation.reasons():
+                items.append(ExplanationItem(
+                    subject=recommendation.recipe,
+                    role="scoring_reason",
+                    characteristic_type="ObjectRecord",
+                    detail=reason,
+                ))
+        else:
+            recipe = getattr(scenario.question, "recipe", "")
+
+        return Explanation(
+            explanation_type=self.explanation_type,
+            question=scenario.question,
+            items=items,
+            text=render_trace_based(recipe or "the recommendation",
+                                    [i for i in items if i.role == "trace_step"]),
+            metadata={"has_recommendation": recommendation is not None},
+        )

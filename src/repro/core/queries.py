@@ -1,0 +1,143 @@
+"""Canonical SPARQL templates for the paper's competency questions.
+
+These reproduce Listings 1-3 of the paper, parameterised by the question
+IRI (the paper hard-codes the IRI; we substitute it).  The prefix
+declarations match the graph's namespace bindings, so the queries also run
+verbatim against an exported Turtle file loaded into another SPARQL
+engine.
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import IRI
+
+__all__ = [
+    "PREFIXES",
+    "contextual_query",
+    "contrastive_query",
+    "counterfactual_query",
+    "characteristic_hierarchy_query",
+    "property_lattice_query",
+    "fact_query",
+    "foil_query",
+]
+
+PREFIXES = """\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX owl: <http://www.w3.org/2002/07/owl#>
+PREFIX eo: <https://purl.org/heals/eo#>
+PREFIX feo: <https://purl.org/heals/feo#>
+PREFIX food: <http://purl.org/heals/food/>
+PREFIX foodkg: <http://idea.rpi.edu/heals/kb/>
+"""
+
+
+def contextual_query(question_iri: IRI, match_ecosystem: bool = False) -> str:
+    """Listing 1: external characteristics supporting a 'Why should I eat X?' question.
+
+    With ``match_ecosystem`` the query additionally requires the characteristic
+    to be present in the ecosystem (the paper's prose — "check if they matched
+    any of our environment characteristics" — which the published listing
+    leaves implicit because its ontology only materialises the current
+    season/region as individuals).
+    """
+    ecosystem_clause = ""
+    if match_ecosystem:
+        ecosystem_clause = (
+            "  ?ecosystem a feo:Ecosystem .\n"
+            "  ?ecosystem feo:hasEcosystemCharacteristic ?characteristic .\n"
+        )
+    return f"""{PREFIXES}
+SELECT DISTINCT ?characteristic ?classes
+WHERE {{
+  <{question_iri}> feo:hasParameter ?parameter .
+  ?parameter feo:hasCharacteristic ?characteristic .
+  ?characteristic feo:isInternal false .
+{ecosystem_clause}  ?systemChar a feo:SystemCharacteristic .
+  ?userChar a feo:UserCharacteristic .
+  FILTER ( ?characteristic = ?systemChar || ?characteristic = ?userChar ) .
+  ?characteristic a ?classes .
+  ?classes rdfs:subClassOf feo:Characteristic .
+  FILTER NOT EXISTS {{ ?classes rdfs:subClassOf eo:knowledge }} .
+}}
+"""
+
+
+def contrastive_query(question_iri: IRI) -> str:
+    """Listing 2: facts for the primary parameter and foils for the secondary one."""
+    return f"""{PREFIXES}
+SELECT DISTINCT ?factType ?factA ?foilType ?foilB
+WHERE {{
+  BIND (<{question_iri}> AS ?question) .
+  ?question feo:hasPrimaryParameter ?parameterA .
+  ?question feo:hasSecondaryParameter ?parameterB .
+  ?parameterA feo:hasCharacteristic ?factA .
+  ?factA a eo:Fact .
+  ?factA a ?factType .
+  ?factType rdfs:subClassOf+ feo:Characteristic .
+  FILTER NOT EXISTS {{ ?factType rdfs:subClassOf eo:knowledge }} .
+  FILTER NOT EXISTS {{ ?s rdfs:subClassOf ?factType }} .
+  ?parameterB feo:hasCharacteristic ?foilB .
+  ?foilB a eo:Foil .
+  ?foilB a ?foilType .
+  ?foilType rdfs:subClassOf+ feo:Characteristic .
+  FILTER NOT EXISTS {{ ?foilType rdfs:subClassOf eo:knowledge }} .
+  FILTER NOT EXISTS {{ ?t rdfs:subClassOf ?foilType }} .
+}}
+"""
+
+
+def counterfactual_query(question_iri: IRI) -> str:
+    """Listing 3: foods forbidden or recommended under a hypothetical characteristic."""
+    return f"""{PREFIXES}
+SELECT DISTINCT ?property ?baseFood ?inheritedFood
+WHERE {{
+  <{question_iri}> feo:hasParameter ?parameter .
+  ?parameter ?property ?baseFood .
+  ?property rdfs:subPropertyOf feo:isCharacteristicOf .
+  ?baseFood a food:Food .
+  OPTIONAL {{ ?baseFood feo:isIngredientOf ?inheritedFood . }}
+}}
+"""
+
+
+def characteristic_hierarchy_query() -> str:
+    """Figure 1: every (sub)class below feo:Characteristic with its parent."""
+    return f"""{PREFIXES}
+SELECT DISTINCT ?cls ?parent
+WHERE {{
+  ?cls rdfs:subClassOf ?parent .
+  ?parent rdfs:subClassOf* feo:Characteristic .
+  ?cls a owl:Class .
+  ?parent a owl:Class .
+}}
+ORDER BY ?parent ?cls
+"""
+
+
+def property_lattice_query() -> str:
+    """Figure 2: the sub-property lattice around isCharacteristicOf / isOpposedBy."""
+    return f"""{PREFIXES}
+SELECT DISTINCT ?property ?superProperty
+WHERE {{
+  ?property rdfs:subPropertyOf ?superProperty .
+  FILTER ( ?superProperty = feo:isCharacteristicOf || ?superProperty = feo:isOpposedBy
+           || ?superProperty = feo:hasCharacteristic ) .
+}}
+ORDER BY ?superProperty ?property
+"""
+
+
+def fact_query() -> str:
+    """All individuals the reasoner classified as eo:Fact."""
+    return f"""{PREFIXES}
+SELECT DISTINCT ?fact WHERE {{ ?fact a eo:Fact . }} ORDER BY ?fact
+"""
+
+
+def foil_query() -> str:
+    """All individuals classified as eo:Foil."""
+    return f"""{PREFIXES}
+SELECT DISTINCT ?foil WHERE {{ ?foil a eo:Foil . }} ORDER BY ?foil
+"""

@@ -1,0 +1,114 @@
+"""Serialising generated explanations back into RDF.
+
+The paper models explanations *in* the ontology: an explanation individual
+is typed with its EO explanation-type class, addresses the user question,
+and is based on the facts / foils / knowledge that support it.  This module
+closes that loop for the reproduction — an :class:`~repro.core.explanation.Explanation`
+produced by a generator can be written into an RDF graph (typically the
+scenario's inferred graph, or a fresh one for export), so downstream
+semantic applications can consume explanations the same way they consume
+the rest of FEO.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..foodkg.schema import slugify
+from ..ontology import eo, feo
+from ..rdf.graph import Graph
+from ..rdf.namespace import FEO, RDFS
+from ..rdf.terms import BNode, IRI, Literal
+from .explanation import Explanation, ExplanationItem
+from .scenario import Scenario
+
+__all__ = ["explanation_to_rdf", "explanation_iri"]
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+_RDFS_LABEL = IRI(RDFS.label)
+_RDFS_COMMENT = IRI(RDFS.comment)
+
+#: Mapping from item roles to the EO/FEO property linking the explanation to
+#: the evidence individual.
+_ROLE_PREDICATES = {
+    "fact": eo.isSupportedBy,
+    "context": eo.isSupportedBy,
+    "recommended": eo.isSupportedBy,
+    "foil": eo.inRelationTo,
+    "forbidden": eo.inRelationTo,
+}
+
+
+def explanation_iri(explanation: Explanation) -> IRI:
+    """Mint a stable IRI for an explanation (type + question local name)."""
+    question_part = explanation.question.local_name()
+    type_part = slugify(explanation.explanation_type.replace("_", " "))
+    return IRI(FEO[f"explanation/{type_part}{question_part}"])
+
+
+def _evidence_iri(scenario: Optional[Scenario], item: ExplanationItem) -> IRI:
+    """Resolve an evidence item back to a knowledge-graph IRI when possible.
+
+    Evidence subjects are local names of KG individuals (e.g. ``Autumn``,
+    ``Broccoli``) or plain profile keys (e.g. ``pregnancy``).  FEO shared
+    individuals win, then FoodKG individuals present in the scenario graph;
+    anything else gets a fresh evidence IRI so nothing is lost.
+    """
+    for registry in (feo.SEASONS, feo.BUDGET_LEVELS, feo.MEAL_TIMES,
+                     feo.HEALTH_CONDITIONS, feo.NUTRITIONAL_GOALS):
+        for key, iri in registry.items():
+            if item.subject in (key, iri.local_name()):
+                return iri
+    if scenario is not None:
+        from ..rdf.namespace import FOODKG
+
+        candidate = IRI(FOODKG[slugify(item.subject)])
+        if (candidate, None, None) in scenario.inferred or (None, None, candidate) in scenario.inferred:
+            return candidate
+    return IRI(FEO[f"evidence/{slugify(item.subject)}"])
+
+
+def explanation_to_rdf(
+    explanation: Explanation,
+    graph: Optional[Graph] = None,
+    scenario: Optional[Scenario] = None,
+    question_iri: Optional[IRI] = None,
+) -> Graph:
+    """Write ``explanation`` into ``graph`` (new graph if omitted) and return it.
+
+    The encoding follows EO: the explanation individual is typed with the
+    explanation-type class, ``eo:addresses`` the question, is
+    ``eo:isSupportedBy`` its supporting evidence and ``eo:inRelationTo`` the
+    opposing evidence, and carries the rendered sentence as ``rdfs:comment``.
+    """
+    graph = graph if graph is not None else Graph()
+    subject = explanation_iri(explanation)
+
+    type_class = eo.EXPLANATION_TYPES.get(explanation.explanation_type, eo.Explanation)
+    graph.add((subject, _RDF_TYPE, type_class))
+    graph.add((subject, _RDF_TYPE, eo.Explanation))
+    graph.add((subject, _RDFS_LABEL,
+               Literal(f"{explanation.explanation_type} explanation for "
+                       f"'{explanation.question.text}'", language="en")))
+    if explanation.text:
+        graph.add((subject, _RDFS_COMMENT, Literal(explanation.text, language="en")))
+
+    target_question = question_iri
+    if target_question is None and scenario is not None:
+        target_question = scenario.question_iri
+    if target_question is None:
+        target_question = IRI(FEO[explanation.question.local_name()])
+    graph.add((subject, eo.addresses, target_question))
+    graph.add((target_question, feo.hasExplanation, subject))
+
+    for item in explanation.items:
+        predicate = _ROLE_PREDICATES.get(item.role, eo.usesKnowledge)
+        evidence = _evidence_iri(scenario, item)
+        graph.add((subject, predicate, evidence))
+        if item.detail:
+            record = BNode()
+            graph.add((subject, eo.usesKnowledge, record))
+            graph.add((record, _RDF_TYPE, eo.KnowledgeRecord))
+            graph.add((record, _RDFS_COMMENT, Literal(item.detail, language="en")))
+            graph.add((record, eo.inRelationTo, evidence))
+    return graph

@@ -1,0 +1,237 @@
+"""Scenario assembly: ontology + knowledge graph + user + system + question.
+
+The paper's pipeline materialises a single RDF graph containing the FEO
+schema, the food knowledge graph, the user's profile, the system's
+context, and the question being asked — then runs the reasoner and queries
+the inferred graph.  :class:`ScenarioBuilder` performs that assembly.
+
+The ontology and the food knowledge graph are loaded once and shared
+between scenarios; each :meth:`ScenarioBuilder.build` call copies them and
+adds the scenario-specific individuals before reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..foodkg.loader import FoodKGLoader
+from ..foodkg.schema import FoodCatalog, slugify
+from ..ontology import eo, feo, food
+from ..owl import Reasoner
+from ..rdf.graph import Graph
+from ..rdf.namespace import FEO, FOODKG, RDFS
+from ..rdf.terms import IRI, Literal
+from ..recommender.health_coach import Recommendation
+from ..users.context import SystemContext
+from ..users.profile import UserProfile
+from .facts_foils import annotate_facts_and_foils
+from .questions import (
+    ContrastiveQuestion,
+    Question,
+    WhatIfConditionQuestion,
+    WhatIfIngredientQuestion,
+    WhyQuestion,
+)
+
+__all__ = ["Scenario", "ScenarioBuilder"]
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+_RDFS_LABEL = IRI(RDFS.label)
+
+
+@dataclass
+class Scenario:
+    """A fully assembled and reasoned explanation scenario."""
+
+    question: Question
+    question_iri: IRI
+    user_iri: IRI
+    system_iri: IRI
+    ecosystem_iri: IRI
+    asserted: Graph
+    inferred: Graph
+    user: UserProfile
+    context: SystemContext
+    recommendation: Optional[Recommendation] = None
+    parameter_iris: List[IRI] = field(default_factory=list)
+
+    def query(self, sparql_text: str):
+        """Run SPARQL over the inferred (post-reasoning) graph."""
+        return self.inferred.query(sparql_text)
+
+
+class ScenarioBuilder:
+    """Builds reasoned scenario graphs for questions."""
+
+    def __init__(self, catalog: FoodCatalog, base_graph: Optional[Graph] = None) -> None:
+        self.catalog = catalog
+        self.loader = FoodKGLoader()
+        if base_graph is not None:
+            self._base = base_graph
+        else:
+            self._base = feo.build_combined_ontology()
+            self.loader.graph = self._base
+            self.loader.load(catalog)
+
+    # ------------------------------------------------------------------
+    # IRI minting
+    # ------------------------------------------------------------------
+    def user_iri(self, user: UserProfile) -> IRI:
+        return IRI(FOODKG["user/" + slugify(user.identifier)])
+
+    def system_iri(self, context: SystemContext) -> IRI:
+        return IRI(FOODKG["system/" + slugify(context.system_name)])
+
+    def ecosystem_iri(self, user: UserProfile, context: SystemContext) -> IRI:
+        return IRI(FOODKG["ecosystem/" + slugify(user.identifier)])
+
+    def question_iri(self, question: Question) -> IRI:
+        return IRI(FEO[question.local_name()])
+
+    def food_iri(self, name: str) -> IRI:
+        """IRI of a recipe or ingredient named in a profile or question."""
+        return self.loader.food_iri(self.catalog, name)
+
+    def _food_or_label_iri(self, name: str) -> IRI:
+        try:
+            return self.food_iri(name)
+        except KeyError:
+            # Unknown foods (e.g. free-text likes) still get an IRI so the
+            # profile is fully represented; they simply carry no KG structure.
+            return IRI(FOODKG[slugify(name)])
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        question: Question,
+        user: UserProfile,
+        context: SystemContext,
+        recommendation: Optional[Recommendation] = None,
+        run_reasoner: bool = True,
+    ) -> Scenario:
+        """Assemble, reason over and annotate the scenario for ``question``."""
+        graph = self._base.copy()
+        user_iri = self.user_iri(user)
+        system_iri = self.system_iri(context)
+        ecosystem_iri = self.ecosystem_iri(user, context)
+
+        self._assert_user(graph, user_iri, user)
+        self._assert_system(graph, system_iri, context)
+        self._assert_ecosystem(graph, ecosystem_iri, user_iri, system_iri)
+        question_iri, parameters = self._assert_question(graph, question, user_iri)
+        if recommendation is not None:
+            self._assert_recommendation(graph, recommendation, system_iri, question_iri)
+
+        if run_reasoner:
+            inferred = Reasoner(graph).run()
+            annotate_facts_and_foils(inferred, ecosystem_iri)
+        else:
+            inferred = graph
+
+        return Scenario(
+            question=question,
+            question_iri=question_iri,
+            user_iri=user_iri,
+            system_iri=system_iri,
+            ecosystem_iri=ecosystem_iri,
+            asserted=graph,
+            inferred=inferred,
+            user=user,
+            context=context,
+            recommendation=recommendation,
+            parameter_iris=parameters,
+        )
+
+    # ------------------------------------------------------------------
+    def _assert_user(self, graph: Graph, user_iri: IRI, user: UserProfile) -> None:
+        graph.add((user_iri, _RDF_TYPE, food.User))
+        graph.add((user_iri, _RDFS_LABEL, Literal(user.name or user.identifier, language="en")))
+        for name in user.likes:
+            graph.add((user_iri, feo.likes, self._food_or_label_iri(name)))
+        for name in user.dislikes:
+            graph.add((user_iri, feo.dislikes, self._food_or_label_iri(name)))
+        for name in user.allergies:
+            graph.add((user_iri, feo.allergicTo, self._food_or_label_iri(name)))
+        for diet in user.diets:
+            graph.add((user_iri, feo.followsDiet, self.loader.diet_iri(diet)))
+        for condition in user.conditions:
+            condition_iri = feo.HEALTH_CONDITIONS.get(condition)
+            if condition_iri is not None:
+                graph.add((user_iri, feo.hasCondition, condition_iri))
+        for goal in user.goals:
+            goal_iri = feo.NUTRITIONAL_GOALS.get(goal)
+            if goal_iri is not None:
+                graph.add((user_iri, feo.hasGoal, goal_iri))
+        if user.budget:
+            graph.add((user_iri, feo.hasBudget, feo.BUDGET_LEVELS[user.budget]))
+
+    def _assert_system(self, graph: Graph, system_iri: IRI, context: SystemContext) -> None:
+        graph.add((system_iri, _RDF_TYPE, feo.RecommenderSystem))
+        graph.add((system_iri, _RDFS_LABEL, Literal(context.system_name, language="en")))
+        graph.add((system_iri, feo.currentSeason, feo.SEASONS[context.season]))
+        region_iri = self.loader.region_iri(context.region)
+        graph.add((region_iri, _RDF_TYPE, feo.LocationCharacteristic))
+        graph.add((system_iri, feo.locatedIn, region_iri))
+        if context.meal_time:
+            graph.add((system_iri, feo.currentMealTime, feo.MEAL_TIMES[context.meal_time]))
+        if context.budget:
+            graph.add((system_iri, feo.hasBudget, feo.BUDGET_LEVELS[context.budget]))
+
+    def _assert_ecosystem(self, graph: Graph, ecosystem_iri: IRI, user_iri: IRI, system_iri: IRI) -> None:
+        graph.add((ecosystem_iri, _RDF_TYPE, feo.Ecosystem))
+        graph.add((ecosystem_iri, feo.hasUser, user_iri))
+        graph.add((ecosystem_iri, feo.hasSystem, system_iri))
+
+    def _assert_question(self, graph: Graph, question: Question, user_iri: IRI):
+        question_iri = self.question_iri(question)
+        graph.add((question_iri, _RDFS_LABEL, Literal(question.text, language="en")))
+        graph.add((question_iri, feo.askedBy, user_iri))
+        parameters: List[IRI] = []
+
+        if isinstance(question, WhyQuestion):
+            graph.add((question_iri, _RDF_TYPE, feo.WhyQuestion))
+            parameter = self.food_iri(question.recipe)
+            graph.add((question_iri, feo.hasParameter, parameter))
+            parameters.append(parameter)
+        elif isinstance(question, ContrastiveQuestion):
+            graph.add((question_iri, _RDF_TYPE, feo.ContrastiveQuestion))
+            primary = self.food_iri(question.primary)
+            secondary = self.food_iri(question.secondary)
+            graph.add((question_iri, feo.hasPrimaryParameter, primary))
+            graph.add((question_iri, feo.hasSecondaryParameter, secondary))
+            parameters.extend([primary, secondary])
+        elif isinstance(question, WhatIfConditionQuestion):
+            graph.add((question_iri, _RDF_TYPE, feo.WhatIfQuestion))
+            condition_iri = feo.HEALTH_CONDITIONS.get(question.condition)
+            if condition_iri is None:
+                raise KeyError(f"Unknown health condition {question.condition!r}")
+            graph.add((question_iri, feo.hasHypothetical, condition_iri))
+            parameters.append(condition_iri)
+        elif isinstance(question, WhatIfIngredientQuestion):
+            graph.add((question_iri, _RDF_TYPE, feo.WhatIfQuestion))
+            ingredient_iri = self.food_iri(question.ingredient)
+            graph.add((question_iri, feo.hasHypothetical, ingredient_iri))
+            parameters.append(ingredient_iri)
+            if question.recipe:
+                recipe_iri = self.food_iri(question.recipe)
+                graph.add((question_iri, feo.hasParameter, recipe_iri))
+                parameters.append(recipe_iri)
+        else:  # pragma: no cover - all Question subclasses handled above
+            raise TypeError(f"Unsupported question type: {type(question).__name__}")
+        return question_iri, parameters
+
+    def _assert_recommendation(
+        self,
+        graph: Graph,
+        recommendation: Recommendation,
+        system_iri: IRI,
+        question_iri: IRI,
+    ) -> None:
+        rec_iri = IRI(FOODKG["recommendation/" + slugify(recommendation.recipe)])
+        graph.add((rec_iri, _RDF_TYPE, eo.SystemRecommendation))
+        graph.add((rec_iri, eo.generatedBy, system_iri))
+        graph.add((rec_iri, eo.inRelationTo, self.food_iri(recommendation.recipe)))
+        graph.add((question_iri, feo.aboutRecommendation, rec_iri))

@@ -1,0 +1,187 @@
+"""Natural-language rendering of explanations.
+
+The paper presents each competency question with a 'Possible Answer' in
+plain English; these templates produce answers of the same shape from the
+structured query results, so every explanation object carries both the
+machine-readable items and a sentence a consumer-facing application could
+show directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .explanation import ExplanationItem
+
+__all__ = [
+    "humanize",
+    "join_phrases",
+    "render_contextual",
+    "render_contrastive",
+    "render_counterfactual",
+    "render_scientific",
+    "render_statistical",
+    "render_case_based",
+    "render_trace_based",
+    "render_everyday",
+    "render_simulation",
+]
+
+
+def humanize(term: str) -> str:
+    """Turn an IRI local name or snake_case key into readable text.
+
+    >>> humanize("CauliflowerPotatoCurry")
+    'Cauliflower Potato Curry'
+    >>> humanize("high_folate")
+    'high folate'
+    """
+    if "_" in term:
+        return term.replace("_", " ")
+    out = []
+    for index, char in enumerate(term):
+        previous = term[index - 1] if index > 0 else ""
+        if char.isupper() and index > 0 and previous != " " and not previous.isupper():
+            out.append(" ")
+        out.append(char)
+    return "".join(out)
+
+
+def join_phrases(phrases: Sequence[str]) -> str:
+    """Join phrases with commas and a final 'and'."""
+    phrases = [p for p in phrases if p]
+    if not phrases:
+        return ""
+    if len(phrases) == 1:
+        return phrases[0]
+    return ", ".join(phrases[:-1]) + " and " + phrases[-1]
+
+
+_CHARACTERISTIC_PHRASES: Dict[str, str] = {
+    "SeasonCharacteristic": "{value} is the current season",
+    "LocationCharacteristic": "{value} is the region the system is operating in",
+    "BudgetCharacteristic": "it fits the {value} budget",
+    "TimeCharacteristic": "it suits the current meal time ({value})",
+    "DietCharacteristic": "it matches your {value} diet",
+    "LikedFoodCharacteristic": "you like {value}",
+    "DislikedFoodCharacteristic": "you dislike {value}",
+    "AllergicFoodCharacteristic": "you are allergic to {value}",
+    "HealthConditionCharacteristic": "it relates to your {value}",
+    "NutritionalGoalCharacteristic": "it supports your {value} goal",
+}
+
+
+_FOIL_PHRASES: Dict[str, str] = {
+    "SeasonCharacteristic": "it relies on {value}, which is not the current season",
+    "LocationCharacteristic": "it relies on {value}, which is not your region",
+    "BudgetCharacteristic": "it requires a {value}, which does not match yours",
+    "TimeCharacteristic": "it suits {value}, not the current meal time",
+    "DietCharacteristic": "it targets the {value} diet, which you do not follow",
+    "LikedFoodCharacteristic": "it involves {value}",
+    "DislikedFoodCharacteristic": "you dislike {value}",
+    "AllergicFoodCharacteristic": "you are allergic to {value}",
+    "HealthConditionCharacteristic": "it is discouraged for {value}",
+    "NutritionalGoalCharacteristic": "it serves the {value}, which is not your goal",
+}
+
+
+def _phrase_for(item: ExplanationItem) -> str:
+    value = humanize(item.subject)
+    if item.role == "foil":
+        template = _FOIL_PHRASES.get(item.characteristic_type)
+        if template:
+            return template.format(value=value)
+    template = _CHARACTERISTIC_PHRASES.get(item.characteristic_type)
+    if template:
+        return template.format(value=value)
+    return f"{value} applies"
+
+
+def render_contextual(recipe: str, items: List[ExplanationItem]) -> str:
+    """'Cauliflower Potato Curry uses an ingredient that is in season...'"""
+    recipe_name = humanize(recipe)
+    if not items:
+        return (f"No external context was found to explain recommending {recipe_name}; "
+                f"its support comes from food-internal factors.")
+    phrases = [_phrase_for(item) for item in items]
+    return f"{recipe_name} is recommended because {join_phrases(phrases)}."
+
+
+def render_contrastive(primary: str, secondary: str,
+                       facts: List[ExplanationItem], foils: List[ExplanationItem]) -> str:
+    """'Butternut Squash Soup is better than Broccoli Cheddar Soup because...'"""
+    primary_name, secondary_name = humanize(primary), humanize(secondary)
+    fact_phrases = [_phrase_for(item) for item in facts]
+    foil_phrases = [_phrase_for(item).replace("you are", "you are") for item in foils]
+    parts = []
+    if fact_phrases:
+        parts.append(f"for {primary_name}, {join_phrases(fact_phrases)}")
+    if foil_phrases:
+        parts.append(f"against {secondary_name}, {join_phrases(foil_phrases)}")
+    if not parts:
+        return (f"{primary_name} and {secondary_name} could not be distinguished by the "
+                f"available facts and foils.")
+    return f"{primary_name} is preferred over {secondary_name} because " + "; ".join(parts) + "."
+
+
+def render_counterfactual(hypothetical: str, forbidden: List[ExplanationItem],
+                          recommended: List[ExplanationItem]) -> str:
+    """'If you were pregnant, you would be forbidden from eating sushi...'"""
+    condition = humanize(hypothetical).lower()
+    sentences = []
+    if forbidden:
+        foods = join_phrases(sorted({humanize(i.subject) for i in forbidden}))
+        sentences.append(f"If you were affected by {condition}, you would be advised against eating {foods}.")
+    if recommended:
+        base = sorted({humanize(i.subject) for i in recommended})
+        dishes = sorted({humanize(i.value) for i in recommended if i.value})
+        sentence = f"You would be encouraged to eat {join_phrases(base)}"
+        if dishes:
+            sentence += f", for example in {join_phrases(dishes)}"
+        sentences.append(sentence + ".")
+    if not sentences:
+        return f"Changing to {condition} would not alter the current recommendations."
+    return " ".join(sentences)
+
+
+def render_scientific(subject: str, items: List[ExplanationItem]) -> str:
+    if not items:
+        return f"No guideline evidence in the knowledge base applies to {humanize(subject)}."
+    evidence = join_phrases([item.detail or humanize(item.subject) for item in items])
+    return f"Guideline evidence supports this: {evidence}"
+
+
+def render_statistical(subject: str, items: List[ExplanationItem]) -> str:
+    if not items:
+        return f"No population statistics are available for {humanize(subject)}."
+    phrases = [item.detail for item in items if item.detail]
+    return " ".join(phrases)
+
+
+def render_case_based(recipe: str, items: List[ExplanationItem]) -> str:
+    if not items:
+        return f"No comparable users of the system were recommended {humanize(recipe)}."
+    users = join_phrases([humanize(item.subject) for item in items])
+    return (f"Users similar to you ({users}) also received {humanize(recipe)} "
+            f"among their top recommendations.")
+
+
+def render_trace_based(recipe: str, items: List[ExplanationItem]) -> str:
+    if not items:
+        return f"No system trace is available for the recommendation of {humanize(recipe)}."
+    steps = "; then ".join(item.detail for item in items if item.detail)
+    return f"The system arrived at {humanize(recipe)} as follows: {steps}."
+
+
+def render_everyday(subject: str, items: List[ExplanationItem]) -> str:
+    if not items:
+        return f"No common pairings were found for {humanize(subject)}."
+    pairings = join_phrases([humanize(item.subject) for item in items])
+    return f"{humanize(subject)} commonly goes together with {pairings}."
+
+
+def render_simulation(recipe: str, items: List[ExplanationItem]) -> str:
+    if not items:
+        return f"Eating {humanize(recipe)} every day would have no notable nutritional effect."
+    effects = join_phrases([item.detail for item in items if item.detail])
+    return f"If you ate {humanize(recipe)} every day for a week, {effects}."

@@ -1,0 +1,17 @@
+"""Evaluation harness: competency questions, coverage matrix, metrics, report."""
+
+from .coverage import CoverageCell, CoverageMatrix, compute_coverage
+from .metrics import OntologyMetrics, QueryMetrics, ontology_metrics, query_metrics
+from .report import EvaluationReport, run_evaluation
+
+__all__ = [
+    "CoverageCell",
+    "CoverageMatrix",
+    "EvaluationReport",
+    "OntologyMetrics",
+    "QueryMetrics",
+    "compute_coverage",
+    "ontology_metrics",
+    "query_metrics",
+    "run_evaluation",
+]

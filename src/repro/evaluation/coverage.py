@@ -1,0 +1,131 @@
+"""Coverage matrix: personas × explanation types.
+
+Experiment E10 in DESIGN.md: for every persona and every Table I
+explanation type, can the pipeline produce a non-empty explanation for a
+representative question?  This quantifies the paper's claim that FEO's
+modular structure "lends itself to a variety of explanations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import ExplanationEngine
+from ..core.questions import ContrastiveQuestion, WhatIfConditionQuestion, WhyQuestion
+from ..users.context import SystemContext
+from ..users.personas import all_personas
+from ..users.profile import UserProfile
+
+__all__ = ["CoverageCell", "CoverageMatrix", "compute_coverage"]
+
+
+@dataclass(frozen=True)
+class CoverageCell:
+    """One persona × explanation-type outcome."""
+
+    persona: str
+    explanation_type: str
+    covered: bool
+    item_count: int
+
+
+@dataclass
+class CoverageMatrix:
+    """All coverage cells plus convenience accessors."""
+
+    cells: List[CoverageCell] = field(default_factory=list)
+
+    def covered(self, persona: str, explanation_type: str) -> bool:
+        for cell in self.cells:
+            if cell.persona == persona and cell.explanation_type == explanation_type:
+                return cell.covered
+        raise KeyError((persona, explanation_type))
+
+    def coverage_by_type(self) -> Dict[str, float]:
+        """Fraction of personas covered, per explanation type."""
+        totals: Dict[str, List[int]] = {}
+        for cell in self.cells:
+            bucket = totals.setdefault(cell.explanation_type, [0, 0])
+            bucket[1] += 1
+            if cell.covered:
+                bucket[0] += 1
+        return {etype: covered / total for etype, (covered, total) in sorted(totals.items())}
+
+    def overall_coverage(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(1 for cell in self.cells if cell.covered) / len(self.cells)
+
+    def to_table(self) -> str:
+        """Render the matrix as an aligned text table."""
+        personas = sorted({cell.persona for cell in self.cells})
+        types = sorted({cell.explanation_type for cell in self.cells})
+        width = max((len(p) for p in personas), default=8)
+        header = "persona".ljust(width) + "  " + "  ".join(t[:12].ljust(12) for t in types)
+        lines = [header, "-" * len(header)]
+        for persona in personas:
+            row = [persona.ljust(width)]
+            for etype in types:
+                mark = "yes" if self.covered(persona, etype) else "-"
+                row.append(mark.ljust(12))
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def _question_for(
+    engine: ExplanationEngine, user: UserProfile, context: SystemContext
+) -> Dict[str, object]:
+    """Pick a representative question per explanation type for one persona."""
+    liked = next((name for name in user.likes if name in engine.catalog.recipes), None)
+    recipe = liked or next(iter(engine.catalog.recipes))
+    other = next(name for name in engine.catalog.recipes if name != recipe)
+    condition = user.conditions[0] if user.conditions else "pregnancy"
+    why = WhyQuestion(text=f"Why should I eat {recipe}?", recipe=recipe)
+    # Case-based explanations compare against other users' recommendations, so
+    # they are asked about this persona's own top recommendation.
+    top = engine.recommender.recommend_one(user, context)
+    case_recipe = top.recipe if top is not None else recipe
+    return {
+        "contextual": why,
+        "contrastive": ContrastiveQuestion(
+            text=f"Why should I eat {recipe} over {other}?", primary=recipe, secondary=other),
+        "counterfactual": WhatIfConditionQuestion(
+            text=f"What if I was {condition.replace('_', ' ')}?", condition=condition),
+        "scientific": why,
+        "statistical": why,
+        "case_based": WhyQuestion(text=f"Why should I eat {case_recipe}?", recipe=case_recipe),
+        "trace_based": why,
+        "everyday": why,
+        "simulation_based": why,
+    }
+
+
+def compute_coverage(
+    engine: Optional[ExplanationEngine] = None,
+    personas: Optional[Dict[str, Tuple[UserProfile, SystemContext]]] = None,
+    explanation_types: Optional[Sequence[str]] = None,
+) -> CoverageMatrix:
+    """Compute the persona × explanation-type coverage matrix."""
+    engine = engine if engine is not None else ExplanationEngine()
+    personas = personas if personas is not None else all_personas()
+    matrix = CoverageMatrix()
+    for persona_key, (user, context) in personas.items():
+        questions = _question_for(engine, user, context)
+        types = explanation_types if explanation_types is not None else sorted(questions)
+        for explanation_type in types:
+            question = questions[explanation_type]
+            recommendation = None
+            if explanation_type == "trace_based":
+                recommendation = engine.recommender.recommend_one(user, context)
+            explanation = engine.explain(
+                question, user, context,
+                explanation_type=explanation_type, recommendation=recommendation,
+            )
+            matrix.cells.append(CoverageCell(
+                persona=persona_key,
+                explanation_type=explanation_type,
+                covered=not explanation.is_empty,
+                item_count=len(explanation.items),
+            ))
+    return matrix

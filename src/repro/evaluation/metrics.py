@@ -1,0 +1,115 @@
+"""Ontology, query and reasoning metrics.
+
+The paper's evaluation is qualitative (competency questions); these
+metrics quantify the artefacts involved — how large the ontology is, how
+complex the competency-question queries are, and how much work the
+reasoner does — which is what the ablation benchmarks report.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..owl.vocabulary import (
+    OWL_CLASS,
+    OWL_DATATYPE_PROPERTY,
+    OWL_EQUIVALENT_CLASS,
+    OWL_NAMED_INDIVIDUAL,
+    OWL_OBJECT_PROPERTY,
+    RDF_TYPE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI
+
+__all__ = ["OntologyMetrics", "QueryMetrics", "ontology_metrics", "query_metrics"]
+
+
+@dataclass(frozen=True)
+class OntologyMetrics:
+    """Size statistics of an ontology (or ontology + instance) graph."""
+
+    triples: int
+    classes: int
+    object_properties: int
+    datatype_properties: int
+    named_individuals: int
+    subclass_axioms: int
+    subproperty_axioms: int
+    equivalence_axioms: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "triples": self.triples,
+            "classes": self.classes,
+            "object_properties": self.object_properties,
+            "datatype_properties": self.datatype_properties,
+            "named_individuals": self.named_individuals,
+            "subclass_axioms": self.subclass_axioms,
+            "subproperty_axioms": self.subproperty_axioms,
+            "equivalence_axioms": self.equivalence_axioms,
+        }
+
+
+def ontology_metrics(graph: Graph) -> OntologyMetrics:
+    """Compute :class:`OntologyMetrics` for ``graph``."""
+    return OntologyMetrics(
+        triples=len(graph),
+        classes=sum(1 for s in graph.subjects(RDF_TYPE, OWL_CLASS) if isinstance(s, IRI)),
+        object_properties=sum(1 for _ in graph.subjects(RDF_TYPE, OWL_OBJECT_PROPERTY)),
+        datatype_properties=sum(1 for _ in graph.subjects(RDF_TYPE, OWL_DATATYPE_PROPERTY)),
+        named_individuals=sum(1 for _ in graph.subjects(RDF_TYPE, OWL_NAMED_INDIVIDUAL)),
+        subclass_axioms=sum(1 for _ in graph.triples((None, RDFS_SUBCLASSOF, None))),
+        subproperty_axioms=sum(1 for _ in graph.triples((None, RDFS_SUBPROPERTYOF, None))),
+        equivalence_axioms=sum(1 for _ in graph.triples((None, OWL_EQUIVALENT_CLASS, None))),
+    )
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Syntactic complexity of a SPARQL query (the paper stresses query simplicity)."""
+
+    triple_patterns: int
+    filters: int
+    not_exists: int
+    optionals: int
+    property_paths: int
+    variables: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "triple_patterns": self.triple_patterns,
+            "filters": self.filters,
+            "not_exists": self.not_exists,
+            "optionals": self.optionals,
+            "property_paths": self.property_paths,
+            "variables": self.variables,
+        }
+
+
+def query_metrics(query_text: str) -> QueryMetrics:
+    """Rough syntactic complexity measures for ``query_text``."""
+    body = re.sub(r"PREFIX[^\n]*\n", "", query_text)
+    filters = len(re.findall(r"\bFILTER\b", body, re.IGNORECASE))
+    not_exists = len(re.findall(r"\bNOT\s+EXISTS\b", body, re.IGNORECASE))
+    optionals = len(re.findall(r"\bOPTIONAL\b", body, re.IGNORECASE))
+    paths = len(re.findall(r"[\w:]+[+*]", body))
+    variables = len(set(re.findall(r"\?[A-Za-z_][A-Za-z0-9_]*", body)))
+    # Triple patterns: lines inside WHERE ending with '.' that are not filters.
+    pattern_lines = [
+        line for line in body.splitlines()
+        if line.strip().endswith(".")
+        and not re.search(r"\bFILTER\b|\bPREFIX\b", line, re.IGNORECASE)
+        and re.search(r"\?|<", line)
+    ]
+    return QueryMetrics(
+        triple_patterns=len(pattern_lines),
+        filters=filters,
+        not_exists=not_exists,
+        optionals=optionals,
+        property_paths=paths,
+        variables=variables,
+    )

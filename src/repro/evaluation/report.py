@@ -1,0 +1,89 @@
+"""Evaluation report: competency questions + coverage + metrics in one text artifact."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.competency import (
+    CompetencyResult,
+    CompetencySuite,
+    EXTENDED_COMPETENCY_QUESTIONS,
+    PAPER_COMPETENCY_QUESTIONS,
+)
+from ..core.engine import ExplanationEngine
+from ..core.queries import contextual_query, contrastive_query, counterfactual_query
+from ..rdf.terms import IRI
+from .coverage import CoverageMatrix, compute_coverage
+from .metrics import ontology_metrics, query_metrics
+
+__all__ = ["EvaluationReport", "run_evaluation"]
+
+
+@dataclass
+class EvaluationReport:
+    """Everything the evaluation produces, with a text rendering."""
+
+    competency_results: List[CompetencyResult]
+    coverage: CoverageMatrix
+    ontology_stats: Dict[str, int]
+    query_stats: Dict[str, Dict[str, int]]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(result.passed for result in self.competency_results)
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        lines.append("FEO reproduction — evaluation report")
+        lines.append("=" * 48)
+        lines.append("")
+        lines.append("Competency questions (Section V):")
+        for result in self.competency_results:
+            status = "PASS" if result.passed else "FAIL"
+            lines.append(f"  [{status}] {result.question.identifier}: "
+                         f"{result.question.question.text} "
+                         f"({len(result.explanation.items)} evidence items)")
+            if result.missing:
+                lines.append(f"         missing: {[b.subject for b in result.missing]}")
+        lines.append("")
+        lines.append("Coverage (personas x explanation types):")
+        lines.append(self.coverage.to_table())
+        lines.append(f"  overall coverage: {self.coverage.overall_coverage():.0%}")
+        lines.append("")
+        lines.append("Ontology metrics:")
+        for key, value in self.ontology_stats.items():
+            lines.append(f"  {key}: {value}")
+        lines.append("")
+        lines.append("Competency-question query complexity:")
+        for name, stats in self.query_stats.items():
+            rendered = ", ".join(f"{k}={v}" for k, v in stats.items())
+            lines.append(f"  {name}: {rendered}")
+        return "\n".join(lines)
+
+
+def run_evaluation(
+    engine: Optional[ExplanationEngine] = None,
+    include_extended: bool = True,
+) -> EvaluationReport:
+    """Run the full evaluation and return the report."""
+    engine = engine if engine is not None else ExplanationEngine()
+    suite = CompetencySuite(engine)
+    questions = tuple(PAPER_COMPETENCY_QUESTIONS)
+    if include_extended:
+        questions = questions + tuple(EXTENDED_COMPETENCY_QUESTIONS)
+    competency_results = suite.run(questions)
+    coverage = compute_coverage(engine)
+    ontology_stats = ontology_metrics(engine.builder._base).as_dict()
+    placeholder = IRI("https://purl.org/heals/feo#Question")
+    query_stats = {
+        "CQ1 (contextual)": query_metrics(contextual_query(placeholder)).as_dict(),
+        "CQ2 (contrastive)": query_metrics(contrastive_query(placeholder)).as_dict(),
+        "CQ3 (counterfactual)": query_metrics(counterfactual_query(placeholder)).as_dict(),
+    }
+    return EvaluationReport(
+        competency_results=competency_results,
+        coverage=coverage,
+        ontology_stats=ontology_stats,
+        query_stats=query_stats,
+    )

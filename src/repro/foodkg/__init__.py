@@ -1,0 +1,29 @@
+"""Synthetic FoodKG substrate: catalogue records, generator and RDF loader."""
+
+from .catalog import PAPER_INGREDIENTS, PAPER_RECIPES, build_core_catalog
+from .generator import SyntheticCatalogGenerator, generate_catalog
+from .loader import FoodKGLoader, load_catalog
+from .schema import (
+    ConditionRule,
+    FoodCatalog,
+    IngredientRecord,
+    NutrientProfile,
+    RecipeRecord,
+    slugify,
+)
+
+__all__ = [
+    "ConditionRule",
+    "FoodCatalog",
+    "FoodKGLoader",
+    "IngredientRecord",
+    "NutrientProfile",
+    "PAPER_INGREDIENTS",
+    "PAPER_RECIPES",
+    "RecipeRecord",
+    "SyntheticCatalogGenerator",
+    "build_core_catalog",
+    "generate_catalog",
+    "load_catalog",
+    "slugify",
+]

@@ -1,0 +1,375 @@
+"""The curated core of the synthetic FoodKG.
+
+Every entity the paper names appears here with the attributes its
+competency questions rely on:
+
+* *Cauliflower Potato Curry* — cauliflower is available in the system's
+  current season (autumn), driving the contextual explanation (Listing 1);
+* *Butternut Squash Soup* vs *Broccoli Cheddar Soup* — butternut squash is
+  in season while the example user is allergic to broccoli, driving the
+  contrastive explanation (Listing 2);
+* *Sushi* and *Spinach Frittata* — pregnancy forbids raw fish and
+  recommends folate-rich spinach, driving the counterfactual explanation
+  (Listing 3).
+
+Around those anchors sits a broader catalogue (≈90 ingredients, ≈45
+recipes, health rules for six conditions and six goals) so the recommender
+and the scaling benchmarks have realistic material to work with.
+"""
+
+from __future__ import annotations
+
+from .schema import ConditionRule, FoodCatalog, IngredientRecord, NutrientProfile, RecipeRecord
+
+__all__ = ["build_core_catalog", "PAPER_RECIPES", "PAPER_INGREDIENTS"]
+
+#: Recipes that appear verbatim in the paper's evaluation.
+PAPER_RECIPES = [
+    "Cauliflower Potato Curry",
+    "Butternut Squash Soup",
+    "Broccoli Cheddar Soup",
+    "Sushi",
+    "Spinach Frittata",
+]
+
+#: Ingredients that appear verbatim in the paper's evaluation.
+PAPER_INGREDIENTS = ["Cauliflower", "Butternut Squash", "Broccoli", "Raw Fish", "Spinach"]
+
+
+def _np(calories=0.0, protein=0.0, carbohydrates=0.0, fat=0.0, fiber=0.0, sodium=0.0):
+    return NutrientProfile(calories, protein, carbohydrates, fat, fiber, sodium)
+
+
+_INGREDIENTS = [
+    # name, seasons, regions, allergens, nutrients, nutrition, tags
+    ("Cauliflower", ("autumn", "winter"), ("northeast_us", "midwest_us"), (), ("vitamin_c", "fiber"), _np(25, 2, 5, 0.3, 2), ("vegetable",)),
+    ("Potato", ("autumn", "winter"), ("northeast_us", "midwest_us"), (), ("potassium", "carbohydrate"), _np(160, 4, 37, 0.2, 4), ("vegetable", "starch")),
+    ("Butternut Squash", ("autumn",), ("northeast_us", "midwest_us"), (), ("vitamin_a", "fiber"), _np(82, 2, 22, 0.2, 7), ("vegetable",)),
+    ("Broccoli", ("autumn", "spring"), ("west_coast_us", "northeast_us"), (), ("vitamin_c", "folate", "fiber"), _np(55, 4, 11, 0.6, 5), ("vegetable",)),
+    ("Cheddar Cheese", (), ("midwest_us",), ("dairy",), ("calcium", "protein"), _np(113, 7, 0.4, 9, 0, 180), ("dairy",)),
+    ("Raw Fish", (), ("west_coast_us", "global"), ("fish",), ("protein", "omega3"), _np(140, 24, 0, 5, 0, 50), ("seafood", "raw")),
+    ("Sushi Rice", (), ("global",), (), ("carbohydrate",), _np(200, 4, 45, 0.4, 1), ("grain",)),
+    ("Nori Seaweed", (), ("global",), (), ("iodine",), _np(10, 1, 1, 0, 0.3, 20), ("seafood",)),
+    ("Spinach", ("spring", "autumn"), ("northeast_us", "west_coast_us"), (), ("folate", "iron", "vitamin_a"), _np(23, 3, 4, 0.4, 2, 80), ("vegetable", "leafy_green")),
+    ("Egg", (), ("global",), ("eggs",), ("protein", "choline"), _np(72, 6, 0.4, 5, 0, 70), ("protein",)),
+    ("Onion", ("summer", "autumn"), ("global",), (), ("fiber",), _np(44, 1, 10, 0.1, 2), ("vegetable", "aromatic")),
+    ("Garlic", ("summer",), ("global",), (), ("manganese",), _np(5, 0.2, 1, 0, 0.1), ("aromatic",)),
+    ("Tomato", ("summer",), ("global",), (), ("vitamin_c", "lycopene"), _np(22, 1, 5, 0.2, 1.5), ("vegetable",)),
+    ("Coconut Milk", (), ("global",), ("tree_nuts",), ("fat",), _np(230, 2, 6, 24, 0, 15), ("dairy_alternative",)),
+    ("Curry Powder", (), ("global",), (), (), _np(20, 1, 4, 0.9, 2), ("spice",)),
+    ("Vegetable Broth", (), ("global",), (), ("sodium",), _np(12, 0.5, 2, 0.1, 0, 600), ("liquid",)),
+    ("Chicken Breast", (), ("global",), (), ("protein",), _np(165, 31, 0, 3.6, 0, 74), ("meat", "poultry")),
+    ("Salmon", (), ("west_coast_us",), ("fish",), ("protein", "omega3"), _np(208, 20, 0, 13, 0, 59), ("seafood",)),
+    ("Shrimp", (), ("south_us",), ("shellfish",), ("protein",), _np(99, 24, 0.2, 0.3, 0, 111), ("seafood",)),
+    ("Lentils", (), ("global",), (), ("folate", "protein", "fiber", "iron"), _np(230, 18, 40, 0.8, 16, 4), ("legume",)),
+    ("Chickpeas", (), ("global",), (), ("folate", "protein", "fiber"), _np(269, 15, 45, 4, 12, 11), ("legume",)),
+    ("Black Beans", (), ("south_us", "global"), (), ("folate", "protein", "fiber"), _np(227, 15, 41, 0.9, 15, 2), ("legume",)),
+    ("Quinoa", (), ("global",), (), ("protein", "fiber", "magnesium"), _np(222, 8, 39, 3.6, 5, 13), ("grain", "whole_grain")),
+    ("Brown Rice", (), ("global",), (), ("fiber", "carbohydrate"), _np(218, 5, 46, 1.6, 3.5, 2), ("grain", "whole_grain")),
+    ("White Rice", (), ("global",), (), ("carbohydrate",), _np(205, 4, 45, 0.4, 0.6, 2), ("grain",)),
+    ("Oats", (), ("midwest_us", "global"), ("gluten",), ("fiber", "protein"), _np(154, 6, 27, 3, 4, 2), ("grain", "whole_grain")),
+    ("Whole Wheat Pasta", (), ("global",), ("gluten",), ("fiber", "carbohydrate"), _np(174, 7.5, 37, 0.8, 6, 4), ("grain", "whole_grain")),
+    ("Wheat Flour", (), ("midwest_us", "global"), ("gluten",), ("carbohydrate",), _np(455, 13, 95, 1.2, 3.4, 2), ("grain",)),
+    ("Butter", (), ("global",), ("dairy",), ("fat",), _np(102, 0.1, 0, 12, 0, 2), ("dairy", "fat")),
+    ("Olive Oil", (), ("global",), (), ("fat",), _np(119, 0, 0, 14, 0), ("fat",)),
+    ("Milk", (), ("global",), ("dairy",), ("calcium", "protein"), _np(103, 8, 12, 2.4, 0, 107), ("dairy",)),
+    ("Greek Yogurt", (), ("global",), ("dairy",), ("protein", "calcium", "probiotics"), _np(100, 17, 6, 0.7, 0, 61), ("dairy",)),
+    ("Soft Cheese", (), ("global",), ("dairy",), ("calcium", "fat"), _np(75, 4, 1, 6, 0, 178), ("dairy", "raw")),
+    ("Feta Cheese", (), ("global",), ("dairy",), ("calcium",), _np(75, 4, 1.2, 6, 0, 316), ("dairy",)),
+    ("Mozzarella", (), ("global",), ("dairy",), ("calcium", "protein"), _np(85, 6, 0.6, 6, 0, 176), ("dairy",)),
+    ("Parmesan", (), ("global",), ("dairy",), ("calcium", "protein"), _np(111, 10, 0.9, 7, 0, 333), ("dairy",)),
+    ("Tofu", (), ("global",), ("soy",), ("protein", "calcium"), _np(94, 10, 2.3, 6, 0.4, 9), ("protein", "soy")),
+    ("Tempeh", (), ("global",), ("soy",), ("protein", "fiber"), _np(162, 15, 8, 9, 0, 9), ("protein", "soy")),
+    ("Peanut Butter", (), ("south_us", "global"), ("peanuts",), ("protein", "fat"), _np(188, 8, 6, 16, 2, 136), ("nut",)),
+    ("Almonds", (), ("west_coast_us",), ("tree_nuts",), ("protein", "fiber", "vitamin_e"), _np(164, 6, 6, 14, 3.5), ("nut",)),
+    ("Walnuts", (), ("west_coast_us",), ("tree_nuts",), ("omega3", "fat"), _np(185, 4, 4, 18, 2), ("nut",)),
+    ("Banana", (), ("global",), (), ("potassium", "carbohydrate"), _np(105, 1.3, 27, 0.4, 3, 1), ("fruit",)),
+    ("Apple", ("autumn",), ("northeast_us", "midwest_us"), (), ("fiber", "vitamin_c"), _np(95, 0.5, 25, 0.3, 4, 2), ("fruit",)),
+    ("Blueberries", ("summer",), ("northeast_us",), (), ("vitamin_c", "antioxidants"), _np(84, 1, 21, 0.5, 3.6, 1), ("fruit",)),
+    ("Strawberries", ("spring", "summer"), ("west_coast_us",), (), ("vitamin_c", "folate"), _np(49, 1, 12, 0.5, 3, 2), ("fruit",)),
+    ("Avocado", (), ("west_coast_us",), (), ("fat", "fiber", "folate", "potassium"), _np(240, 3, 13, 22, 10, 10), ("fruit", "fat")),
+    ("Lemon", ("winter",), ("west_coast_us",), (), ("vitamin_c",), _np(17, 0.6, 5, 0.2, 1.6, 1), ("fruit", "citrus")),
+    ("Kale", ("autumn", "winter"), ("northeast_us", "west_coast_us"), (), ("vitamin_c", "vitamin_k", "folate"), _np(33, 3, 6, 0.6, 2.6, 25), ("vegetable", "leafy_green")),
+    ("Carrot", ("autumn", "winter"), ("global",), (), ("vitamin_a", "fiber"), _np(25, 0.6, 6, 0.1, 1.7, 42), ("vegetable",)),
+    ("Celery", ("autumn",), ("global",), (), ("fiber",), _np(6, 0.3, 1.2, 0.1, 0.6, 32), ("vegetable",)),
+    ("Bell Pepper", ("summer",), ("global",), (), ("vitamin_c",), _np(31, 1, 6, 0.3, 2.1, 4), ("vegetable",)),
+    ("Zucchini", ("summer",), ("global",), (), ("vitamin_c",), _np(33, 2.4, 6, 0.6, 2, 16), ("vegetable",)),
+    ("Mushroom", ("autumn",), ("global",), (), ("vitamin_d", "selenium"), _np(15, 2.2, 2.3, 0.2, 0.7, 4), ("vegetable",)),
+    ("Sweet Potato", ("autumn", "winter"), ("south_us",), (), ("vitamin_a", "fiber", "potassium"), _np(112, 2, 26, 0.1, 3.9, 72), ("vegetable", "starch")),
+    ("Pumpkin", ("autumn",), ("midwest_us", "northeast_us"), (), ("vitamin_a", "fiber"), _np(49, 1.8, 12, 0.2, 2.7, 2), ("vegetable",)),
+    ("Green Beans", ("summer",), ("global",), (), ("fiber", "vitamin_c"), _np(31, 1.8, 7, 0.2, 2.7, 6), ("vegetable",)),
+    ("Peas", ("spring",), ("global",), (), ("protein", "fiber", "folate"), _np(118, 8, 21, 0.6, 7, 7), ("vegetable", "legume")),
+    ("Asparagus", ("spring",), ("northeast_us",), (), ("folate", "vitamin_k"), _np(27, 3, 5, 0.2, 2.8, 3), ("vegetable",)),
+    ("Beet", ("autumn", "winter"), ("northeast_us", "midwest_us"), (), ("folate", "fiber"), _np(59, 2.2, 13, 0.2, 3.8, 106), ("vegetable",)),
+    ("Cabbage", ("autumn", "winter"), ("global",), (), ("vitamin_c", "fiber"), _np(22, 1.1, 5, 0.1, 2.2, 16), ("vegetable",)),
+    ("Cucumber", ("summer",), ("global",), (), (), _np(16, 0.7, 4, 0.1, 0.5, 2), ("vegetable",)),
+    ("Ginger", (), ("global",), (), (), _np(4, 0.1, 0.9, 0, 0.1, 1), ("spice", "aromatic")),
+    ("Turmeric", (), ("global",), (), ("curcumin",), _np(8, 0.3, 1.4, 0.2, 0.5, 1), ("spice",)),
+    ("Cumin", (), ("global",), (), ("iron",), _np(8, 0.4, 0.9, 0.5, 0.2, 4), ("spice",)),
+    ("Basil", ("summer",), ("global",), (), ("vitamin_k",), _np(1, 0.1, 0.1, 0, 0.1), ("herb",)),
+    ("Cilantro", (), ("global",), (), ("vitamin_k",), _np(1, 0.1, 0.1, 0, 0.1), ("herb",)),
+    ("Salt", (), ("global",), (), ("sodium",), _np(0, 0, 0, 0, 0, 2300), ("seasoning", "high_sodium")),
+    ("Black Pepper", (), ("global",), (), (), _np(6, 0.2, 1.5, 0.1, 0.6, 1), ("seasoning",)),
+    ("Sugar", (), ("global",), (), ("carbohydrate",), _np(49, 0, 13, 0, 0), ("sweetener", "added_sugar")),
+    ("Honey", (), ("global",), (), ("carbohydrate",), _np(64, 0.1, 17, 0, 0, 1), ("sweetener", "added_sugar")),
+    ("Maple Syrup", ("spring",), ("northeast_us",), (), ("carbohydrate", "manganese"), _np(52, 0, 13, 0, 0, 2), ("sweetener", "added_sugar")),
+    ("Dark Chocolate", (), ("global",), ("dairy",), ("antioxidants", "iron"), _np(170, 2, 13, 12, 3, 7), ("sweet",)),
+    ("Soy Sauce", (), ("global",), ("soy", "gluten"), ("sodium",), _np(9, 1.3, 0.8, 0, 0.1, 879), ("condiment", "high_sodium")),
+    ("Bread", (), ("global",), ("gluten",), ("carbohydrate",), _np(79, 3.1, 15, 1, 0.8, 147), ("grain",)),
+    ("Corn Tortilla", (), ("south_us",), (), ("carbohydrate", "fiber"), _np(52, 1.4, 11, 0.7, 1.5, 11), ("grain",)),
+    ("Ground Beef", (), ("midwest_us",), (), ("protein", "iron"), _np(218, 24, 0, 13, 0, 76), ("meat", "red_meat")),
+    ("Ground Turkey", (), ("global",), (), ("protein",), _np(170, 21, 0, 9, 0, 78), ("meat", "poultry")),
+    ("Bacon", (), ("global",), (), ("protein", "fat"), _np(43, 3, 0.1, 3.3, 0, 137), ("meat", "processed")),
+    ("Alcohol", (), ("global",), (), (), _np(123, 0, 4, 0, 0, 5), ("beverage", "alcoholic")),
+    ("Coffee", (), ("global",), (), ("caffeine",), _np(2, 0.3, 0, 0, 0, 5), ("beverage", "caffeinated")),
+    ("Orange", ("winter",), ("west_coast_us", "south_us"), (), ("vitamin_c", "folate"), _np(62, 1.2, 15, 0.2, 3.1), ("fruit", "citrus")),
+    ("Edamame", (), ("global",), ("soy",), ("protein", "folate", "fiber"), _np(188, 18, 14, 8, 8, 9), ("legume", "soy")),
+    ("Cranberries", ("autumn",), ("northeast_us",), (), ("vitamin_c", "antioxidants"), _np(46, 0.5, 12, 0.1, 3.6, 2), ("fruit",)),
+    ("Wild Rice", ("autumn",), ("midwest_us",), (), ("protein", "fiber"), _np(166, 7, 35, 0.6, 3, 5), ("grain", "whole_grain")),
+]
+
+
+_RECIPES = [
+    # name, ingredients, cuisine, meal_types, diets, cost, cook_time, servings, tags
+    ("Cauliflower Potato Curry",
+     ("Cauliflower", "Potato", "Onion", "Garlic", "Tomato", "Coconut Milk", "Curry Powder", "Ginger", "Turmeric", "Cumin"),
+     "indian", ("dinner", "lunch"), ("vegetarian", "vegan", "gluten_free"), "low", 40, 4, ("comfort",)),
+    ("Butternut Squash Soup",
+     ("Butternut Squash", "Onion", "Garlic", "Vegetable Broth", "Olive Oil", "Black Pepper"),
+     "american", ("dinner", "lunch"), ("vegetarian", "vegan", "gluten_free"), "low", 35, 4, ("soup", "seasonal")),
+    ("Broccoli Cheddar Soup",
+     ("Broccoli", "Cheddar Cheese", "Onion", "Milk", "Butter", "Wheat Flour", "Vegetable Broth"),
+     "american", ("dinner", "lunch"), ("vegetarian",), "medium", 35, 4, ("soup", "comfort")),
+    ("Sushi",
+     ("Raw Fish", "Sushi Rice", "Nori Seaweed", "Soy Sauce", "Cucumber"),
+     "japanese", ("dinner", "lunch"), ("pescatarian",), "high", 50, 2, ("raw",)),
+    ("Spinach Frittata",
+     ("Spinach", "Egg", "Onion", "Feta Cheese", "Olive Oil"),
+     "italian", ("breakfast", "lunch"), ("vegetarian", "gluten_free"), "low", 25, 4, ("high_folate",)),
+    ("Lentil Soup",
+     ("Lentils", "Carrot", "Celery", "Onion", "Garlic", "Vegetable Broth", "Cumin"),
+     "mediterranean", ("dinner", "lunch"), ("vegetarian", "vegan", "gluten_free"), "low", 45, 6, ("soup", "high_folate")),
+    ("Chickpea Spinach Stew",
+     ("Chickpeas", "Spinach", "Tomato", "Onion", "Garlic", "Olive Oil", "Cumin"),
+     "mediterranean", ("dinner",), ("vegetarian", "vegan", "gluten_free"), "low", 35, 4, ("high_folate",)),
+    ("Grilled Salmon Bowl",
+     ("Salmon", "Quinoa", "Avocado", "Spinach", "Lemon", "Olive Oil"),
+     "american", ("dinner",), ("pescatarian", "gluten_free"), "high", 30, 2, ("omega3",)),
+    ("Shrimp Stir Fry",
+     ("Shrimp", "Bell Pepper", "Broccoli", "Soy Sauce", "Garlic", "Ginger", "Brown Rice"),
+     "chinese", ("dinner",), ("pescatarian",), "medium", 25, 4, ()),
+    ("Chicken Quinoa Salad",
+     ("Chicken Breast", "Quinoa", "Spinach", "Tomato", "Cucumber", "Olive Oil", "Lemon"),
+     "mediterranean", ("lunch",), ("gluten_free",), "medium", 30, 2, ("high_protein",)),
+    ("Vegetable Stir Fry with Tofu",
+     ("Tofu", "Broccoli", "Bell Pepper", "Carrot", "Soy Sauce", "Garlic", "Ginger", "Brown Rice"),
+     "chinese", ("dinner",), ("vegetarian", "vegan"), "low", 30, 4, ()),
+    ("Black Bean Tacos",
+     ("Black Beans", "Corn Tortilla", "Avocado", "Tomato", "Onion", "Cilantro"),
+     "mexican", ("dinner", "lunch"), ("vegetarian", "vegan", "gluten_free"), "low", 20, 4, ("high_folate",)),
+    ("Oatmeal with Berries",
+     ("Oats", "Milk", "Blueberries", "Honey", "Walnuts"),
+     "american", ("breakfast",), ("vegetarian",), "low", 10, 1, ("whole_grain",)),
+    ("Greek Yogurt Parfait",
+     ("Greek Yogurt", "Strawberries", "Honey", "Almonds", "Oats"),
+     "american", ("breakfast", "snack"), ("vegetarian", "gluten_free"), "low", 5, 1, ("high_protein",)),
+    ("Avocado Toast",
+     ("Bread", "Avocado", "Egg", "Lemon", "Black Pepper"),
+     "american", ("breakfast",), ("vegetarian",), "medium", 10, 1, ()),
+    ("Kale Caesar Salad",
+     ("Kale", "Parmesan", "Bread", "Olive Oil", "Lemon", "Garlic"),
+     "italian", ("lunch",), ("vegetarian",), "medium", 15, 2, ()),
+    ("Pumpkin Risotto",
+     ("Pumpkin", "White Rice", "Onion", "Parmesan", "Butter", "Vegetable Broth"),
+     "italian", ("dinner",), ("vegetarian", "gluten_free"), "medium", 45, 4, ("seasonal",)),
+    ("Sweet Potato Black Bean Chili",
+     ("Sweet Potato", "Black Beans", "Tomato", "Onion", "Garlic", "Cumin", "Bell Pepper"),
+     "american", ("dinner",), ("vegetarian", "vegan", "gluten_free"), "low", 50, 6, ("seasonal",)),
+    ("Roasted Beet Salad",
+     ("Beet", "Feta Cheese", "Walnuts", "Spinach", "Olive Oil", "Lemon"),
+     "mediterranean", ("lunch",), ("vegetarian", "gluten_free"), "medium", 50, 2, ("high_folate", "seasonal")),
+    ("Mushroom Barley Soup",
+     ("Mushroom", "Carrot", "Celery", "Onion", "Vegetable Broth", "Wheat Flour"),
+     "american", ("dinner", "lunch"), ("vegetarian",), "low", 45, 4, ("soup", "seasonal")),
+    ("Asparagus Quiche",
+     ("Asparagus", "Egg", "Milk", "Wheat Flour", "Butter", "Mozzarella"),
+     "french", ("breakfast", "lunch"), ("vegetarian",), "medium", 60, 6, ("seasonal",)),
+    ("Pea Risotto",
+     ("Peas", "White Rice", "Onion", "Parmesan", "Butter", "Vegetable Broth"),
+     "italian", ("dinner",), ("vegetarian", "gluten_free"), "medium", 40, 4, ("seasonal",)),
+    ("Apple Walnut Salad",
+     ("Apple", "Walnuts", "Kale", "Feta Cheese", "Olive Oil", "Maple Syrup"),
+     "american", ("lunch",), ("vegetarian", "gluten_free"), "medium", 15, 2, ("seasonal",)),
+    ("Turkey Chili",
+     ("Ground Turkey", "Black Beans", "Tomato", "Onion", "Garlic", "Bell Pepper", "Cumin"),
+     "american", ("dinner",), ("gluten_free",), "medium", 55, 6, ("high_protein",)),
+    ("Beef Tacos",
+     ("Ground Beef", "Corn Tortilla", "Cheddar Cheese", "Tomato", "Onion", "Cilantro"),
+     "mexican", ("dinner",), (), "medium", 25, 4, ()),
+    ("Bacon Egg Breakfast Sandwich",
+     ("Bacon", "Egg", "Bread", "Cheddar Cheese", "Butter"),
+     "american", ("breakfast",), (), "medium", 15, 1, ("processed",)),
+    ("Tempeh Buddha Bowl",
+     ("Tempeh", "Quinoa", "Kale", "Avocado", "Carrot", "Soy Sauce"),
+     "fusion", ("lunch", "dinner"), ("vegetarian", "vegan"), "medium", 30, 2, ("high_protein",)),
+    ("Edamame Quinoa Salad",
+     ("Edamame", "Quinoa", "Cucumber", "Carrot", "Soy Sauce", "Ginger"),
+     "fusion", ("lunch",), ("vegetarian", "vegan"), "low", 20, 2, ("high_folate", "high_protein")),
+    ("Peanut Butter Banana Smoothie",
+     ("Peanut Butter", "Banana", "Milk", "Honey", "Oats"),
+     "american", ("breakfast", "snack"), ("vegetarian",), "low", 5, 1, ()),
+    ("Whole Wheat Pasta Primavera",
+     ("Whole Wheat Pasta", "Zucchini", "Bell Pepper", "Tomato", "Parmesan", "Olive Oil", "Basil"),
+     "italian", ("dinner",), ("vegetarian",), "medium", 30, 4, ("whole_grain",)),
+    ("Salmon Avocado Sushi Bowl",
+     ("Salmon", "Sushi Rice", "Avocado", "Nori Seaweed", "Cucumber", "Soy Sauce"),
+     "japanese", ("dinner", "lunch"), ("pescatarian",), "high", 35, 2, ()),
+    ("Wild Rice Cranberry Pilaf",
+     ("Wild Rice", "Cranberries", "Onion", "Celery", "Walnuts", "Vegetable Broth"),
+     "american", ("dinner",), ("vegetarian", "vegan"), "medium", 55, 4, ("seasonal",)),
+    ("Vegetarian Lentil Curry",
+     ("Lentils", "Coconut Milk", "Tomato", "Onion", "Garlic", "Curry Powder", "Spinach", "Brown Rice"),
+     "indian", ("dinner",), ("vegetarian", "vegan", "gluten_free"), "low", 45, 4, ("high_folate",)),
+    ("Caprese Salad",
+     ("Tomato", "Mozzarella", "Basil", "Olive Oil"),
+     "italian", ("lunch", "snack"), ("vegetarian", "gluten_free"), "medium", 10, 2, ("summer",)),
+    ("Stuffed Bell Peppers",
+     ("Bell Pepper", "Brown Rice", "Ground Turkey", "Tomato", "Onion", "Mozzarella"),
+     "american", ("dinner",), ("gluten_free",), "medium", 60, 4, ()),
+    ("Banana Oat Pancakes",
+     ("Banana", "Oats", "Egg", "Milk", "Maple Syrup"),
+     "american", ("breakfast",), ("vegetarian",), "low", 20, 2, ("whole_grain",)),
+    ("Roasted Cauliflower Tacos",
+     ("Cauliflower", "Corn Tortilla", "Avocado", "Cabbage", "Cilantro", "Lemon"),
+     "mexican", ("dinner",), ("vegetarian", "vegan", "gluten_free"), "low", 35, 4, ("seasonal",)),
+    ("Minestrone Soup",
+     ("Tomato", "Carrot", "Celery", "Onion", "Whole Wheat Pasta", "Green Beans", "Vegetable Broth"),
+     "italian", ("dinner", "lunch"), ("vegetarian", "vegan"), "low", 45, 6, ("soup",)),
+    ("Chicken Noodle Soup",
+     ("Chicken Breast", "Carrot", "Celery", "Onion", "Whole Wheat Pasta", "Vegetable Broth"),
+     "american", ("dinner", "lunch"), (), "medium", 45, 6, ("soup", "comfort")),
+    ("Tofu Scramble",
+     ("Tofu", "Spinach", "Onion", "Turmeric", "Bell Pepper", "Olive Oil"),
+     "american", ("breakfast",), ("vegetarian", "vegan", "gluten_free"), "low", 15, 2, ("high_protein",)),
+    ("Shrimp Tacos",
+     ("Shrimp", "Corn Tortilla", "Cabbage", "Avocado", "Cilantro", "Lemon"),
+     "mexican", ("dinner",), ("pescatarian", "gluten_free"), "high", 25, 4, ()),
+    ("Berry Spinach Smoothie",
+     ("Spinach", "Blueberries", "Banana", "Greek Yogurt", "Honey"),
+     "american", ("breakfast", "snack"), ("vegetarian", "gluten_free"), "low", 5, 1, ("high_folate",)),
+    ("Zucchini Noodles with Pesto",
+     ("Zucchini", "Basil", "Olive Oil", "Parmesan", "Garlic", "Walnuts"),
+     "italian", ("dinner",), ("vegetarian", "gluten_free"), "medium", 20, 2, ("low_carb",)),
+    ("Kale White Bean Soup",
+     ("Kale", "Chickpeas", "Carrot", "Onion", "Garlic", "Vegetable Broth", "Olive Oil"),
+     "mediterranean", ("dinner", "lunch"), ("vegetarian", "vegan", "gluten_free"), "low", 40, 4, ("soup", "seasonal")),
+    ("Dark Chocolate Oat Bites",
+     ("Oats", "Dark Chocolate", "Peanut Butter", "Honey", "Banana"),
+     "american", ("snack", "dessert"), ("vegetarian",), "low", 15, 6, ("sweet",)),
+]
+
+
+_CONDITION_RULES = [
+    ConditionRule(
+        "pregnancy", "condition",
+        forbids=("Raw Fish", "Alcohol", "Soft Cheese"),
+        recommends=("Spinach", "Lentils", "Orange", "Edamame"),
+        rationale="Raw fish, alcohol and unpasteurised soft cheeses carry infection risks in "
+                  "pregnancy; folate-rich foods support neural-tube development.",
+    ),
+    ConditionRule(
+        "diabetes", "condition",
+        forbids=("Sugar", "Honey", "Maple Syrup"),
+        recommends=("Oats", "Quinoa", "Lentils", "Broccoli"),
+        rationale="Added sugars spike blood glucose; whole grains and legumes have a low "
+                  "glycaemic index.",
+    ),
+    ConditionRule(
+        "hypertension", "condition",
+        forbids=("Salt", "Soy Sauce", "Bacon"),
+        recommends=("Banana", "Spinach", "Beet", "Oats"),
+        rationale="High-sodium foods raise blood pressure; potassium-rich foods lower it.",
+    ),
+    ConditionRule(
+        "lactose_intolerance", "condition",
+        forbids=("Milk", "Soft Cheese", "Cheddar Cheese"),
+        recommends=("Coconut Milk", "Tofu"),
+        rationale="Lactose-containing dairy triggers symptoms; plant alternatives do not.",
+    ),
+    ConditionRule(
+        "celiac_disease", "condition",
+        forbids=("Wheat Flour", "Bread", "Whole Wheat Pasta", "Soy Sauce"),
+        recommends=("Quinoa", "Brown Rice", "Corn Tortilla"),
+        rationale="Gluten damages the small intestine in celiac disease.",
+    ),
+    ConditionRule(
+        "high_cholesterol", "condition",
+        forbids=("Butter", "Bacon", "Ground Beef"),
+        recommends=("Oats", "Almonds", "Salmon", "Avocado"),
+        rationale="Saturated fats raise LDL; soluble fibre and unsaturated fats lower it.",
+    ),
+    ConditionRule(
+        "high_folate", "goal",
+        recommends=("Spinach", "Lentils", "Asparagus", "Edamame", "Black Beans"),
+        rationale="These foods are among the richest natural folate sources.",
+    ),
+    ConditionRule(
+        "low_sodium", "goal",
+        forbids=("Salt", "Soy Sauce", "Bacon", "Feta Cheese"),
+        recommends=("Banana", "Apple", "Brown Rice"),
+        rationale="Reducing high-sodium foods is the primary lever for a low-sodium diet.",
+    ),
+    ConditionRule(
+        "high_protein", "goal",
+        recommends=("Chicken Breast", "Greek Yogurt", "Lentils", "Tofu", "Egg", "Salmon"),
+        rationale="These foods provide the most protein per serving in the catalogue.",
+    ),
+    ConditionRule(
+        "low_carb", "goal",
+        forbids=("White Rice", "Bread", "Sugar", "Potato"),
+        recommends=("Zucchini", "Avocado", "Egg", "Salmon"),
+        rationale="Low-carbohydrate eating avoids starches and added sugar.",
+    ),
+    ConditionRule(
+        "high_fiber", "goal",
+        recommends=("Lentils", "Black Beans", "Oats", "Avocado", "Sweet Potato"),
+        rationale="Legumes, whole grains and certain vegetables are the best fibre sources.",
+    ),
+    ConditionRule(
+        "weight_loss", "goal",
+        forbids=("Sugar", "Bacon", "Dark Chocolate"),
+        recommends=("Broccoli", "Spinach", "Greek Yogurt", "Quinoa"),
+        rationale="Energy-dense processed foods are limited; high-volume low-calorie foods "
+                  "support satiety.",
+    ),
+]
+
+
+def build_core_catalog() -> FoodCatalog:
+    """Build the curated catalogue used throughout tests, examples and benches."""
+    catalog = FoodCatalog()
+    for name, seasons, regions, allergens, nutrients, nutrition, tags in _INGREDIENTS:
+        catalog.add_ingredient(IngredientRecord(
+            name=name,
+            seasons=tuple(seasons),
+            regions=tuple(regions),
+            allergens=tuple(allergens),
+            nutrients=tuple(nutrients),
+            nutrition=nutrition,
+            tags=tuple(tags),
+        ))
+    for name, ingredients, cuisine, meal_types, diets, cost, cook_time, servings, tags in _RECIPES:
+        catalog.add_recipe(RecipeRecord(
+            name=name,
+            ingredients=tuple(ingredients),
+            cuisine=cuisine,
+            meal_types=tuple(meal_types),
+            diets=tuple(diets),
+            cost_level=cost,
+            cook_time_minutes=cook_time,
+            servings=servings,
+            tags=tuple(tags),
+        ))
+    for rule in _CONDITION_RULES:
+        catalog.add_rule(rule)
+    return catalog

@@ -1,0 +1,115 @@
+"""Seeded synthetic expansion of the food catalogue.
+
+The public FoodKG contains on the order of a million recipes; the paper's
+ontology is evaluated against a handful of them, but the design discussion
+(choosing Pellet because the ontology is individual-heavy) is really about
+scale.  The :class:`SyntheticCatalogGenerator` produces arbitrarily many
+additional recipes and ingredients with the same schema as the curated
+catalogue so the scaling benchmarks (DESIGN.md experiment E9) can sweep
+knowledge-graph size deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .catalog import build_core_catalog
+from .schema import FoodCatalog, IngredientRecord, NutrientProfile, RecipeRecord
+
+__all__ = ["SyntheticCatalogGenerator", "generate_catalog"]
+
+_SEASONS = ("spring", "summer", "autumn", "winter")
+_REGIONS = ("northeast_us", "midwest_us", "west_coast_us", "south_us", "global")
+_ALLERGENS = ("dairy", "gluten", "fish", "shellfish", "tree_nuts", "peanuts", "soy", "eggs")
+_NUTRIENTS = ("protein", "fiber", "folate", "vitamin_c", "vitamin_a", "iron", "calcium",
+              "potassium", "omega3", "carbohydrate")
+_DIET_POOL = ("vegetarian", "vegan", "gluten_free", "pescatarian", "keto", "paleo")
+_CUISINES = ("american", "italian", "mexican", "indian", "chinese", "japanese",
+             "mediterranean", "french", "thai", "fusion")
+_MEALS = ("breakfast", "lunch", "dinner", "snack")
+_COSTS = ("low", "medium", "high")
+
+_ADJECTIVES = ("Roasted", "Spicy", "Creamy", "Crispy", "Hearty", "Fresh", "Smoky",
+               "Zesty", "Savory", "Rustic", "Garden", "Harvest", "Golden", "Classic")
+_FORMS = ("Bowl", "Stew", "Salad", "Bake", "Skillet", "Wrap", "Curry", "Soup",
+          "Casserole", "Stir Fry", "Pilaf", "Tacos", "Pasta", "Frittata")
+
+
+class SyntheticCatalogGenerator:
+    """Deterministically expands a catalogue with synthetic entities."""
+
+    def __init__(self, seed: int = 7) -> None:
+        self._random = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def ingredient(self, index: int) -> IngredientRecord:
+        """Generate one synthetic ingredient."""
+        rng = self._random
+        name = f"Synthetic Ingredient {index:04d}"
+        seasons = tuple(rng.sample(_SEASONS, k=rng.randint(0, 2)))
+        regions = tuple(rng.sample(_REGIONS, k=rng.randint(1, 2)))
+        allergens = tuple(rng.sample(_ALLERGENS, k=1)) if rng.random() < 0.2 else ()
+        nutrients = tuple(rng.sample(_NUTRIENTS, k=rng.randint(1, 3)))
+        nutrition = NutrientProfile(
+            calories=round(rng.uniform(10, 300), 1),
+            protein=round(rng.uniform(0, 25), 1),
+            carbohydrates=round(rng.uniform(0, 50), 1),
+            fat=round(rng.uniform(0, 20), 1),
+            fiber=round(rng.uniform(0, 10), 1),
+            sodium=round(rng.uniform(0, 500), 1),
+        )
+        return IngredientRecord(name, seasons, regions, allergens, nutrients, nutrition)
+
+    def recipe(self, index: int, ingredient_pool: Sequence[str]) -> RecipeRecord:
+        """Generate one synthetic recipe drawing from ``ingredient_pool``."""
+        rng = self._random
+        adjective = rng.choice(_ADJECTIVES)
+        form = rng.choice(_FORMS)
+        name = f"{adjective} {form} {index:04d}"
+        count = rng.randint(4, 9)
+        ingredients = tuple(rng.sample(list(ingredient_pool), k=min(count, len(ingredient_pool))))
+        diets = tuple(rng.sample(_DIET_POOL, k=rng.randint(0, 2)))
+        return RecipeRecord(
+            name=name,
+            ingredients=ingredients,
+            cuisine=rng.choice(_CUISINES),
+            meal_types=tuple(rng.sample(_MEALS, k=rng.randint(1, 2))),
+            diets=diets,
+            cost_level=rng.choice(_COSTS),
+            cook_time_minutes=rng.randint(10, 90),
+            servings=rng.randint(1, 8),
+            tags=("synthetic",),
+        )
+
+    # ------------------------------------------------------------------
+    def expand(
+        self,
+        catalog: FoodCatalog,
+        extra_ingredients: int = 0,
+        extra_recipes: int = 0,
+    ) -> FoodCatalog:
+        """Add synthetic ingredients and recipes to ``catalog`` in place."""
+        start_index = len(catalog.ingredients)
+        for offset in range(extra_ingredients):
+            catalog.add_ingredient(self.ingredient(start_index + offset))
+        pool = list(catalog.ingredients)
+        start_index = len(catalog.recipes)
+        for offset in range(extra_recipes):
+            catalog.add_recipe(self.recipe(start_index + offset, pool))
+        return catalog
+
+
+def generate_catalog(
+    extra_ingredients: int = 0,
+    extra_recipes: int = 0,
+    seed: int = 7,
+    base: Optional[FoodCatalog] = None,
+) -> FoodCatalog:
+    """Return the curated catalogue expanded with synthetic entities.
+
+    With both counts at zero this is exactly the curated core catalogue.
+    """
+    catalog = base if base is not None else build_core_catalog()
+    generator = SyntheticCatalogGenerator(seed=seed)
+    return generator.expand(catalog, extra_ingredients, extra_recipes)

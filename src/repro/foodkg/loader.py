@@ -1,0 +1,178 @@
+"""Loading a :class:`FoodCatalog` into an RDF graph with FEO semantics.
+
+The loader mints IRIs in the FoodKG namespace for recipes, ingredients,
+diets, allergens, nutrients, cuisines, meal types and regions, and
+attaches them to the FEO/What-To-Make vocabulary: recipe→ingredient edges,
+seasonal and regional availability, allergen content, nutrition facts and
+the health-domain ``feo:forbids`` / ``feo:recommends`` rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ontology import feo, food
+from ..rdf.graph import Graph
+from ..rdf.namespace import FOODKG, RDFS
+from ..rdf.terms import IRI, Literal
+from .schema import FoodCatalog, slugify
+
+__all__ = ["FoodKGLoader", "load_catalog"]
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+_RDFS_LABEL = IRI(RDFS.label)
+
+
+class FoodKGLoader:
+    """Translates catalogue records into triples on a target graph."""
+
+    def __init__(self, graph: Optional[Graph] = None) -> None:
+        self.graph = graph if graph is not None else Graph()
+
+    # -- IRI minting -------------------------------------------------------
+    @staticmethod
+    def recipe_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name)])
+
+    @staticmethod
+    def ingredient_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name)])
+
+    @staticmethod
+    def diet_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name) + "Diet"])
+
+    @staticmethod
+    def allergen_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name) + "Allergen"])
+
+    @staticmethod
+    def nutrient_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name) + "Nutrient"])
+
+    @staticmethod
+    def cuisine_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name) + "Cuisine"])
+
+    @staticmethod
+    def meal_type_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name) + "Meal"])
+
+    @staticmethod
+    def region_iri(name: str) -> IRI:
+        return IRI(FOODKG[slugify(name) + "Region"])
+
+    @staticmethod
+    def season_iri(name: str) -> IRI:
+        season = feo.SEASONS.get(name.lower())
+        if season is None:
+            raise KeyError(f"Unknown season {name!r}")
+        return season
+
+    @staticmethod
+    def budget_iri(level: str) -> IRI:
+        budget = feo.BUDGET_LEVELS.get(level.lower())
+        if budget is None:
+            raise KeyError(f"Unknown budget level {level!r}")
+        return budget
+
+    def subject_iri(self, rule_subject: str, kind: str) -> IRI:
+        """IRI of a condition or goal named in a :class:`ConditionRule`."""
+        if kind == "condition":
+            iri = feo.HEALTH_CONDITIONS.get(rule_subject)
+        else:
+            iri = feo.NUTRITIONAL_GOALS.get(rule_subject)
+        if iri is None:
+            raise KeyError(f"Unknown {kind} {rule_subject!r}")
+        return iri
+
+    def food_iri(self, catalog: FoodCatalog, name: str) -> IRI:
+        """IRI of a catalogue food, whether it is a recipe or an ingredient."""
+        if name in catalog.recipes:
+            return self.recipe_iri(name)
+        if name in catalog.ingredients:
+            return self.ingredient_iri(name)
+        raise KeyError(f"Unknown food {name!r}")
+
+    # -- loading -------------------------------------------------------------
+    def load(self, catalog: FoodCatalog, include_nutrition: bool = True) -> Graph:
+        """Load the whole catalogue and return the graph."""
+        self._load_ingredients(catalog)
+        self._load_recipes(catalog, include_nutrition)
+        self._load_condition_rules(catalog)
+        return self.graph
+
+    def _add(self, s, p, o) -> None:
+        self.graph.add((s, p, o))
+
+    def _load_ingredients(self, catalog: FoodCatalog) -> None:
+        for record in catalog.ingredients.values():
+            iri = self.ingredient_iri(record.name)
+            self._add(iri, _RDF_TYPE, food.Ingredient)
+            self._add(iri, _RDFS_LABEL, Literal(record.name, language="en"))
+            for season in record.seasons:
+                self._add(iri, feo.availableInSeason, self.season_iri(season))
+            for region in record.regions:
+                region_iri = self.region_iri(region)
+                self._add(region_iri, _RDF_TYPE, feo.LocationCharacteristic)
+                self._add(region_iri, _RDFS_LABEL,
+                          Literal(region.replace("_", " ").title(), language="en"))
+                self._add(iri, feo.availableInRegion, region_iri)
+            for allergen in record.allergens:
+                allergen_iri = self.allergen_iri(allergen)
+                self._add(allergen_iri, _RDF_TYPE, food.Allergen)
+                self._add(iri, feo.containsAllergen, allergen_iri)
+            for nutrient in record.nutrients:
+                nutrient_iri = self.nutrient_iri(nutrient)
+                self._add(nutrient_iri, _RDF_TYPE, food.Nutrient)
+                self._add(iri, food.hasNutrient, nutrient_iri)
+
+    def _load_recipes(self, catalog: FoodCatalog, include_nutrition: bool) -> None:
+        for record in catalog.recipes.values():
+            iri = self.recipe_iri(record.name)
+            self._add(iri, _RDF_TYPE, food.Recipe)
+            self._add(iri, _RDFS_LABEL, Literal(record.name, language="en"))
+            for ingredient in record.ingredients:
+                self._add(iri, food.hasIngredient, self.ingredient_iri(ingredient))
+            for diet in record.diets:
+                diet_iri = self.diet_iri(diet)
+                self._add(diet_iri, _RDF_TYPE, food.Diet)
+                self._add(diet_iri, _RDFS_LABEL,
+                          Literal(diet.replace("_", " ").title(), language="en"))
+                self._add(iri, food.suitableForDiet, diet_iri)
+            cuisine_iri = self.cuisine_iri(record.cuisine)
+            self._add(cuisine_iri, _RDF_TYPE, food.Cuisine)
+            self._add(iri, food.hasCuisine, cuisine_iri)
+            for meal in record.meal_types:
+                meal_iri = self.meal_type_iri(meal)
+                self._add(meal_iri, _RDF_TYPE, food.MealType)
+                self._add(iri, food.hasMealType, meal_iri)
+            self._add(iri, feo.requiresBudget, self.budget_iri(record.cost_level))
+            self._add(iri, food.hasCookTime, Literal(record.cook_time_minutes))
+            self._add(iri, food.serves, Literal(record.servings))
+            if include_nutrition:
+                nutrition = catalog.recipe_nutrition(record.name)
+                self._add(iri, food.hasCalories, Literal(round(nutrition.calories, 1)))
+                self._add(iri, food.hasProtein, Literal(round(nutrition.protein, 1)))
+                self._add(iri, food.hasCarbohydrates, Literal(round(nutrition.carbohydrates, 1)))
+                self._add(iri, food.hasFat, Literal(round(nutrition.fat, 1)))
+                self._add(iri, food.hasFiber, Literal(round(nutrition.fiber, 1)))
+                self._add(iri, food.hasSodium, Literal(round(nutrition.sodium, 1)))
+
+    def _load_condition_rules(self, catalog: FoodCatalog) -> None:
+        for rule in catalog.condition_rules:
+            subject = self.subject_iri(rule.subject, rule.kind)
+            for name in rule.forbids:
+                self._add(subject, feo.forbids, self.food_iri(catalog, name))
+            for name in rule.recommends:
+                self._add(subject, feo.recommends, self.food_iri(catalog, name))
+
+
+def load_catalog(
+    catalog: FoodCatalog,
+    graph: Optional[Graph] = None,
+    include_nutrition: bool = True,
+) -> Graph:
+    """Convenience wrapper: load ``catalog`` into ``graph`` (new graph if omitted)."""
+    loader = FoodKGLoader(graph)
+    return loader.load(catalog, include_nutrition=include_nutrition)

@@ -1,0 +1,32 @@
+"""The three ontologies of the reproduction: EO, the food ontology and FEO."""
+
+from . import eo, feo, food
+from .builder import (
+    OntologyBuilder,
+    Restriction,
+    all_values_from,
+    has_value,
+    intersection_of,
+    some_values_from,
+    union_of,
+)
+from .eo import build_eo_graph
+from .feo import build_combined_ontology, build_feo_graph
+from .food import build_food_graph
+
+__all__ = [
+    "OntologyBuilder",
+    "Restriction",
+    "all_values_from",
+    "build_combined_ontology",
+    "build_eo_graph",
+    "build_feo_graph",
+    "build_food_graph",
+    "eo",
+    "feo",
+    "food",
+    "has_value",
+    "intersection_of",
+    "some_values_from",
+    "union_of",
+]

@@ -1,0 +1,236 @@
+"""A small DSL for constructing OWL ontologies as RDF graphs.
+
+The three ontologies in this project (the Explanation Ontology subset, the
+What-To-Make-style food ontology and FEO itself) are authored in Python
+with this builder rather than shipped as Turtle files, so that tests can
+introspect them and the axioms stay close to the code that depends on
+them.  The builder writes standard OWL 2 RDF encodings, which the Turtle
+serialiser can export for users who want the ontology as a file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..rdf.collection import make_collection
+from ..rdf.graph import Graph
+from ..rdf.namespace import OWL, RDF, RDFS, XSD
+from ..rdf.terms import BNode, IRI, Literal
+
+__all__ = ["OntologyBuilder", "Restriction", "some_values_from", "all_values_from", "has_value", "intersection_of", "union_of"]
+
+RDF_TYPE = IRI(RDF.type)
+RDFS_SUBCLASSOF = IRI(RDFS.subClassOf)
+RDFS_SUBPROPERTYOF = IRI(RDFS.subPropertyOf)
+RDFS_LABEL = IRI(RDFS.label)
+RDFS_COMMENT = IRI(RDFS.comment)
+RDFS_DOMAIN = IRI(RDFS.domain)
+RDFS_RANGE = IRI(RDFS.range)
+
+OWL_CLASS = IRI(OWL.Class)
+OWL_OBJECT_PROPERTY = IRI(OWL.ObjectProperty)
+OWL_DATATYPE_PROPERTY = IRI(OWL.DatatypeProperty)
+OWL_NAMED_INDIVIDUAL = IRI(OWL.NamedIndividual)
+OWL_EQUIVALENT_CLASS = IRI(OWL.equivalentClass)
+OWL_INVERSE_OF = IRI(OWL.inverseOf)
+OWL_TRANSITIVE = IRI(OWL.TransitiveProperty)
+OWL_SYMMETRIC = IRI(OWL.SymmetricProperty)
+OWL_FUNCTIONAL = IRI(OWL.FunctionalProperty)
+OWL_RESTRICTION = IRI(OWL.Restriction)
+OWL_ON_PROPERTY = IRI(OWL.onProperty)
+OWL_SOME_VALUES_FROM = IRI(OWL.someValuesFrom)
+OWL_ALL_VALUES_FROM = IRI(OWL.allValuesFrom)
+OWL_HAS_VALUE = IRI(OWL.hasValue)
+OWL_INTERSECTION_OF = IRI(OWL.intersectionOf)
+OWL_UNION_OF = IRI(OWL.unionOf)
+OWL_PROPERTY_CHAIN = IRI(OWL.propertyChainAxiom)
+OWL_ONTOLOGY = IRI(OWL.Ontology)
+OWL_DISJOINT_WITH = IRI(OWL.disjointWith)
+
+
+class Restriction:
+    """A deferred class-expression: knows how to write itself into a graph."""
+
+    def __init__(self, kind: str, payload) -> None:
+        self.kind = kind
+        self.payload = payload
+
+    def to_node(self, graph: Graph):
+        node = BNode()
+        if self.kind in ("some", "only", "value"):
+            prop, filler = self.payload
+            graph.add((node, RDF_TYPE, OWL_RESTRICTION))
+            graph.add((node, OWL_ON_PROPERTY, prop))
+            if self.kind == "some":
+                graph.add((node, OWL_SOME_VALUES_FROM, _resolve(graph, filler)))
+            elif self.kind == "only":
+                graph.add((node, OWL_ALL_VALUES_FROM, _resolve(graph, filler)))
+            else:
+                graph.add((node, OWL_HAS_VALUE, filler))
+        elif self.kind in ("intersection", "union"):
+            graph.add((node, RDF_TYPE, OWL_CLASS))
+            members = [_resolve(graph, member) for member in self.payload]
+            head = make_collection(graph, members)
+            predicate = OWL_INTERSECTION_OF if self.kind == "intersection" else OWL_UNION_OF
+            graph.add((node, predicate, head))
+        else:  # pragma: no cover - guarded by the factory functions below
+            raise ValueError(f"Unknown restriction kind {self.kind!r}")
+        return node
+
+
+def _resolve(graph: Graph, value):
+    if isinstance(value, Restriction):
+        return value.to_node(graph)
+    return value
+
+
+def some_values_from(prop: IRI, filler) -> Restriction:
+    """``prop some filler``."""
+    return Restriction("some", (prop, filler))
+
+
+def all_values_from(prop: IRI, filler) -> Restriction:
+    """``prop only filler``."""
+    return Restriction("only", (prop, filler))
+
+
+def has_value(prop: IRI, value) -> Restriction:
+    """``prop value value``."""
+    return Restriction("value", (prop, value))
+
+
+def intersection_of(*members) -> Restriction:
+    """``members[0] and members[1] and ...``."""
+    return Restriction("intersection", list(members))
+
+
+def union_of(*members) -> Restriction:
+    """``members[0] or members[1] or ...``."""
+    return Restriction("union", list(members))
+
+
+class OntologyBuilder:
+    """Accumulates OWL declarations into a graph."""
+
+    def __init__(self, ontology_iri: Optional[IRI] = None, graph: Optional[Graph] = None) -> None:
+        self.graph = graph if graph is not None else Graph()
+        if ontology_iri is not None:
+            self.graph.add((ontology_iri, RDF_TYPE, OWL_ONTOLOGY))
+            self.ontology_iri = ontology_iri
+        else:
+            self.ontology_iri = None
+
+    # ------------------------------------------------------------------
+    def declare_class(
+        self,
+        iri: IRI,
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+        subclass_of: Sequence = (),
+        equivalent_to: Sequence = (),
+        disjoint_with: Sequence[IRI] = (),
+    ) -> IRI:
+        """Declare an ``owl:Class`` with optional axioms."""
+        g = self.graph
+        g.add((iri, RDF_TYPE, OWL_CLASS))
+        if label:
+            g.add((iri, RDFS_LABEL, Literal(label, language="en")))
+        if comment:
+            g.add((iri, RDFS_COMMENT, Literal(comment, language="en")))
+        for parent in subclass_of:
+            g.add((iri, RDFS_SUBCLASSOF, _resolve(g, parent)))
+        for other in equivalent_to:
+            g.add((iri, OWL_EQUIVALENT_CLASS, _resolve(g, other)))
+        for other in disjoint_with:
+            g.add((iri, OWL_DISJOINT_WITH, other))
+        return iri
+
+    def declare_object_property(
+        self,
+        iri: IRI,
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+        subproperty_of: Sequence[IRI] = (),
+        inverse_of: Optional[IRI] = None,
+        domain: Optional[IRI] = None,
+        range: Optional[IRI] = None,
+        transitive: bool = False,
+        symmetric: bool = False,
+        functional: bool = False,
+        property_chain: Optional[Sequence[IRI]] = None,
+    ) -> IRI:
+        """Declare an ``owl:ObjectProperty`` with optional characteristics."""
+        g = self.graph
+        g.add((iri, RDF_TYPE, OWL_OBJECT_PROPERTY))
+        if label:
+            g.add((iri, RDFS_LABEL, Literal(label, language="en")))
+        if comment:
+            g.add((iri, RDFS_COMMENT, Literal(comment, language="en")))
+        for parent in subproperty_of:
+            g.add((iri, RDFS_SUBPROPERTYOF, parent))
+        if inverse_of is not None:
+            g.add((iri, OWL_INVERSE_OF, inverse_of))
+        if domain is not None:
+            g.add((iri, RDFS_DOMAIN, domain))
+        if range is not None:
+            g.add((iri, RDFS_RANGE, range))
+        if transitive:
+            g.add((iri, RDF_TYPE, OWL_TRANSITIVE))
+        if symmetric:
+            g.add((iri, RDF_TYPE, OWL_SYMMETRIC))
+        if functional:
+            g.add((iri, RDF_TYPE, OWL_FUNCTIONAL))
+        if property_chain:
+            head = make_collection(g, list(property_chain))
+            g.add((iri, OWL_PROPERTY_CHAIN, head))
+        return iri
+
+    def declare_data_property(
+        self,
+        iri: IRI,
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+        domain: Optional[IRI] = None,
+        range: Optional[IRI] = None,
+        functional: bool = False,
+    ) -> IRI:
+        """Declare an ``owl:DatatypeProperty``."""
+        g = self.graph
+        g.add((iri, RDF_TYPE, OWL_DATATYPE_PROPERTY))
+        if label:
+            g.add((iri, RDFS_LABEL, Literal(label, language="en")))
+        if comment:
+            g.add((iri, RDFS_COMMENT, Literal(comment, language="en")))
+        if domain is not None:
+            g.add((iri, RDFS_DOMAIN, domain))
+        if range is not None:
+            g.add((iri, RDFS_RANGE, range))
+        if functional:
+            g.add((iri, RDF_TYPE, OWL_FUNCTIONAL))
+        return iri
+
+    def add_individual(
+        self,
+        iri: IRI,
+        types: Sequence[IRI] = (),
+        label: Optional[str] = None,
+        properties: Optional[dict] = None,
+    ) -> IRI:
+        """Assert an individual with types and property values."""
+        g = self.graph
+        g.add((iri, RDF_TYPE, OWL_NAMED_INDIVIDUAL))
+        for type_iri in types:
+            g.add((iri, RDF_TYPE, type_iri))
+        if label:
+            g.add((iri, RDFS_LABEL, Literal(label, language="en")))
+        if properties:
+            for predicate, values in properties.items():
+                if not isinstance(values, (list, tuple, set)):
+                    values = [values]
+                for value in values:
+                    g.add((iri, predicate, value))
+        return iri
+
+    def subclass_axiom(self, sub, sup) -> None:
+        """Assert ``sub ⊑ sup`` where either side may be a :class:`Restriction`."""
+        self.graph.add((_resolve(self.graph, sub), RDFS_SUBCLASSOF, _resolve(self.graph, sup)))

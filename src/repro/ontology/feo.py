@@ -1,0 +1,483 @@
+"""The Food Explanation Ontology (FEO) — the paper's primary contribution.
+
+FEO extends the Explanation Ontology (:mod:`repro.ontology.eo`) and the
+What-To-Make food ontology (:mod:`repro.ontology.food`) with:
+
+* the ``feo:Characteristic`` hierarchy of Figure 1 — ``feo:Parameter``,
+  ``feo:UserCharacteristic`` and ``feo:SystemCharacteristic`` with their
+  food-specific subclasses (liked / disliked / allergic foods, diet,
+  health-condition and goal characteristics, season, location, budget,
+  meal-time characteristics);
+* the property lattice of Figure 2 — the transitive
+  ``feo:hasCharacteristic`` / ``feo:isCharacteristicOf`` pair, the opposing
+  pair ``feo:isOpposedBy`` / ``feo:opposes``, and sub-properties such as
+  ``feo:forbids`` (a sub-property of *both* ``feo:isOpposedBy`` and
+  ``feo:isCharacteristicOf``, exactly as the paper describes) and
+  ``feo:recommends``;
+* the ``feo:isInternal`` flag that partitions characteristics into
+  food/health-internal vs. external (season, location, budget) — the
+  distinction contextual explanations rely on;
+* OWL definitions that let the reasoner classify individuals into
+  ``eo:Fact`` and ``eo:Foil`` (Figure 3), into ``feo:LikedFoodCharacteristic``
+  / ``feo:AllergicFoodCharacteristic`` etc., and propagate user/system
+  characteristics to the ``feo:Ecosystem`` individual via property chains;
+* question modelling (``feo:Question`` with primary/secondary parameters)
+  used by the competency questions;
+* a small set of shared individuals (seasons, budgets, meal times, health
+  conditions, nutritional goals) that both the knowledge graph and the
+  scenario builder reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import FEO, XSD
+from ..rdf.terms import IRI, Literal
+from . import eo, food
+from .builder import OntologyBuilder, has_value, intersection_of, some_values_from, union_of
+
+__all__ = [
+    "build_feo_graph",
+    "build_combined_ontology",
+    "SEASONS",
+    "BUDGET_LEVELS",
+    "MEAL_TIMES",
+    "HEALTH_CONDITIONS",
+    "NUTRITIONAL_GOALS",
+    "INTERNAL_CHARACTERISTIC_CLASSES",
+    "EXTERNAL_CHARACTERISTIC_CLASSES",
+]
+
+# ---------------------------------------------------------------------------
+# Classes (Figure 1)
+# ---------------------------------------------------------------------------
+Characteristic = IRI(FEO.Characteristic)
+Parameter = IRI(FEO.Parameter)
+PrimaryParameter = IRI(FEO.PrimaryParameter)
+SecondaryParameter = IRI(FEO.SecondaryParameter)
+UserCharacteristic = IRI(FEO.UserCharacteristic)
+SystemCharacteristic = IRI(FEO.SystemCharacteristic)
+EcosystemCharacteristic = IRI(FEO.EcosystemCharacteristic)
+
+LikedFoodCharacteristic = IRI(FEO.LikedFoodCharacteristic)
+DislikedFoodCharacteristic = IRI(FEO.DislikedFoodCharacteristic)
+AllergicFoodCharacteristic = IRI(FEO.AllergicFoodCharacteristic)
+DietCharacteristic = IRI(FEO.DietCharacteristic)
+HealthConditionCharacteristic = IRI(FEO.HealthConditionCharacteristic)
+NutritionalGoalCharacteristic = IRI(FEO.NutritionalGoalCharacteristic)
+BudgetCharacteristic = IRI(FEO.BudgetCharacteristic)
+
+SeasonCharacteristic = IRI(FEO.SeasonCharacteristic)
+LocationCharacteristic = IRI(FEO.LocationCharacteristic)
+TimeCharacteristic = IRI(FEO.TimeCharacteristic)
+
+IngredientCharacteristic = IRI(FEO.IngredientCharacteristic)
+NutrientCharacteristic = IRI(FEO.NutrientCharacteristic)
+FoodCharacteristic = IRI(FEO.FoodCharacteristic)
+
+Ecosystem = IRI(FEO.Ecosystem)
+RecommenderSystem = IRI(FEO.RecommenderSystem)
+
+Question = IRI(FEO.Question)
+WhyQuestion = IRI(FEO.WhyQuestion)
+ContrastiveQuestion = IRI(FEO.ContrastiveQuestion)
+WhatIfQuestion = IRI(FEO.WhatIfQuestion)
+
+# ---------------------------------------------------------------------------
+# Properties (Figure 2)
+# ---------------------------------------------------------------------------
+hasCharacteristic = IRI(FEO.hasCharacteristic)
+isCharacteristicOf = IRI(FEO.isCharacteristicOf)
+isOpposedBy = IRI(FEO.isOpposedBy)
+opposes = IRI(FEO.opposes)
+
+likes = IRI(FEO.likes)
+likedBy = IRI(FEO.likedBy)
+dislikes = IRI(FEO.dislikes)
+dislikedBy = IRI(FEO.dislikedBy)
+allergicTo = IRI(FEO.allergicTo)
+allergenOf = IRI(FEO.allergenOf)
+followsDiet = IRI(FEO.followsDiet)
+dietOf = IRI(FEO.dietOf)
+hasCondition = IRI(FEO.hasCondition)
+conditionOf = IRI(FEO.conditionOf)
+hasGoal = IRI(FEO.hasGoal)
+goalOf = IRI(FEO.goalOf)
+hasBudget = IRI(FEO.hasBudget)
+budgetOf = IRI(FEO.budgetOf)
+
+currentSeason = IRI(FEO.currentSeason)
+seasonOfSystem = IRI(FEO.seasonOfSystem)
+locatedIn = IRI(FEO.locatedIn)
+locationOf = IRI(FEO.locationOf)
+currentMealTime = IRI(FEO.currentMealTime)
+
+isIngredientOf = IRI(FEO.isIngredientOf)
+availableInSeason = IRI(FEO.availableInSeason)
+seasonOf = IRI(FEO.seasonOf)
+availableInRegion = IRI(FEO.availableInRegion)
+regionOf = IRI(FEO.regionOf)
+containsAllergen = IRI(FEO.containsAllergen)
+allergenIn = IRI(FEO.allergenIn)
+nutrientOf = IRI(FEO.nutrientOf)
+dietSuitableFor = IRI(FEO.dietSuitableFor)
+requiresBudget = IRI(FEO.requiresBudget)
+budgetRequiredBy = IRI(FEO.budgetRequiredBy)
+
+recommends = IRI(FEO.recommends)
+forbids = IRI(FEO.forbids)
+
+hasUser = IRI(FEO.hasUser)
+hasSystem = IRI(FEO.hasSystem)
+hasEcosystemCharacteristic = IRI(FEO.hasEcosystemCharacteristic)
+ecosystemCharacteristicOf = IRI(FEO.ecosystemCharacteristicOf)
+
+hasParameter = IRI(FEO.hasParameter)
+hasPrimaryParameter = IRI(FEO.hasPrimaryParameter)
+hasSecondaryParameter = IRI(FEO.hasSecondaryParameter)
+askedBy = IRI(FEO.askedBy)
+aboutRecommendation = IRI(FEO.aboutRecommendation)
+hasExplanation = IRI(FEO.hasExplanation)
+hasHypothetical = IRI(FEO.hasHypothetical)
+
+isInternal = IRI(FEO.isInternal)
+
+# ---------------------------------------------------------------------------
+# Shared individuals
+# ---------------------------------------------------------------------------
+SEASONS: Dict[str, IRI] = {
+    "spring": IRI(FEO.Spring),
+    "summer": IRI(FEO.Summer),
+    "autumn": IRI(FEO.Autumn),
+    "winter": IRI(FEO.Winter),
+}
+
+BUDGET_LEVELS: Dict[str, IRI] = {
+    "low": IRI(FEO.LowBudget),
+    "medium": IRI(FEO.MediumBudget),
+    "high": IRI(FEO.HighBudget),
+}
+
+MEAL_TIMES: Dict[str, IRI] = {
+    "breakfast": IRI(FEO.BreakfastTime),
+    "lunch": IRI(FEO.LunchTime),
+    "dinner": IRI(FEO.DinnerTime),
+    "snack": IRI(FEO.SnackTime),
+}
+
+HEALTH_CONDITIONS: Dict[str, IRI] = {
+    "pregnancy": IRI(FEO.Pregnancy),
+    "diabetes": IRI(FEO.Diabetes),
+    "hypertension": IRI(FEO.Hypertension),
+    "lactose_intolerance": IRI(FEO.LactoseIntolerance),
+    "celiac_disease": IRI(FEO.CeliacDisease),
+    "high_cholesterol": IRI(FEO.HighCholesterol),
+}
+
+NUTRITIONAL_GOALS: Dict[str, IRI] = {
+    "high_folate": IRI(FEO.HighFolateGoal),
+    "low_sodium": IRI(FEO.LowSodiumGoal),
+    "high_protein": IRI(FEO.HighProteinGoal),
+    "low_carb": IRI(FEO.LowCarbGoal),
+    "high_fiber": IRI(FEO.HighFiberGoal),
+    "weight_loss": IRI(FEO.WeightLossGoal),
+}
+
+#: Characteristic classes flagged ``feo:isInternal true`` (food/health domain).
+INTERNAL_CHARACTERISTIC_CLASSES = [
+    IngredientCharacteristic,
+    NutrientCharacteristic,
+    FoodCharacteristic,
+    DietCharacteristic,
+    LikedFoodCharacteristic,
+    DislikedFoodCharacteristic,
+    AllergicFoodCharacteristic,
+    HealthConditionCharacteristic,
+    NutritionalGoalCharacteristic,
+]
+
+#: Characteristic classes flagged ``feo:isInternal false`` (external context).
+EXTERNAL_CHARACTERISTIC_CLASSES = [
+    SeasonCharacteristic,
+    LocationCharacteristic,
+    BudgetCharacteristic,
+    TimeCharacteristic,
+]
+
+
+def build_feo_graph(graph: Optional[Graph] = None) -> Graph:
+    """Build the FEO schema (classes, properties, definitions, shared individuals)."""
+    builder = OntologyBuilder(IRI("https://purl.org/heals/food-explanation-ontology"), graph=graph)
+    b = builder
+    g = builder.graph
+
+    # -- Figure 1: the Characteristic hierarchy -----------------------------
+    b.declare_class(Characteristic, "Characteristic",
+                    "Anything that can describe a question parameter, the user or the system.")
+    b.declare_class(Parameter, "Parameter",
+                    "An entity of interest in a user's question.",
+                    subclass_of=[Characteristic])
+    b.declare_class(PrimaryParameter, "Primary Parameter", subclass_of=[Parameter])
+    b.declare_class(SecondaryParameter, "Secondary Parameter", subclass_of=[Parameter])
+    b.declare_class(UserCharacteristic, "User Characteristic",
+                    "A characteristic describing the user of the recommender.",
+                    subclass_of=[Characteristic])
+    b.declare_class(SystemCharacteristic, "System Characteristic",
+                    "A characteristic describing the environment of the recommender system.",
+                    subclass_of=[Characteristic])
+    b.declare_class(EcosystemCharacteristic, "Ecosystem Characteristic",
+                    "A user or system characteristic (the 'ecosystem' of the question).",
+                    equivalent_to=[union_of(UserCharacteristic, SystemCharacteristic)])
+
+    # User-side subclasses.
+    b.declare_class(LikedFoodCharacteristic, "Liked Food Characteristic",
+                    "Foods liked by some user.",
+                    subclass_of=[UserCharacteristic],
+                    equivalent_to=[some_values_from(likedBy, food.User)])
+    b.declare_class(DislikedFoodCharacteristic, "Disliked Food Characteristic",
+                    "Foods disliked by some user.",
+                    subclass_of=[UserCharacteristic],
+                    equivalent_to=[some_values_from(dislikedBy, food.User)])
+    b.declare_class(AllergicFoodCharacteristic, "Allergic Food Characteristic",
+                    "Foods or ingredients some user is allergic to.",
+                    subclass_of=[UserCharacteristic],
+                    equivalent_to=[some_values_from(allergenOf, food.User)])
+    b.declare_class(DietCharacteristic, "Diet Characteristic",
+                    "Diets followed by some user.",
+                    subclass_of=[UserCharacteristic],
+                    equivalent_to=[some_values_from(dietOf, food.User)])
+    b.declare_class(HealthConditionCharacteristic, "Health Condition Characteristic",
+                    "Health conditions (pregnancy, diabetes...) of the user.",
+                    subclass_of=[UserCharacteristic])
+    b.declare_class(NutritionalGoalCharacteristic, "Nutritional Goal Characteristic",
+                    "Nutritional goals (low sodium, high folate...) of the user.",
+                    subclass_of=[UserCharacteristic])
+    b.declare_class(BudgetCharacteristic, "Budget Characteristic",
+                    "Budget levels constraining the user or required by a recipe.",
+                    subclass_of=[UserCharacteristic])
+
+    # System-side subclasses.
+    b.declare_class(SeasonCharacteristic, "Season Characteristic",
+                    "Seasons of the year; the system's current season is one of these.",
+                    subclass_of=[SystemCharacteristic])
+    b.declare_class(LocationCharacteristic, "Location Characteristic",
+                    "Geographic regions the system (or an ingredient) is located/available in.",
+                    subclass_of=[SystemCharacteristic])
+    b.declare_class(TimeCharacteristic, "Time Characteristic",
+                    "Meal times (breakfast, lunch, dinner).",
+                    subclass_of=[SystemCharacteristic])
+
+    # Food-internal characteristic classes — also eo:knowledge so that the
+    # SPARQL templates can exclude them from user-facing explanations.
+    b.declare_class(IngredientCharacteristic, "Ingredient Characteristic",
+                    "Ingredients, viewed as characteristics of the recipes containing them.",
+                    subclass_of=[Characteristic, eo.Knowledge],
+                    equivalent_to=[some_values_from(isIngredientOf, food.Food)])
+    b.declare_class(NutrientCharacteristic, "Nutrient Characteristic",
+                    "Nutrients, viewed as characteristics of the foods providing them.",
+                    subclass_of=[Characteristic, eo.Knowledge],
+                    equivalent_to=[some_values_from(nutrientOf, food.Food)])
+    b.declare_class(FoodCharacteristic, "Food Characteristic",
+                    "Foods used as characteristics (e.g. a liked recipe).",
+                    subclass_of=[Characteristic, eo.Knowledge])
+
+    # Scenario scaffolding classes.
+    b.declare_class(Ecosystem, "Ecosystem",
+                    "The combination of the user profile and the system context "
+                    "against which facts and foils are judged.")
+    b.declare_class(RecommenderSystem, "Recommender System",
+                    subclass_of=[eo.AISystem])
+
+    # Question classes.
+    b.declare_class(Question, "Question", subclass_of=[eo.UserQuestion])
+    b.declare_class(WhyQuestion, "Why Question", subclass_of=[Question])
+    b.declare_class(ContrastiveQuestion, "Contrastive Question", subclass_of=[Question])
+    b.declare_class(WhatIfQuestion, "What-If Question", subclass_of=[Question])
+
+    # -- Figure 2: the property lattice --------------------------------------
+    b.declare_object_property(hasCharacteristic, "has characteristic",
+                              "Transitive positive association between an entity and a characteristic.",
+                              inverse_of=isCharacteristicOf, transitive=True,
+                              range=Characteristic)
+    b.declare_object_property(isCharacteristicOf, "is characteristic of",
+                              inverse_of=hasCharacteristic)
+    b.declare_object_property(isOpposedBy, "is opposed by",
+                              "Negative association: the subject is opposed by the object.",
+                              inverse_of=opposes)
+    b.declare_object_property(opposes, "opposes", inverse_of=isOpposedBy)
+
+    # User profile properties.
+    b.declare_object_property(likes, "likes", subproperty_of=[hasCharacteristic],
+                              inverse_of=likedBy, domain=food.User)
+    b.declare_object_property(likedBy, "liked by", inverse_of=likes)
+    b.declare_object_property(dislikes, "dislikes", subproperty_of=[isOpposedBy],
+                              inverse_of=dislikedBy, domain=food.User)
+    b.declare_object_property(dislikedBy, "disliked by", inverse_of=dislikes)
+    b.declare_object_property(allergicTo, "allergic to", subproperty_of=[isOpposedBy],
+                              inverse_of=allergenOf, domain=food.User)
+    b.declare_object_property(allergenOf, "allergen of", inverse_of=allergicTo)
+    b.declare_object_property(followsDiet, "follows diet", subproperty_of=[hasCharacteristic],
+                              inverse_of=dietOf, domain=food.User, range=food.Diet)
+    b.declare_object_property(dietOf, "diet of", inverse_of=followsDiet)
+    b.declare_object_property(hasCondition, "has health condition",
+                              subproperty_of=[hasCharacteristic], inverse_of=conditionOf,
+                              domain=food.User, range=HealthConditionCharacteristic)
+    b.declare_object_property(conditionOf, "condition of", inverse_of=hasCondition)
+    b.declare_object_property(hasGoal, "has nutritional goal",
+                              subproperty_of=[hasCharacteristic], inverse_of=goalOf,
+                              domain=food.User, range=NutritionalGoalCharacteristic)
+    b.declare_object_property(goalOf, "goal of", inverse_of=hasGoal)
+    b.declare_object_property(hasBudget, "has budget", subproperty_of=[hasCharacteristic],
+                              inverse_of=budgetOf, range=BudgetCharacteristic)
+    b.declare_object_property(budgetOf, "budget of", inverse_of=hasBudget)
+
+    # System context properties.
+    b.declare_object_property(currentSeason, "current season",
+                              subproperty_of=[hasCharacteristic], inverse_of=seasonOfSystem,
+                              range=SeasonCharacteristic)
+    b.declare_object_property(seasonOfSystem, "season of system", inverse_of=currentSeason)
+    b.declare_object_property(locatedIn, "located in", subproperty_of=[hasCharacteristic],
+                              inverse_of=locationOf, range=LocationCharacteristic)
+    b.declare_object_property(locationOf, "location of", inverse_of=locatedIn)
+    b.declare_object_property(currentMealTime, "current meal time",
+                              subproperty_of=[hasCharacteristic], range=TimeCharacteristic)
+
+    # Food / knowledge-graph properties (FEO's expansion of What-To-Make).
+    b.declare_object_property(isIngredientOf, "is ingredient of",
+                              inverse_of=food.hasIngredient, domain=food.Ingredient,
+                              range=food.Food)
+    g.add((food.hasIngredient, IRI("http://www.w3.org/2000/01/rdf-schema#subPropertyOf"),
+           hasCharacteristic))
+    b.declare_object_property(availableInSeason, "available in season",
+                              subproperty_of=[hasCharacteristic], inverse_of=seasonOf,
+                              domain=food.Food, range=SeasonCharacteristic)
+    b.declare_object_property(seasonOf, "season of", inverse_of=availableInSeason)
+    b.declare_object_property(availableInRegion, "available in region",
+                              subproperty_of=[hasCharacteristic], inverse_of=regionOf,
+                              domain=food.Food, range=LocationCharacteristic)
+    b.declare_object_property(regionOf, "region of", inverse_of=availableInRegion)
+    b.declare_object_property(containsAllergen, "contains allergen",
+                              subproperty_of=[hasCharacteristic], inverse_of=allergenIn,
+                              domain=food.Food, range=food.Allergen)
+    b.declare_object_property(allergenIn, "allergen in", inverse_of=containsAllergen)
+    b.declare_object_property(nutrientOf, "nutrient of", inverse_of=food.hasNutrient)
+    g.add((food.hasNutrient, IRI("http://www.w3.org/2000/01/rdf-schema#subPropertyOf"),
+           hasCharacteristic))
+    b.declare_object_property(dietSuitableFor, "diet suitable for",
+                              inverse_of=food.suitableForDiet)
+    g.add((food.suitableForDiet, IRI("http://www.w3.org/2000/01/rdf-schema#subPropertyOf"),
+           hasCharacteristic))
+    b.declare_object_property(requiresBudget, "requires budget",
+                              subproperty_of=[hasCharacteristic], inverse_of=budgetRequiredBy,
+                              domain=food.Food, range=BudgetCharacteristic)
+    b.declare_object_property(budgetRequiredBy, "budget required by", inverse_of=requiresBudget)
+
+    # Health-knowledge properties: the interplay the paper highlights —
+    # forbids is a sub-property of BOTH isOpposedBy and isCharacteristicOf.
+    b.declare_object_property(recommends, "recommends",
+                              "A condition or goal recommends a food.",
+                              subproperty_of=[isCharacteristicOf])
+    b.declare_object_property(forbids, "forbids",
+                              "A condition or goal forbids a food.",
+                              subproperty_of=[isOpposedBy, isCharacteristicOf])
+    # Forbidding or recommending an ingredient extends to the dishes made from
+    # it (the Listing 3 example: pregnancy forbids raw fish, hence sushi).
+    b.declare_object_property(forbids, property_chain=[forbids, isIngredientOf])
+    b.declare_object_property(recommends, property_chain=[recommends, isIngredientOf])
+
+    # Ecosystem scaffolding: the profile and context assertions of the user and
+    # of the system become (non-transitive) ecosystem characteristics via
+    # property chains, and the user's oppositions (allergies, dislikes,
+    # condition-forbidden foods) become oppositions of the ecosystem.  Using a
+    # dedicated non-transitive property keeps "present in the ecosystem"
+    # (Figure 3) limited to what the profile and context directly assert,
+    # rather than everything reachable through the transitive
+    # hasCharacteristic closure of a liked recipe.
+    b.declare_object_property(hasUser, "has user", domain=Ecosystem, range=food.User)
+    b.declare_object_property(hasSystem, "has system", domain=Ecosystem, range=RecommenderSystem)
+    b.declare_object_property(hasEcosystemCharacteristic, "has ecosystem characteristic",
+                              inverse_of=ecosystemCharacteristicOf, range=Characteristic)
+    b.declare_object_property(ecosystemCharacteristicOf, "ecosystem characteristic of",
+                              inverse_of=hasEcosystemCharacteristic)
+    for user_property in (likes, followsDiet, hasCondition, hasGoal, hasBudget):
+        b.declare_object_property(hasEcosystemCharacteristic,
+                                  property_chain=[hasUser, user_property])
+    for system_property in (currentSeason, locatedIn, currentMealTime, hasBudget):
+        b.declare_object_property(hasEcosystemCharacteristic,
+                                  property_chain=[hasSystem, system_property])
+    b.declare_object_property(isOpposedBy, property_chain=[hasUser, isOpposedBy])
+    b.declare_object_property(isOpposedBy, property_chain=[hasSystem, isOpposedBy])
+    # A condition or goal the user has transfers its forbidden foods to the
+    # user (and hence, via the chain above, to the ecosystem).
+    b.declare_object_property(isOpposedBy, property_chain=[hasCondition, forbids])
+    b.declare_object_property(isOpposedBy, property_chain=[hasGoal, forbids])
+
+    # Question properties.
+    b.declare_object_property(hasParameter, "has parameter", domain=Question, range=Parameter)
+    b.declare_object_property(hasPrimaryParameter, "has primary parameter",
+                              subproperty_of=[hasParameter], range=PrimaryParameter)
+    b.declare_object_property(hasSecondaryParameter, "has secondary parameter",
+                              subproperty_of=[hasParameter], range=SecondaryParameter)
+    b.declare_object_property(askedBy, "asked by", domain=Question, range=food.User)
+    b.declare_object_property(aboutRecommendation, "about recommendation",
+                              domain=Question, range=eo.SystemRecommendation)
+    b.declare_object_property(hasExplanation, "has explanation",
+                              domain=Question, range=eo.Explanation)
+    b.declare_object_property(hasHypothetical, "has hypothetical",
+                              "Links a what-if question to the hypothesised characteristic.",
+                              subproperty_of=[hasParameter], domain=WhatIfQuestion)
+
+    # The internal/external flag.
+    b.declare_data_property(isInternal, "is internal",
+                            "True for characteristics from the food and health domain, "
+                            "false for external context such as season, location and budget.",
+                            range=IRI(XSD.boolean))
+    for cls in INTERNAL_CHARACTERISTIC_CLASSES:
+        b.subclass_axiom(cls, has_value(isInternal, Literal(True)))
+    for cls in EXTERNAL_CHARACTERISTIC_CLASSES:
+        b.subclass_axiom(cls, has_value(isInternal, Literal(False)))
+
+    # -- Figure 3: fact and foil definitions ----------------------------------
+    # A fact supports a question parameter and is present in the ecosystem; a
+    # foil (in its OWL-expressible reading) supports a parameter while opposing
+    # the ecosystem.  The absent-from-ecosystem foil case is closed-world and
+    # is added by repro.core.facts_foils.
+    b.declare_class(eo.Fact, equivalent_to=[
+        intersection_of(
+            some_values_from(isCharacteristicOf, Parameter),
+            some_values_from(ecosystemCharacteristicOf, Ecosystem),
+        )
+    ])
+    b.declare_class(eo.Foil, equivalent_to=[
+        intersection_of(
+            some_values_from(isCharacteristicOf, Parameter),
+            some_values_from(opposes, Ecosystem),
+        )
+    ])
+
+    # -- Shared individuals ----------------------------------------------------
+    for name, iri in SEASONS.items():
+        b.add_individual(iri, [SeasonCharacteristic], label=name.title())
+    for name, iri in BUDGET_LEVELS.items():
+        b.add_individual(iri, [BudgetCharacteristic], label=f"{name.title()} Budget")
+    for name, iri in MEAL_TIMES.items():
+        b.add_individual(iri, [TimeCharacteristic], label=name.title())
+    for name, iri in HEALTH_CONDITIONS.items():
+        b.add_individual(iri, [HealthConditionCharacteristic],
+                         label=name.replace("_", " ").title())
+    for name, iri in NUTRITIONAL_GOALS.items():
+        b.add_individual(iri, [NutritionalGoalCharacteristic],
+                         label=name.replace("_", " ").title())
+
+    return g
+
+
+def build_combined_ontology(graph: Optional[Graph] = None) -> Graph:
+    """Build EO + food ontology + FEO into a single graph (FEO's import closure)."""
+    graph = graph if graph is not None else Graph()
+    eo.build_eo_graph(graph)
+    food.build_food_graph(graph)
+    build_feo_graph(graph)
+    return graph

@@ -1,0 +1,109 @@
+"""A 'What To Make'-style food ontology (http://purl.org/heals/food).
+
+The paper chooses the What-To-Make ontology over the much larger FoodOn
+because it is concise and already contains the classes typical food
+recommendation scenarios need (User, Recipe, Ingredient...).  This module
+recreates that core: foods, recipes, ingredients, users, diets, meal
+types, cuisines, allergens and nutrients, plus the recipe→ingredient and
+nutrition properties.  Seasonal and regional availability — the expansion
+the paper says FEO had to add — live in :mod:`repro.ontology.feo`.
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import FOOD, XSD
+from ..rdf.terms import IRI
+from .builder import OntologyBuilder
+
+__all__ = [
+    "build_food_graph",
+    "Food",
+    "Recipe",
+    "Ingredient",
+    "User",
+    "Diet",
+    "MealType",
+    "Cuisine",
+    "Allergen",
+    "Nutrient",
+    "hasIngredient",
+    "hasNutrient",
+    "hasMealType",
+    "hasCuisine",
+    "suitableForDiet",
+    "hasCalories",
+    "hasProtein",
+    "hasCarbohydrates",
+    "hasFat",
+    "hasSodium",
+    "hasFiber",
+    "hasCookTime",
+    "serves",
+]
+
+# -- classes -----------------------------------------------------------------
+Food = IRI(FOOD.Food)
+Recipe = IRI(FOOD.Recipe)
+Ingredient = IRI(FOOD.Ingredient)
+User = IRI(FOOD.User)
+Diet = IRI(FOOD.Diet)
+MealType = IRI(FOOD.MealType)
+Cuisine = IRI(FOOD.Cuisine)
+Allergen = IRI(FOOD.Allergen)
+Nutrient = IRI(FOOD.Nutrient)
+
+# -- object properties --------------------------------------------------------
+hasIngredient = IRI(FOOD.hasIngredient)
+hasNutrient = IRI(FOOD.hasNutrient)
+hasMealType = IRI(FOOD.hasMealType)
+hasCuisine = IRI(FOOD.hasCuisine)
+suitableForDiet = IRI(FOOD.suitableForDiet)
+
+# -- datatype properties -------------------------------------------------------
+hasCalories = IRI(FOOD.hasCalories)
+hasProtein = IRI(FOOD.hasProtein)
+hasCarbohydrates = IRI(FOOD.hasCarbohydrates)
+hasFat = IRI(FOOD.hasFat)
+hasSodium = IRI(FOOD.hasSodium)
+hasFiber = IRI(FOOD.hasFiber)
+hasCookTime = IRI(FOOD.hasCookTime)
+serves = IRI(FOOD.serves)
+
+_XSD_DOUBLE = IRI(XSD.double)
+_XSD_INTEGER = IRI(XSD.integer)
+
+
+def build_food_graph(graph: Graph = None) -> Graph:
+    """Build the What-To-Make-style food ontology as an RDF graph."""
+    builder = OntologyBuilder(IRI(str(FOOD).rstrip("/")), graph=graph)
+    b = builder
+
+    b.declare_class(Food, "Food", "Anything edible: a recipe, dish or ingredient.")
+    b.declare_class(Recipe, "Recipe", "A prepared dish composed of ingredients.",
+                    subclass_of=[Food])
+    b.declare_class(Ingredient, "Ingredient", "A component food used in recipes.",
+                    subclass_of=[Food])
+    b.declare_class(User, "User", "A person receiving food recommendations.")
+    b.declare_class(Diet, "Diet", "A named dietary pattern (vegetarian, vegan, keto...).")
+    b.declare_class(MealType, "Meal Type", "Breakfast, lunch, dinner, snack or dessert.")
+    b.declare_class(Cuisine, "Cuisine", "A regional or cultural cooking tradition.")
+    b.declare_class(Allergen, "Allergen", "A substance that can trigger an allergic reaction.")
+    b.declare_class(Nutrient, "Nutrient", "A nutritional component (protein, folate, sodium...).")
+
+    b.declare_object_property(hasIngredient, "has ingredient", domain=Recipe, range=Ingredient)
+    b.declare_object_property(hasNutrient, "has nutrient", domain=Food, range=Nutrient)
+    b.declare_object_property(hasMealType, "has meal type", domain=Recipe, range=MealType)
+    b.declare_object_property(hasCuisine, "has cuisine", domain=Recipe, range=Cuisine)
+    b.declare_object_property(suitableForDiet, "suitable for diet", domain=Food, range=Diet)
+
+    b.declare_data_property(hasCalories, "calories (kcal per serving)", domain=Food, range=_XSD_DOUBLE)
+    b.declare_data_property(hasProtein, "protein (g per serving)", domain=Food, range=_XSD_DOUBLE)
+    b.declare_data_property(hasCarbohydrates, "carbohydrates (g per serving)", domain=Food, range=_XSD_DOUBLE)
+    b.declare_data_property(hasFat, "fat (g per serving)", domain=Food, range=_XSD_DOUBLE)
+    b.declare_data_property(hasSodium, "sodium (mg per serving)", domain=Food, range=_XSD_DOUBLE)
+    b.declare_data_property(hasFiber, "fiber (g per serving)", domain=Food, range=_XSD_DOUBLE)
+    b.declare_data_property(hasCookTime, "cook time (minutes)", domain=Recipe, range=_XSD_INTEGER)
+    b.declare_data_property(serves, "servings", domain=Recipe, range=_XSD_INTEGER)
+
+    return builder.graph

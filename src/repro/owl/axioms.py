@@ -1,0 +1,198 @@
+"""Extraction of schema axioms from an ontology graph.
+
+The reasoner does not work on raw triples for schema reasoning; instead the
+:class:`AxiomIndex` pulls the relevant axioms into Python structures once,
+which keeps the fixpoint loop tight even for individual-heavy graphs (the
+reason the paper picks Pellet is exactly that its ontology has many
+individuals — our design addresses the same bottleneck).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rdf.collection import read_collection
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, IRI
+from .expressions import ClassExpression, NamedClass, parse_class_expression
+from .vocabulary import (
+    OWL_CLASS,
+    OWL_DISJOINT_WITH,
+    OWL_EQUIVALENT_CLASS,
+    OWL_EQUIVALENT_PROPERTY,
+    OWL_FUNCTIONAL_PROPERTY,
+    OWL_INVERSE_FUNCTIONAL_PROPERTY,
+    OWL_INVERSE_OF,
+    OWL_PROPERTY_CHAIN_AXIOM,
+    OWL_SYMMETRIC_PROPERTY,
+    OWL_TRANSITIVE_PROPERTY,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+
+__all__ = ["AxiomIndex", "EquivalenceAxiom", "SubClassAxiom"]
+
+
+@dataclass(frozen=True)
+class SubClassAxiom:
+    """``sub ⊑ sup`` where ``sup`` may be a complex expression."""
+
+    sub: IRI
+    super_expression: ClassExpression
+
+
+@dataclass(frozen=True)
+class EquivalenceAxiom:
+    """``named ≡ expression`` — drives classification of individuals."""
+
+    named: IRI
+    expression: ClassExpression
+
+
+@dataclass
+class AxiomIndex:
+    """All schema axioms of an ontology, indexed for the rule engine."""
+
+    named_subclass_of: Dict[IRI, Set[IRI]] = field(default_factory=lambda: defaultdict(set))
+    complex_superclasses: List[SubClassAxiom] = field(default_factory=list)
+    complex_subclasses: List[Tuple[ClassExpression, IRI]] = field(default_factory=list)
+    equivalences: List[EquivalenceAxiom] = field(default_factory=list)
+    subproperty_of: Dict[IRI, Set[IRI]] = field(default_factory=lambda: defaultdict(set))
+    inverse_of: Dict[IRI, Set[IRI]] = field(default_factory=lambda: defaultdict(set))
+    transitive: Set[IRI] = field(default_factory=set)
+    symmetric: Set[IRI] = field(default_factory=set)
+    functional: Set[IRI] = field(default_factory=set)
+    inverse_functional: Set[IRI] = field(default_factory=set)
+    domains: Dict[IRI, Set[IRI]] = field(default_factory=lambda: defaultdict(set))
+    ranges: Dict[IRI, Set[IRI]] = field(default_factory=lambda: defaultdict(set))
+    property_chains: Dict[IRI, List[List[IRI]]] = field(default_factory=lambda: defaultdict(list))
+    disjoint_classes: List[Tuple[IRI, IRI]] = field(default_factory=list)
+    declared_classes: Set[IRI] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "AxiomIndex":
+        """Extract every supported axiom from ``graph``."""
+        index = cls()
+
+        for cls_iri in graph.subjects(RDF_TYPE, OWL_CLASS):
+            if isinstance(cls_iri, IRI):
+                index.declared_classes.add(cls_iri)
+
+        for sub, sup in graph.subject_objects(RDFS_SUBCLASSOF):
+            expression = parse_class_expression(graph, sup)
+            if isinstance(sub, IRI):
+                index.declared_classes.add(sub)
+                if isinstance(sup, IRI):
+                    index.named_subclass_of[sub].add(sup)
+                    index.declared_classes.add(sup)
+                elif expression is not None:
+                    index.complex_superclasses.append(SubClassAxiom(sub, expression))
+            elif isinstance(sub, BNode) and isinstance(sup, IRI):
+                sub_expression = parse_class_expression(graph, sub)
+                if sub_expression is not None:
+                    index.complex_subclasses.append((sub_expression, sup))
+
+        for left, right in graph.subject_objects(OWL_EQUIVALENT_CLASS):
+            index._add_equivalence(graph, left, right)
+            index._add_equivalence(graph, right, left)
+
+        for sub, sup in graph.subject_objects(RDFS_SUBPROPERTYOF):
+            if isinstance(sub, IRI) and isinstance(sup, IRI):
+                index.subproperty_of[sub].add(sup)
+        for left, right in graph.subject_objects(OWL_EQUIVALENT_PROPERTY):
+            if isinstance(left, IRI) and isinstance(right, IRI):
+                index.subproperty_of[left].add(right)
+                index.subproperty_of[right].add(left)
+
+        for left, right in graph.subject_objects(OWL_INVERSE_OF):
+            if isinstance(left, IRI) and isinstance(right, IRI):
+                index.inverse_of[left].add(right)
+                index.inverse_of[right].add(left)
+
+        for prop in graph.subjects(RDF_TYPE, OWL_TRANSITIVE_PROPERTY):
+            if isinstance(prop, IRI):
+                index.transitive.add(prop)
+        for prop in graph.subjects(RDF_TYPE, OWL_SYMMETRIC_PROPERTY):
+            if isinstance(prop, IRI):
+                index.symmetric.add(prop)
+        for prop in graph.subjects(RDF_TYPE, OWL_FUNCTIONAL_PROPERTY):
+            if isinstance(prop, IRI):
+                index.functional.add(prop)
+        for prop in graph.subjects(RDF_TYPE, OWL_INVERSE_FUNCTIONAL_PROPERTY):
+            if isinstance(prop, IRI):
+                index.inverse_functional.add(prop)
+
+        for prop, domain in graph.subject_objects(RDFS_DOMAIN):
+            if isinstance(prop, IRI) and isinstance(domain, IRI):
+                index.domains[prop].add(domain)
+        for prop, range_ in graph.subject_objects(RDFS_RANGE):
+            if isinstance(prop, IRI) and isinstance(range_, IRI):
+                index.ranges[prop].add(range_)
+
+        for prop, chain_head in graph.subject_objects(OWL_PROPERTY_CHAIN_AXIOM):
+            if isinstance(prop, IRI):
+                chain = [step for step in read_collection(graph, chain_head) if isinstance(step, IRI)]
+                if chain:
+                    index.property_chains[prop].append(chain)
+
+        for left, right in graph.subject_objects(OWL_DISJOINT_WITH):
+            if isinstance(left, IRI) and isinstance(right, IRI):
+                index.disjoint_classes.append((left, right))
+
+        return index
+
+    def _add_equivalence(self, graph: Graph, named, other) -> None:
+        if not isinstance(named, IRI):
+            return
+        self.declared_classes.add(named)
+        expression = parse_class_expression(graph, other)
+        if expression is None:
+            return
+        if isinstance(expression, NamedClass):
+            # Named ≡ Named is just mutual subclassing.
+            self.named_subclass_of[named].add(expression.iri)
+            return
+        self.equivalences.append(EquivalenceAxiom(named, expression))
+        # The expression also entails membership propagation in the other
+        # direction (named ⊑ expression); record it for completeness so
+        # hasValue/someValuesFrom consequences can be materialised.
+        self.complex_superclasses.append(SubClassAxiom(named, expression))
+
+    # ------------------------------------------------------------------
+    def superclass_closure(self, cls: IRI) -> Set[IRI]:
+        """All named superclasses of ``cls`` (reflexive-transitive)."""
+        seen: Set[IRI] = {cls}
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            for parent in self.named_subclass_of.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return seen
+
+    def superproperty_closure(self, prop: IRI) -> Set[IRI]:
+        """All named superproperties of ``prop`` (reflexive-transitive)."""
+        seen: Set[IRI] = {prop}
+        stack = [prop]
+        while stack:
+            current = stack.pop()
+            for parent in self.subproperty_of.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return seen
+
+    def subclasses_of(self, cls: IRI) -> Set[IRI]:
+        """All named classes that are (transitively) subclasses of ``cls``."""
+        result: Set[IRI] = set()
+        for candidate in set(self.named_subclass_of) | self.declared_classes:
+            if cls in self.superclass_closure(candidate) and candidate != cls:
+                result.add(candidate)
+        return result

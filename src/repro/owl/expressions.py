@@ -1,0 +1,279 @@
+"""Class expressions: the fragment of OWL the Food Explanation Ontology uses.
+
+A class expression is either a named class, a property restriction
+(``someValuesFrom`` / ``allValuesFrom`` / ``hasValue`` / ``minCardinality``),
+a boolean combination (intersection, union, complement) or an enumeration
+(``oneOf``).  Expressions are parsed out of their RDF encoding by
+:func:`parse_class_expression` and the reasoner checks individual
+membership with :meth:`ClassExpression.matches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.collection import read_collection
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, IRI, Literal
+from .vocabulary import (
+    OWL_ALL_VALUES_FROM,
+    OWL_CARDINALITY,
+    OWL_COMPLEMENT_OF,
+    OWL_HAS_VALUE,
+    OWL_INTERSECTION_OF,
+    OWL_MIN_CARDINALITY,
+    OWL_ON_PROPERTY,
+    OWL_ONE_OF,
+    OWL_RESTRICTION,
+    OWL_SOME_VALUES_FROM,
+    OWL_THING,
+    OWL_UNION_OF,
+    RDF_TYPE,
+)
+
+__all__ = [
+    "ClassExpression",
+    "NamedClass",
+    "SomeValuesFrom",
+    "AllValuesFrom",
+    "HasValue",
+    "MinCardinality",
+    "IntersectionOf",
+    "UnionOf",
+    "ComplementOf",
+    "OneOf",
+    "parse_class_expression",
+]
+
+
+class ClassExpression:
+    """Base class for the supported OWL class expressions."""
+
+    def matches(self, graph: Graph, individual, type_index) -> bool:
+        """Return ``True`` if ``individual`` is an instance of this expression.
+
+        ``type_index`` maps individuals to their (already inferred) set of
+        named classes, so named-class membership checks are O(1).
+        """
+        raise NotImplementedError
+
+    def named_classes(self) -> Set[IRI]:
+        """All named classes referenced by this expression (for dependency tracking)."""
+        return set()
+
+    def properties(self) -> Set[IRI]:
+        """All properties referenced by this expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class NamedClass(ClassExpression):
+    iri: IRI
+
+    def matches(self, graph, individual, type_index) -> bool:
+        if self.iri == OWL_THING:
+            return True
+        return self.iri in type_index.get(individual, ())
+
+    def named_classes(self) -> Set[IRI]:
+        return {self.iri}
+
+
+@dataclass(frozen=True)
+class SomeValuesFrom(ClassExpression):
+    """``onProperty some filler`` — an existential restriction."""
+
+    property: IRI
+    filler: ClassExpression
+
+    def matches(self, graph, individual, type_index) -> bool:
+        for _, _, value in graph.triples((individual, self.property, None)):
+            if self.filler.matches(graph, value, type_index):
+                return True
+        return False
+
+    def named_classes(self) -> Set[IRI]:
+        return self.filler.named_classes()
+
+    def properties(self) -> Set[IRI]:
+        return {self.property} | self.filler.properties()
+
+
+@dataclass(frozen=True)
+class AllValuesFrom(ClassExpression):
+    """``onProperty only filler`` — a universal restriction.
+
+    Membership checking uses the closed-world reading (every asserted value
+    is in the filler); this matches how the explanation pipeline uses it.
+    """
+
+    property: IRI
+    filler: ClassExpression
+
+    def matches(self, graph, individual, type_index) -> bool:
+        for _, _, value in graph.triples((individual, self.property, None)):
+            if not self.filler.matches(graph, value, type_index):
+                return False
+        return True
+
+    def named_classes(self) -> Set[IRI]:
+        return self.filler.named_classes()
+
+    def properties(self) -> Set[IRI]:
+        return {self.property} | self.filler.properties()
+
+
+@dataclass(frozen=True)
+class HasValue(ClassExpression):
+    """``onProperty value v``."""
+
+    property: IRI
+    value: object
+
+    def matches(self, graph, individual, type_index) -> bool:
+        return (individual, self.property, self.value) in graph
+
+    def properties(self) -> Set[IRI]:
+        return {self.property}
+
+
+@dataclass(frozen=True)
+class MinCardinality(ClassExpression):
+    """``onProperty min n`` (unqualified)."""
+
+    property: IRI
+    cardinality: int
+
+    def matches(self, graph, individual, type_index) -> bool:
+        count = sum(1 for _ in graph.triples((individual, self.property, None)))
+        return count >= self.cardinality
+
+    def properties(self) -> Set[IRI]:
+        return {self.property}
+
+
+@dataclass(frozen=True)
+class IntersectionOf(ClassExpression):
+    operands: Tuple[ClassExpression, ...]
+
+    def matches(self, graph, individual, type_index) -> bool:
+        return all(op.matches(graph, individual, type_index) for op in self.operands)
+
+    def named_classes(self) -> Set[IRI]:
+        out: Set[IRI] = set()
+        for operand in self.operands:
+            out |= operand.named_classes()
+        return out
+
+    def properties(self) -> Set[IRI]:
+        out: Set[IRI] = set()
+        for operand in self.operands:
+            out |= operand.properties()
+        return out
+
+
+@dataclass(frozen=True)
+class UnionOf(ClassExpression):
+    operands: Tuple[ClassExpression, ...]
+
+    def matches(self, graph, individual, type_index) -> bool:
+        return any(op.matches(graph, individual, type_index) for op in self.operands)
+
+    def named_classes(self) -> Set[IRI]:
+        out: Set[IRI] = set()
+        for operand in self.operands:
+            out |= operand.named_classes()
+        return out
+
+    def properties(self) -> Set[IRI]:
+        out: Set[IRI] = set()
+        for operand in self.operands:
+            out |= operand.properties()
+        return out
+
+
+@dataclass(frozen=True)
+class ComplementOf(ClassExpression):
+    """Negation, read closed-world for membership checks."""
+
+    operand: ClassExpression
+
+    def matches(self, graph, individual, type_index) -> bool:
+        return not self.operand.matches(graph, individual, type_index)
+
+    def named_classes(self) -> Set[IRI]:
+        return self.operand.named_classes()
+
+    def properties(self) -> Set[IRI]:
+        return self.operand.properties()
+
+
+@dataclass(frozen=True)
+class OneOf(ClassExpression):
+    members: FrozenSet[object]
+
+    def matches(self, graph, individual, type_index) -> bool:
+        return individual in self.members
+
+
+def parse_class_expression(graph: Graph, node) -> Optional[ClassExpression]:
+    """Parse the class expression rooted at ``node`` in ``graph``.
+
+    Returns ``None`` when ``node`` does not describe a supported expression
+    (the caller then ignores the axiom rather than failing).
+    """
+    if isinstance(node, IRI):
+        return NamedClass(node)
+    if not isinstance(node, BNode):
+        return None
+
+    intersection = graph.value(node, OWL_INTERSECTION_OF)
+    if intersection is not None:
+        operands = _parse_operands(graph, intersection)
+        return IntersectionOf(tuple(operands)) if operands else None
+    union = graph.value(node, OWL_UNION_OF)
+    if union is not None:
+        operands = _parse_operands(graph, union)
+        return UnionOf(tuple(operands)) if operands else None
+    complement = graph.value(node, OWL_COMPLEMENT_OF)
+    if complement is not None:
+        inner = parse_class_expression(graph, complement)
+        return ComplementOf(inner) if inner is not None else None
+    one_of = graph.value(node, OWL_ONE_OF)
+    if one_of is not None:
+        members = read_collection(graph, one_of)
+        return OneOf(frozenset(members))
+
+    if (node, RDF_TYPE, OWL_RESTRICTION) in graph or graph.value(node, OWL_ON_PROPERTY) is not None:
+        prop = graph.value(node, OWL_ON_PROPERTY)
+        if not isinstance(prop, IRI):
+            return None
+        some = graph.value(node, OWL_SOME_VALUES_FROM)
+        if some is not None:
+            filler = parse_class_expression(graph, some)
+            return SomeValuesFrom(prop, filler) if filler is not None else None
+        only = graph.value(node, OWL_ALL_VALUES_FROM)
+        if only is not None:
+            filler = parse_class_expression(graph, only)
+            return AllValuesFrom(prop, filler) if filler is not None else None
+        has_value = graph.value(node, OWL_HAS_VALUE)
+        if has_value is not None:
+            return HasValue(prop, has_value)
+        for predicate in (OWL_MIN_CARDINALITY, OWL_CARDINALITY):
+            cardinality = graph.value(node, predicate)
+            if isinstance(cardinality, Literal):
+                try:
+                    return MinCardinality(prop, int(cardinality.value))
+                except (TypeError, ValueError):
+                    return None
+    return None
+
+
+def _parse_operands(graph: Graph, list_head) -> List[ClassExpression]:
+    operands: List[ClassExpression] = []
+    for member in read_collection(graph, list_head):
+        parsed = parse_class_expression(graph, member)
+        if parsed is not None:
+            operands.append(parsed)
+    return operands

@@ -1,0 +1,367 @@
+"""A forward-chaining OWL-RL-style materialising reasoner.
+
+This is the project's substitute for the Pellet reasoner used in the paper.
+The paper's pipeline is: *build ontology + instances → run reasoner → export
+the graph with inferred axioms → run SPARQL over the inferred graph*.
+:class:`Reasoner` implements exactly that contract:
+
+>>> reasoner = Reasoner(graph)
+>>> inferred = reasoner.run()          # graph including inferred triples
+>>> inferred.query(...)                 # SPARQL over the materialisation
+
+Supported inference (the fragment FEO exercises, see DESIGN.md):
+
+* class hierarchy: ``rdfs:subClassOf`` transitivity and type propagation,
+  ``owl:equivalentClass`` (both between named classes and to restrictions);
+* property hierarchy: ``rdfs:subPropertyOf`` closure and assertion
+  propagation, ``owl:equivalentProperty``;
+* property semantics: ``owl:inverseOf``, ``owl:TransitiveProperty``,
+  ``owl:SymmetricProperty``, ``owl:propertyChainAxiom``, ``rdfs:domain``,
+  ``rdfs:range``;
+* restriction classification: individuals satisfying ``someValuesFrom`` /
+  ``hasValue`` / ``intersectionOf`` / ``unionOf`` / ``oneOf`` expressions
+  that are equivalent to (or subclasses of) a named class are typed with
+  that class, and the usual consequences flow the other way
+  (``hasValue`` value assertion, ``allValuesFrom`` filler typing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..rdf.graph import Graph, Triple
+from ..rdf.terms import BNode, IRI, Literal
+from .axioms import AxiomIndex
+from .expressions import (
+    AllValuesFrom,
+    ClassExpression,
+    HasValue,
+    IntersectionOf,
+    NamedClass,
+    SomeValuesFrom,
+    UnionOf,
+)
+from .vocabulary import (
+    OWL_NOTHING,
+    OWL_SAME_AS,
+    OWL_THING,
+    RDF_TYPE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+
+__all__ = ["Reasoner", "ReasoningReport", "InconsistentOntologyError"]
+
+
+class InconsistentOntologyError(Exception):
+    """Raised when a consistency check fails (e.g. disjointness violation)."""
+
+
+@dataclass
+class ReasoningReport:
+    """Statistics describing one materialisation run."""
+
+    input_triples: int = 0
+    inferred_triples: int = 0
+    iterations: int = 0
+    elapsed_seconds: float = 0.0
+    rule_firings: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule: str, count: int = 1) -> None:
+        if count:
+            self.rule_firings[rule] = self.rule_firings.get(rule, 0) + count
+
+
+class Reasoner:
+    """Materialises the deductive closure of a graph under the axioms it contains."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        axioms: Optional[AxiomIndex] = None,
+        max_iterations: int = 100,
+        check_consistency: bool = True,
+    ) -> None:
+        self.base_graph = graph
+        self.axioms = axioms or AxiomIndex.from_graph(graph)
+        self.max_iterations = max_iterations
+        self.check_consistency = check_consistency
+        self.report = ReasoningReport()
+
+    # ------------------------------------------------------------------
+    def run(self) -> Graph:
+        """Return a new graph containing the input plus all inferred triples."""
+        start = time.perf_counter()
+        working = self.base_graph.copy()
+        self.report.input_triples = len(self.base_graph)
+
+        self._materialise_schema(working)
+
+        iteration = 0
+        changed = True
+        while changed and iteration < self.max_iterations:
+            iteration += 1
+            before = len(working)
+            self._apply_property_rules(working)
+            self._apply_type_rules(working)
+            self._apply_restriction_rules(working)
+            changed = len(working) > before
+        self.report.iterations = iteration
+        self.report.inferred_triples = len(working) - self.report.input_triples
+        self.report.elapsed_seconds = time.perf_counter() - start
+
+        if self.check_consistency:
+            self._check_consistency(working)
+        return working
+
+    # ------------------------------------------------------------------
+    # Schema closure
+    # ------------------------------------------------------------------
+    def _materialise_schema(self, graph: Graph) -> None:
+        """Add the transitive closures of subClassOf / subPropertyOf."""
+        added = 0
+        for cls in list(self.axioms.named_subclass_of):
+            for ancestor in self.axioms.superclass_closure(cls):
+                if ancestor != cls:
+                    before = len(graph)
+                    graph.add((cls, RDFS_SUBCLASSOF, ancestor))
+                    added += len(graph) - before
+        for prop in list(self.axioms.subproperty_of):
+            for ancestor in self.axioms.superproperty_closure(prop):
+                if ancestor != prop:
+                    before = len(graph)
+                    graph.add((prop, RDFS_SUBPROPERTYOF, ancestor))
+                    added += len(graph) - before
+        self.report.record("schema-closure", added)
+
+    # ------------------------------------------------------------------
+    # Property-centric rules
+    # ------------------------------------------------------------------
+    def _apply_property_rules(self, graph: Graph) -> None:
+        additions: List[Triple] = []
+
+        # Sub-property propagation: (x p y), p ⊑ q  =>  (x q y)
+        for prop in list(self.axioms.subproperty_of):
+            supers = self.axioms.superproperty_closure(prop) - {prop}
+            if not supers:
+                continue
+            for s, _, o in list(graph.triples((None, prop, None))):
+                for sup in supers:
+                    additions.append((s, sup, o))
+        self._add_all(graph, additions, "subPropertyOf")
+
+        # Inverse properties: (x p y), p inverseOf q  =>  (y q x)
+        additions = []
+        for prop, inverses in self.axioms.inverse_of.items():
+            for s, _, o in list(graph.triples((None, prop, None))):
+                if isinstance(o, Literal):
+                    continue
+                for inverse in inverses:
+                    additions.append((o, inverse, s))
+        self._add_all(graph, additions, "inverseOf")
+
+        # Symmetric properties.
+        additions = []
+        for prop in self.axioms.symmetric:
+            for s, _, o in list(graph.triples((None, prop, None))):
+                if not isinstance(o, Literal):
+                    additions.append((o, prop, s))
+        self._add_all(graph, additions, "symmetric")
+
+        # Transitive properties: closure via repeated join.
+        additions = []
+        for prop in self.axioms.transitive:
+            pairs = [(s, o) for s, _, o in graph.triples((None, prop, None)) if not isinstance(o, Literal)]
+            successors: Dict[object, Set[object]] = {}
+            for s, o in pairs:
+                successors.setdefault(s, set()).add(o)
+            for s, o in pairs:
+                for nxt in successors.get(o, ()):
+                    if nxt != s or True:  # keep reflexive results out of loops below
+                        additions.append((s, prop, nxt))
+        self._add_all(graph, additions, "transitive")
+
+        # Property chains: p1 o p2 ⊑ q.
+        additions = []
+        for prop, chains in self.axioms.property_chains.items():
+            for chain in chains:
+                pairs = self._evaluate_chain(graph, chain)
+                for s, o in pairs:
+                    additions.append((s, prop, o))
+        self._add_all(graph, additions, "propertyChain")
+
+    def _evaluate_chain(self, graph: Graph, chain: List[IRI]) -> Set[Tuple[object, object]]:
+        current: Optional[Set[Tuple[object, object]]] = None
+        for step in chain:
+            step_pairs = {
+                (s, o) for s, _, o in graph.triples((None, step, None)) if not isinstance(o, Literal)
+            }
+            if current is None:
+                current = step_pairs
+                continue
+            by_mid: Dict[object, Set[object]] = {}
+            for mid, o in step_pairs:
+                by_mid.setdefault(mid, set()).add(o)
+            joined: Set[Tuple[object, object]] = set()
+            for s, mid in current:
+                for o in by_mid.get(mid, ()):
+                    joined.add((s, o))
+            current = joined
+        return current or set()
+
+    # ------------------------------------------------------------------
+    # Type-centric rules
+    # ------------------------------------------------------------------
+    def _apply_type_rules(self, graph: Graph) -> None:
+        additions: List[Triple] = []
+
+        # Domain / range typing.
+        for prop, domains in self.axioms.domains.items():
+            for s, _, _ in list(graph.triples((None, prop, None))):
+                for domain in domains:
+                    additions.append((s, RDF_TYPE, domain))
+        for prop, ranges in self.axioms.ranges.items():
+            for _, _, o in list(graph.triples((None, prop, None))):
+                if isinstance(o, Literal):
+                    continue
+                for range_ in ranges:
+                    additions.append((o, RDF_TYPE, range_))
+        self._add_all(graph, additions, "domain-range")
+
+        # Type propagation along the (already materialised) class hierarchy.
+        additions = []
+        superclass_cache: Dict[IRI, Set[IRI]] = {}
+        for individual, _, cls in list(graph.triples((None, RDF_TYPE, None))):
+            if not isinstance(cls, IRI):
+                continue
+            ancestors = superclass_cache.get(cls)
+            if ancestors is None:
+                ancestors = {
+                    ancestor
+                    for ancestor in graph.objects(cls, RDFS_SUBCLASSOF)
+                    if isinstance(ancestor, IRI)
+                }
+                ancestors |= self.axioms.superclass_closure(cls) - {cls}
+                superclass_cache[cls] = ancestors
+            for ancestor in ancestors:
+                additions.append((individual, RDF_TYPE, ancestor))
+        self._add_all(graph, additions, "subClassOf-types")
+
+    # ------------------------------------------------------------------
+    # Restriction / expression classification
+    # ------------------------------------------------------------------
+    def _type_index(self, graph: Graph) -> Dict[object, Set[IRI]]:
+        index: Dict[object, Set[IRI]] = {}
+        for s, _, o in graph.triples((None, RDF_TYPE, None)):
+            if isinstance(o, IRI):
+                index.setdefault(s, set()).add(o)
+        return index
+
+    def _individuals(self, graph: Graph) -> Set[object]:
+        individuals: Set[object] = set()
+        schema_preds = {RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF}
+        for s, p, o in graph:
+            if p in schema_preds:
+                continue
+            if isinstance(s, (IRI, BNode)):
+                individuals.add(s)
+            if p == RDF_TYPE:
+                continue
+            if isinstance(o, (IRI, BNode)):
+                individuals.add(o)
+        return individuals
+
+    def _apply_restriction_rules(self, graph: Graph) -> None:
+        type_index = self._type_index(graph)
+        individuals = self._individuals(graph)
+
+        # (a) classification: expression ≡/⊒ named class — if an individual
+        # satisfies the expression it gains the named type.
+        additions: List[Triple] = []
+        for axiom in self.axioms.equivalences:
+            for individual in individuals:
+                if axiom.named in type_index.get(individual, set()):
+                    continue
+                if axiom.expression.matches(graph, individual, type_index):
+                    additions.append((individual, RDF_TYPE, axiom.named))
+        for expression, named in self.axioms.complex_subclasses:
+            for individual in individuals:
+                if named in type_index.get(individual, set()):
+                    continue
+                if expression.matches(graph, individual, type_index):
+                    additions.append((individual, RDF_TYPE, named))
+        self._add_all(graph, additions, "classification")
+
+        # (b) consequence direction: named class ⊑ expression.
+        type_index = self._type_index(graph)
+        additions = []
+        for axiom in self.axioms.complex_superclasses:
+            members = [ind for ind, types in type_index.items() if axiom.sub in types]
+            if not members:
+                continue
+            for member in members:
+                additions.extend(self._expression_consequences(graph, member, axiom.super_expression, type_index))
+        self._add_all(graph, additions, "restriction-consequences")
+
+    def _expression_consequences(
+        self,
+        graph: Graph,
+        individual,
+        expression: ClassExpression,
+        type_index,
+    ) -> List[Triple]:
+        """Triples entailed by ``individual`` being an instance of ``expression``."""
+        out: List[Triple] = []
+        if isinstance(expression, HasValue):
+            out.append((individual, expression.property, expression.value))
+        elif isinstance(expression, AllValuesFrom):
+            filler = expression.filler
+            if isinstance(filler, NamedClass):
+                for _, _, value in graph.triples((individual, expression.property, None)):
+                    if not isinstance(value, Literal):
+                        out.append((value, RDF_TYPE, filler.iri))
+        elif isinstance(expression, IntersectionOf):
+            for operand in expression.operands:
+                if isinstance(operand, NamedClass):
+                    out.append((individual, RDF_TYPE, operand.iri))
+                else:
+                    out.extend(self._expression_consequences(graph, individual, operand, type_index))
+        elif isinstance(expression, NamedClass):
+            out.append((individual, RDF_TYPE, expression.iri))
+        # SomeValuesFrom / UnionOf have no deterministic consequences without
+        # introducing fresh individuals (beyond OWL-RL), so they are skipped.
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_consistency(self, graph: Graph) -> None:
+        type_index = self._type_index(graph)
+        for left, right in self.axioms.disjoint_classes:
+            for individual, types in type_index.items():
+                if left in types and right in types:
+                    raise InconsistentOntologyError(
+                        f"{individual} is an instance of disjoint classes {left} and {right}"
+                    )
+        for individual, types in type_index.items():
+            if OWL_NOTHING in types:
+                raise InconsistentOntologyError(f"{individual} is typed owl:Nothing")
+
+    # ------------------------------------------------------------------
+    def _add_all(self, graph: Graph, triples: Iterable[Triple], rule: str) -> None:
+        before = len(graph)
+        for s, p, o in triples:
+            if s == o and p in (OWL_SAME_AS,):
+                continue
+            graph.add((s, p, o))
+        self.report.record(rule, len(graph) - before)
+
+    # ------------------------------------------------------------------
+    def inferred_only(self) -> Graph:
+        """Return only the triples added by reasoning (for inspection/tests)."""
+        closed = self.run()
+        result = Graph()
+        result.namespace_manager = self.base_graph.namespace_manager.copy()
+        base = set(self.base_graph)
+        result.addN(t for t in closed if t not in base)
+        return result

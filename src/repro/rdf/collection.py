@@ -1,0 +1,59 @@
+"""Helpers for reading and writing RDF collections (``rdf:List``)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .graph import Graph, Node
+from .namespace import RDF
+from .terms import BNode, IRI
+
+__all__ = ["make_collection", "read_collection"]
+
+RDF_FIRST = IRI(RDF.first)
+RDF_REST = IRI(RDF.rest)
+RDF_NIL = IRI(RDF.nil)
+
+
+def make_collection(graph: Graph, items: Iterable[Node]) -> Node:
+    """Write ``items`` into ``graph`` as an RDF collection and return its head."""
+    items = list(items)
+    if not items:
+        return RDF_NIL
+    head = BNode()
+    current = head
+    for index, item in enumerate(items):
+        graph.add((current, RDF_FIRST, item))
+        if index == len(items) - 1:
+            graph.add((current, RDF_REST, RDF_NIL))
+        else:
+            nxt = BNode()
+            graph.add((current, RDF_REST, nxt))
+            current = nxt
+    return head
+
+
+def read_collection(graph, head: Node, max_length: int = 10_000) -> List[Node]:
+    """Read the RDF collection starting at ``head`` into a Python list.
+
+    ``max_length`` guards against cyclic ``rdf:rest`` chains in malformed data.
+    """
+    items: List[Node] = []
+    current: Optional[Node] = head
+    steps = 0
+    while current is not None and current != RDF_NIL:
+        steps += 1
+        if steps > max_length:
+            raise ValueError("RDF collection is longer than max_length (cycle?)")
+        first = None
+        rest = None
+        for _, _, o in graph.triples((current, RDF_FIRST, None)):
+            first = o
+            break
+        for _, _, o in graph.triples((current, RDF_REST, None)):
+            rest = o
+            break
+        if first is not None:
+            items.append(first)
+        current = rest
+    return items

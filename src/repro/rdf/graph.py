@@ -1,0 +1,388 @@
+"""An indexed, in-memory RDF graph.
+
+The :class:`Graph` keeps three permutation indexes (SPO, POS, OSP) so that
+any triple pattern with at least one bound position is answered by a
+dictionary lookup rather than a scan.  This is the store that the OWL
+reasoner materialises into and the SPARQL engine evaluates against, so
+pattern-matching performance matters for the scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from .namespace import RDF, NamespaceManager
+from .terms import BNode, IRI, Literal, Term
+
+__all__ = ["Triple", "Graph", "ReadOnlyGraphUnion"]
+
+Node = Union[IRI, BNode, Literal]
+Triple = Tuple[Node, IRI, Node]
+TriplePattern = Tuple[Optional[Node], Optional[IRI], Optional[Node]]
+
+
+def _check_term(term: Any, position: str, allow_literal: bool) -> Node:
+    if isinstance(term, Literal):
+        if not allow_literal:
+            raise TypeError(f"Literals are not allowed in the {position} position")
+        return term
+    if isinstance(term, (IRI, BNode)):
+        return term
+    raise TypeError(
+        f"Invalid RDF term in {position} position: {term!r} (type {type(term).__name__})"
+    )
+
+
+class Graph:
+    """A set of RDF triples with SPO/POS/OSP indexes and namespace bindings."""
+
+    def __init__(self, identifier: Optional[IRI] = None, bind_defaults: bool = True) -> None:
+        self.identifier = identifier or IRI(f"urn:graph:{id(self)}")
+        self.namespace_manager = NamespaceManager(bind_defaults=bind_defaults)
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[Node, Dict[IRI, Set[Node]]] = {}
+        self._pos: Dict[IRI, Dict[Node, Set[Node]]] = {}
+        self._osp: Dict[Node, Dict[Node, Set[IRI]]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> "Graph":
+        """Add one ``(subject, predicate, object)`` triple."""
+        s, p, o = triple
+        s = _check_term(s, "subject", allow_literal=False)
+        p = _check_term(p, "predicate", allow_literal=False)
+        o = _check_term(o, "object", allow_literal=True)
+        if not isinstance(p, IRI):
+            raise TypeError("Predicates must be IRIs")
+        triple = (s, p, o)
+        if triple in self._triples:
+            return self
+        self._triples.add(triple)
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        return self
+
+    def addN(self, triples: Iterable[Triple]) -> "Graph":
+        """Add many triples at once."""
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(self, pattern: TriplePattern) -> "Graph":
+        """Remove every triple matching ``pattern`` (``None`` is a wildcard)."""
+        for triple in list(self.triples(pattern)):
+            self._discard(triple)
+        return self
+
+    def _discard(self, triple: Triple) -> None:
+        if triple not in self._triples:
+            return
+        s, p, o = triple
+        self._triples.discard(triple)
+        self._spo[s][p].discard(o)
+        if not self._spo[s][p]:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+
+    def set(self, triple: Triple) -> "Graph":
+        """Replace any existing ``(s, p, *)`` triples with the given one."""
+        s, p, _ = triple
+        self.remove((s, p, None))
+        return self.add(triple)
+
+    def clear(self) -> None:
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        """Yield every triple matching the pattern; ``None`` acts as a wildcard."""
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self._triples:
+                yield (s, p, o)
+            return
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if not by_pred:
+                return
+            if p is not None:
+                for obj in by_pred.get(p, ()):
+                    if o is None or obj == o:
+                        yield (s, p, obj)
+            else:
+                for pred, objects in by_pred.items():
+                    for obj in objects:
+                        if o is None or obj == o:
+                            yield (s, pred, obj)
+            return
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if not by_obj:
+                return
+            if o is not None:
+                for subj in by_obj.get(o, ()):
+                    yield (subj, p, o)
+            else:
+                for obj, subjects in by_obj.items():
+                    for subj in subjects:
+                        yield (subj, p, obj)
+            return
+        if o is not None:
+            by_subj = self._osp.get(o)
+            if not by_subj:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        yield from self._triples
+
+    def __contains__(self, pattern: TriplePattern) -> bool:
+        return next(self.triples(pattern), None) is not None
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Node] = None) -> Iterator[Node]:
+        seen: Set[Node] = set()
+        for s, _, _ in self.triples((None, predicate, obj)):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def predicates(self, subject: Optional[Node] = None, obj: Optional[Node] = None) -> Iterator[IRI]:
+        seen: Set[IRI] = set()
+        for _, p, _ in self.triples((subject, None, obj)):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def objects(self, subject: Optional[Node] = None, predicate: Optional[IRI] = None) -> Iterator[Node]:
+        seen: Set[Node] = set()
+        for _, _, o in self.triples((subject, predicate, None)):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def subject_objects(self, predicate: Optional[IRI] = None) -> Iterator[Tuple[Node, Node]]:
+        for s, _, o in self.triples((None, predicate, None)):
+            yield s, o
+
+    def subject_predicates(self, obj: Optional[Node] = None) -> Iterator[Tuple[Node, IRI]]:
+        for s, p, _ in self.triples((None, None, obj)):
+            yield s, p
+
+    def predicate_objects(self, subject: Optional[Node] = None) -> Iterator[Tuple[IRI, Node]]:
+        for _, p, o in self.triples((subject, None, None)):
+            yield p, o
+
+    def value(
+        self,
+        subject: Optional[Node] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Node] = None,
+        default: Any = None,
+    ) -> Any:
+        """Return one term completing the pattern, or ``default``."""
+        provided = sum(term is not None for term in (subject, predicate, obj))
+        if provided != 2:
+            raise ValueError("Graph.value requires exactly two bound positions")
+        for s, p, o in self.triples((subject, predicate, obj)):
+            if subject is None:
+                return s
+            if predicate is None:
+                return p
+            return o
+        return default
+
+    def types_of(self, node: Node) -> Set[IRI]:
+        """Return all ``rdf:type`` values of ``node``."""
+        return {o for o in self.objects(node, IRI(RDF.type)) if isinstance(o, IRI)}
+
+    def instances_of(self, cls: IRI) -> Set[Node]:
+        """Return all individuals declared with ``rdf:type cls``."""
+        return set(self.subjects(IRI(RDF.type), cls))
+
+    # ------------------------------------------------------------------
+    # Namespaces
+    # ------------------------------------------------------------------
+    def bind(self, prefix: str, namespace: str, replace: bool = True) -> None:
+        self.namespace_manager.bind(prefix, namespace, replace=replace)
+
+    def namespaces(self) -> Iterator[Tuple[str, str]]:
+        return self.namespace_manager.namespaces()
+
+    def qname(self, iri: IRI) -> str:
+        compact = self.namespace_manager.qname(iri)
+        return compact if compact is not None else iri.n3()
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        clone = Graph(identifier=self.identifier)
+        clone.namespace_manager = self.namespace_manager.copy()
+        clone.addN(self._triples)
+        return clone
+
+    def __add__(self, other: "Graph") -> "Graph":
+        result = self.copy()
+        result.addN(other)
+        return result
+
+    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+        self.addN(other)
+        return self
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        result = Graph()
+        result.namespace_manager = self.namespace_manager.copy()
+        other_set = set(other)
+        result.addN(t for t in self._triples if t not in other_set)
+        return result
+
+    def __and__(self, other: "Graph") -> "Graph":
+        result = Graph()
+        result.namespace_manager = self.namespace_manager.copy()
+        other_set = set(other)
+        result.addN(t for t in self._triples if t in other_set)
+        return result
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Graph):
+            return self._triples == other._triples
+        return NotImplemented
+
+    def __hash__(self) -> int:  # identity hash: graphs are mutable containers
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Serialisation entry points (implemented in the serializer modules)
+    # ------------------------------------------------------------------
+    def serialize(self, format: str = "turtle") -> str:
+        """Serialise the graph to a string (``turtle`` or ``ntriples``)."""
+        from . import ntriples, turtle
+
+        if format in ("turtle", "ttl"):
+            return turtle.serialize(self)
+        if format in ("ntriples", "nt"):
+            return ntriples.serialize(self)
+        raise ValueError(f"Unsupported serialisation format: {format!r}")
+
+    def parse(self, data: str, format: str = "turtle") -> "Graph":
+        """Parse serialised RDF into this graph."""
+        from . import ntriples, turtle
+
+        if format in ("turtle", "ttl"):
+            turtle.parse(data, graph=self)
+        elif format in ("ntriples", "nt"):
+            ntriples.parse(data, graph=self)
+        else:
+            raise ValueError(f"Unsupported parse format: {format!r}")
+        return self
+
+    def query(self, query_text: str, initBindings: Optional[Dict[str, Node]] = None):
+        """Evaluate a SPARQL query against this graph.
+
+        Returns a :class:`repro.sparql.results.Result`.
+        """
+        from ..sparql import query as sparql_query
+
+        return sparql_query(self, query_text, init_bindings=initBindings)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def all_nodes(self) -> Set[Node]:
+        nodes: Set[Node] = set()
+        for s, _, o in self._triples:
+            nodes.add(s)
+            nodes.add(o)
+        return nodes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Graph identifier={self.identifier} triples={len(self)}>"
+
+
+class ReadOnlyGraphUnion:
+    """A lightweight read-only view over several graphs.
+
+    Used when querying a base ontology graph together with an inferred
+    graph without materialising the union.
+    """
+
+    def __init__(self, *graphs: Graph) -> None:
+        if not graphs:
+            raise ValueError("ReadOnlyGraphUnion requires at least one graph")
+        self.graphs: List[Graph] = list(graphs)
+        self.namespace_manager = graphs[0].namespace_manager
+
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        seen: Set[Triple] = set()
+        for graph in self.graphs:
+            for triple in graph.triples(pattern):
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+    def __contains__(self, pattern: TriplePattern) -> bool:
+        return any(pattern in graph for graph in self.graphs)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __len__(self) -> int:
+        return len(set().union(*(set(g) for g in self.graphs)))
+
+    def objects(self, subject=None, predicate=None):
+        seen: Set[Node] = set()
+        for _, _, o in self.triples((subject, predicate, None)):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def subjects(self, predicate=None, obj=None):
+        seen: Set[Node] = set()
+        for s, _, _ in self.triples((None, predicate, obj)):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def value(self, subject=None, predicate=None, obj=None, default=None):
+        for graph in self.graphs:
+            result = graph.value(subject, predicate, obj, default=None)
+            if result is not None:
+                return result
+        return default
+
+    def query(self, query_text: str, initBindings: Optional[Dict[str, Node]] = None):
+        from ..sparql import query as sparql_query
+
+        return sparql_query(self, query_text, init_bindings=initBindings)

@@ -1,0 +1,106 @@
+"""N-Triples parsing and serialisation.
+
+N-Triples is the line-oriented subset of Turtle: one triple per line, no
+prefixes, no abbreviations.  It is used as the canonical interchange
+format for graph diffing and for golden-file tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .graph import Graph
+from .terms import BNode, IRI, Literal
+
+__all__ = ["parse", "serialize", "NTriplesParseError"]
+
+
+class NTriplesParseError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+
+_IRI_RE = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE_RE = r"_:([A-Za-z][A-Za-z0-9_.-]*)"
+_LITERAL_RE = r'"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)|\^\^<([^<>]*)>)?'
+
+_TRIPLE_RE = re.compile(
+    rf"^\s*(?:{_IRI_RE}|{_BNODE_RE})\s+{_IRI_RE}\s+"
+    rf"(?:{_IRI_RE}|{_BNODE_RE}|{_LITERAL_RE})\s*\.\s*$"
+)
+
+_UNESCAPE_RE = re.compile(r"\\(.)|\\u([0-9A-Fa-f]{4})|\\U([0-9A-Fa-f]{8})")
+
+_UNESCAPE_MAP = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+    "b": "\b",
+    "f": "\f",
+    "'": "'",
+}
+
+
+def _unescape(text: str) -> str:
+    def replace(match: re.Match) -> str:
+        simple, u4, u8 = match.groups()
+        if simple is not None:
+            return _UNESCAPE_MAP.get(simple, simple)
+        if u4 is not None:
+            return chr(int(u4, 16))
+        return chr(int(u8, 16))
+
+    # Handle \uXXXX and \UXXXXXXXX before simple escapes to avoid clashes.
+    text = re.sub(r"\\u([0-9A-Fa-f]{4})", lambda m: chr(int(m.group(1), 16)), text)
+    text = re.sub(r"\\U([0-9A-Fa-f]{8})", lambda m: chr(int(m.group(1), 16)), text)
+    return re.sub(r"\\(.)", lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(1)), text)
+
+
+def parse(data: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse N-Triples ``data`` into ``graph`` (creating one if needed)."""
+    if graph is None:
+        graph = Graph()
+    for lineno, raw_line in enumerate(data.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _TRIPLE_RE.match(line)
+        if not match:
+            raise NTriplesParseError(f"Line {lineno}: cannot parse {raw_line!r}")
+        (
+            subj_iri,
+            subj_bnode,
+            pred_iri,
+            obj_iri,
+            obj_bnode,
+            lit_value,
+            lit_lang,
+            lit_dtype,
+        ) = match.groups()
+
+        subject = IRI(_unescape(subj_iri)) if subj_iri is not None else BNode(subj_bnode)
+        predicate = IRI(_unescape(pred_iri))
+        if obj_iri is not None:
+            obj = IRI(_unescape(obj_iri))
+        elif obj_bnode is not None:
+            obj = BNode(obj_bnode)
+        else:
+            value = _unescape(lit_value or "")
+            if lit_lang:
+                obj = Literal(value, language=lit_lang)
+            elif lit_dtype:
+                obj = Literal(value, datatype=IRI(lit_dtype))
+            else:
+                obj = Literal(value)
+        graph.add((subject, predicate, obj))
+    return graph
+
+
+def serialize(graph: Graph) -> str:
+    """Serialise ``graph`` to sorted N-Triples text."""
+    lines = []
+    for s, p, o in graph:
+        lines.append(f"{s.n3()} {p.n3()} {o.n3()} .")
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")

@@ -1,0 +1,362 @@
+"""Turtle parsing and serialisation.
+
+The parser implements the subset of Turtle that real ontology files use:
+prefix and base directives, prefixed names, ``a`` for ``rdf:type``,
+predicate-object lists (``;``), object lists (``,``), blank-node property
+lists (``[...]``), RDF collections (``(...)``), typed and language-tagged
+literals, numbers and booleans.  It is a hand-written recursive-descent
+parser over a regex tokenizer, which keeps the error messages readable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .graph import Graph, Node
+from .namespace import RDF
+from .terms import BNode, IRI, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+
+__all__ = ["parse", "serialize", "TurtleParseError"]
+
+RDF_TYPE = IRI(RDF.type)
+RDF_FIRST = IRI(RDF.first)
+RDF_REST = IRI(RDF.rest)
+RDF_NIL = IRI(RDF.nil)
+
+
+class TurtleParseError(ValueError):
+    """Raised for malformed Turtle input, with line information."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<TRIPLE_STRING>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<STRING>"(?:[^"\\\n]|\\.)*")
+  | (?P<SQ_STRING>'(?:[^'\\\n]|\\.)*')
+  | (?P<IRIREF><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<PREFIX_DIRECTIVE>@prefix|@base|PREFIX|BASE|@PREFIX|prefix|base)
+  | (?P<DOUBLE>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<DECIMAL>[+-]?\d*\.\d+)
+  | (?P<INTEGER>[+-]?\d+)
+  | (?P<BOOLEAN>\btrue\b|\bfalse\b)
+  | (?P<BLANK>_:[A-Za-z0-9][A-Za-z0-9_.-]*)
+  | (?P<PNAME>[A-Za-z][\w.-]*)?:(?P<LOCAL>[A-Za-z0-9_]
+        (?:[\w.-]*[\w-])?)?
+  | (?P<A>\ba\b)
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<DTYPE>\^\^)
+  | (?P<PUNCT>[;,.\[\]()])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind: str, value: str, line: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise TurtleParseError(f"Line {line}: unexpected character {text[pos]!r}")
+        kind = match.lastgroup
+        value = match.group(0)
+        line += value.count("\n")
+        pos = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "LOCAL":
+            kind = "PNAME"
+        if kind is None:
+            kind = "PNAME" if ":" in value else "UNKNOWN"
+        tokens.append(_Token(kind, value, line))
+    tokens.append(_Token("EOF", "", line))
+    return tokens
+
+
+_STR_UNESCAPE = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+def _unescape_string(text: str) -> str:
+    text = re.sub(r"\\u([0-9A-Fa-f]{4})", lambda m: chr(int(m.group(1), 16)), text)
+    text = re.sub(r"\\U([0-9A-Fa-f]{8})", lambda m: chr(int(m.group(1), 16)), text)
+    return re.sub(r"\\(.)", lambda m: _STR_UNESCAPE.get(m.group(1), m.group(1)), text)
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], graph: Graph) -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.graph = graph
+        self.base: Optional[str] = None
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_punct(self, char: str) -> None:
+        token = self.next()
+        if token.kind != "PUNCT" or token.value != char:
+            raise TurtleParseError(
+                f"Line {token.line}: expected {char!r}, found {token.value!r}"
+            )
+
+    def error(self, message: str) -> TurtleParseError:
+        token = self.peek()
+        return TurtleParseError(f"Line {token.line}: {message} (at {token.value!r})")
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> None:
+        while self.peek().kind != "EOF":
+            token = self.peek()
+            if token.kind == "PREFIX_DIRECTIVE":
+                self._parse_directive()
+            else:
+                self._parse_triples()
+                token = self.peek()
+                if token.kind == "PUNCT" and token.value == ".":
+                    self.next()
+                else:
+                    raise self.error("expected '.' at end of statement")
+
+    def _parse_directive(self) -> None:
+        directive = self.next()
+        keyword = directive.value.lstrip("@").lower()
+        if keyword == "prefix":
+            pname = self.next()
+            if ":" not in pname.value:
+                raise TurtleParseError(f"Line {pname.line}: malformed prefix declaration")
+            prefix = pname.value.split(":", 1)[0]
+            iri_token = self.next()
+            if iri_token.kind != "IRIREF":
+                raise TurtleParseError(f"Line {iri_token.line}: prefix IRI expected")
+            self.graph.bind(prefix, iri_token.value[1:-1])
+        elif keyword == "base":
+            iri_token = self.next()
+            if iri_token.kind != "IRIREF":
+                raise TurtleParseError(f"Line {iri_token.line}: base IRI expected")
+            self.base = iri_token.value[1:-1]
+        else:  # pragma: no cover - the tokenizer only emits prefix/base
+            raise TurtleParseError(f"Unknown directive {directive.value!r}")
+        if directive.value.startswith("@"):
+            self.expect_punct(".")
+        elif self.peek().kind == "PUNCT" and self.peek().value == ".":
+            self.next()
+
+    def _parse_triples(self) -> None:
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+
+    def _parse_subject(self) -> Node:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == "[":
+            return self._parse_blank_node_property_list()
+        if token.kind == "PUNCT" and token.value == "(":
+            return self._parse_collection()
+        return self._parse_resource()
+
+    def _parse_predicate_object_list(self, subject: Node) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            self._parse_object_list(subject, predicate)
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value == ";":
+                self.next()
+                nxt = self.peek()
+                # Allow trailing ';' before '.' or ']'
+                if nxt.kind == "PUNCT" and nxt.value in (".", "]"):
+                    return
+                continue
+            return
+
+    def _parse_predicate(self) -> IRI:
+        token = self.peek()
+        if token.kind == "A" or (token.kind == "PNAME" and token.value == "a"):
+            self.next()
+            return RDF_TYPE
+        term = self._parse_resource()
+        if not isinstance(term, IRI):
+            raise self.error("predicate must be an IRI")
+        return term
+
+    def _parse_object_list(self, subject: Node, predicate: IRI) -> None:
+        while True:
+            obj = self._parse_object()
+            self.graph.add((subject, predicate, obj))
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value == ",":
+                self.next()
+                continue
+            return
+
+    def _parse_object(self) -> Node:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == "[":
+            return self._parse_blank_node_property_list()
+        if token.kind == "PUNCT" and token.value == "(":
+            return self._parse_collection()
+        if token.kind in ("STRING", "SQ_STRING", "TRIPLE_STRING"):
+            return self._parse_literal()
+        if token.kind in ("INTEGER", "DECIMAL", "DOUBLE", "BOOLEAN"):
+            return self._parse_numeric_or_boolean()
+        return self._parse_resource()
+
+    def _parse_blank_node_property_list(self) -> BNode:
+        self.expect_punct("[")
+        node = BNode()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == "]":
+            self.next()
+            return node
+        self._parse_predicate_object_list(node)
+        self.expect_punct("]")
+        return node
+
+    def _parse_collection(self) -> Node:
+        self.expect_punct("(")
+        items: List[Node] = []
+        while not (self.peek().kind == "PUNCT" and self.peek().value == ")"):
+            items.append(self._parse_object())
+        self.expect_punct(")")
+        if not items:
+            return RDF_NIL
+        head = BNode()
+        current = head
+        for i, item in enumerate(items):
+            self.graph.add((current, RDF_FIRST, item))
+            if i == len(items) - 1:
+                self.graph.add((current, RDF_REST, RDF_NIL))
+            else:
+                nxt = BNode()
+                self.graph.add((current, RDF_REST, nxt))
+                current = nxt
+        return head
+
+    def _parse_literal(self) -> Literal:
+        token = self.next()
+        raw = token.value
+        if token.kind == "TRIPLE_STRING":
+            value = _unescape_string(raw[3:-3])
+        else:
+            value = _unescape_string(raw[1:-1])
+        nxt = self.peek()
+        if nxt.kind == "LANGTAG":
+            self.next()
+            return Literal(value, language=nxt.value[1:])
+        if nxt.kind == "DTYPE":
+            self.next()
+            datatype = self._parse_resource()
+            if not isinstance(datatype, IRI):
+                raise self.error("datatype must be an IRI")
+            return Literal(value, datatype=datatype)
+        return Literal(value)
+
+    def _parse_numeric_or_boolean(self) -> Literal:
+        token = self.next()
+        if token.kind == "INTEGER":
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "DECIMAL":
+            return Literal(token.value, datatype=XSD_DECIMAL)
+        if token.kind == "DOUBLE":
+            return Literal(token.value, datatype=XSD_DOUBLE)
+        return Literal(token.value, datatype=XSD_BOOLEAN)
+
+    def _parse_resource(self) -> Node:
+        token = self.next()
+        if token.kind == "IRIREF":
+            iri = token.value[1:-1]
+            if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+                iri = self.base + iri
+            return IRI(iri)
+        if token.kind == "BLANK":
+            return BNode(token.value[2:])
+        if token.kind == "PNAME" or ":" in token.value:
+            try:
+                return self.graph.namespace_manager.expand(token.value)
+            except KeyError as exc:
+                raise TurtleParseError(f"Line {token.line}: {exc}") from exc
+        raise TurtleParseError(
+            f"Line {token.line}: expected a resource, found {token.value!r}"
+        )
+
+
+def parse(data: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse Turtle ``data`` into ``graph`` (creating one if needed)."""
+    if graph is None:
+        graph = Graph()
+    parser = _Parser(_tokenize(data), graph)
+    parser.parse()
+    return graph
+
+
+def _format_term(graph: Graph, term: Node) -> str:
+    if isinstance(term, IRI):
+        compact = graph.namespace_manager.qname(term)
+        return compact if compact is not None else term.n3()
+    return term.n3()
+
+
+def serialize(graph: Graph) -> str:
+    """Serialise ``graph`` to Turtle, grouping triples by subject."""
+    lines: List[str] = []
+    used_prefixes = set()
+    by_subject: dict = {}
+    for s, p, o in graph:
+        by_subject.setdefault(s, []).append((p, o))
+        for term in (s, p, o):
+            if isinstance(term, IRI):
+                compact = graph.namespace_manager.qname(term)
+                if compact:
+                    used_prefixes.add(compact.split(":", 1)[0])
+
+    for prefix, namespace in graph.namespaces():
+        if prefix in used_prefixes:
+            lines.append(f"@prefix {prefix}: <{namespace}> .")
+    if lines:
+        lines.append("")
+
+    def sort_key(node: Node) -> Tuple[int, str]:
+        return (0 if isinstance(node, IRI) else 1, str(node))
+
+    for subject in sorted(by_subject, key=sort_key):
+        pairs = sorted(by_subject[subject], key=lambda po: (str(po[0]), str(po[1])))
+        subject_text = _format_term(graph, subject)
+        predicate_lines = []
+        for predicate, obj in pairs:
+            if predicate == RDF_TYPE:
+                pred_text = "a"
+            else:
+                pred_text = _format_term(graph, predicate)
+            predicate_lines.append(f"    {pred_text} {_format_term(graph, obj)}")
+        lines.append(subject_text + "\n" + " ;\n".join(predicate_lines) + " .")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,18 @@
+"""The Health Coach substitute: the recommender whose outputs FEO explains."""
+
+from .constraints import ConstraintChecker, ConstraintViolation
+from .health_coach import HealthCoach, Recommendation
+from .scoring import ContentBasedScorer, DEFAULT_WEIGHTS, ScoreBreakdown
+from .trace import RecommendationTrace, TraceStep
+
+__all__ = [
+    "ConstraintChecker",
+    "ConstraintViolation",
+    "ContentBasedScorer",
+    "DEFAULT_WEIGHTS",
+    "HealthCoach",
+    "Recommendation",
+    "RecommendationTrace",
+    "ScoreBreakdown",
+    "TraceStep",
+]

@@ -1,0 +1,101 @@
+"""Hard constraint filtering for the Health Coach substitute.
+
+Constraints remove candidate recipes outright: allergens the user reacts
+to, foods forbidden by a health condition or goal, declared dislikes and
+diet incompatibilities.  Each violation is recorded so that explanations
+(and the recommender trace) can cite the reason a recipe was excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..foodkg.schema import FoodCatalog, RecipeRecord
+from ..users.profile import UserProfile
+
+__all__ = ["ConstraintViolation", "ConstraintChecker"]
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One reason a recipe is unsuitable for a user."""
+
+    recipe: str
+    kind: str          # "allergy", "condition", "goal", "dislike", "diet"
+    subject: str       # the allergy/condition/goal/diet involved
+    detail: str        # the offending ingredient or missing diet
+
+    def describe(self) -> str:
+        if self.kind == "allergy":
+            return f"{self.recipe} contains {self.detail}, which the user is allergic to"
+        if self.kind in ("condition", "goal"):
+            label = self.subject.replace("_", " ")
+            return f"{self.recipe} contains {self.detail}, which is not advised for {label}"
+        if self.kind == "dislike":
+            return f"{self.recipe} contains {self.detail}, which the user dislikes"
+        return f"{self.recipe} is not suitable for the user's {self.detail} diet"
+
+
+class ConstraintChecker:
+    """Evaluates a user's hard constraints against catalogue recipes."""
+
+    def __init__(self, catalog: FoodCatalog) -> None:
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    def violations(self, recipe: RecipeRecord, user: UserProfile) -> List[ConstraintViolation]:
+        """Every constraint the recipe violates for this user."""
+        out: List[ConstraintViolation] = []
+        ingredients = set(recipe.ingredients)
+        ingredient_allergens = {
+            allergen
+            for name in recipe.ingredients
+            for allergen in self._catalog.ingredients[name].allergens
+        }
+
+        for allergy in user.allergies:
+            if allergy in ingredients:
+                out.append(ConstraintViolation(recipe.name, "allergy", allergy, allergy))
+            elif allergy.lower() in {a.lower() for a in ingredient_allergens}:
+                out.append(ConstraintViolation(recipe.name, "allergy", allergy, allergy))
+
+        for dislike in user.dislikes:
+            if dislike in ingredients:
+                out.append(ConstraintViolation(recipe.name, "dislike", dislike, dislike))
+
+        for condition in user.conditions:
+            for rule in self._catalog.rules_for(condition):
+                for forbidden in rule.forbids:
+                    if forbidden in ingredients or forbidden == recipe.name:
+                        out.append(ConstraintViolation(recipe.name, "condition", condition, forbidden))
+
+        for goal in user.goals:
+            for rule in self._catalog.rules_for(goal):
+                for forbidden in rule.forbids:
+                    if forbidden in ingredients or forbidden == recipe.name:
+                        out.append(ConstraintViolation(recipe.name, "goal", goal, forbidden))
+
+        for diet in user.diets:
+            if diet not in recipe.diets:
+                out.append(ConstraintViolation(recipe.name, "diet", diet, diet))
+
+        return out
+
+    def is_allowed(self, recipe: RecipeRecord, user: UserProfile) -> bool:
+        """True if the recipe violates none of the user's hard constraints."""
+        return not self.violations(recipe, user)
+
+    def partition(
+        self, recipes: List[RecipeRecord], user: UserProfile
+    ) -> Tuple[List[RecipeRecord], Dict[str, List[ConstraintViolation]]]:
+        """Split recipes into (allowed, {recipe name: violations})."""
+        allowed: List[RecipeRecord] = []
+        rejected: Dict[str, List[ConstraintViolation]] = {}
+        for recipe in recipes:
+            violations = self.violations(recipe, user)
+            if violations:
+                rejected[recipe.name] = violations
+            else:
+                allowed.append(recipe)
+        return allowed, rejected

@@ -1,0 +1,127 @@
+"""The Health Coach substitute: the black-box whose outputs FEO explains.
+
+The paper evaluates FEO against recommendations produced by the 'Health
+Coach' application (Rastogi et al., ISWC 2020 demo).  That system is not
+public, so :class:`HealthCoach` plays its role: given a user profile and a
+system context it filters the catalogue by hard constraints, scores the
+remaining recipes and returns ranked :class:`Recommendation` records, each
+carrying the trace FEO's trace-based explanations consume.  FEO itself is
+recommender-agnostic, so any component with this output shape exercises
+the same explanation pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..foodkg.schema import FoodCatalog
+from ..users.context import SystemContext
+from ..users.profile import UserProfile
+from .constraints import ConstraintChecker, ConstraintViolation
+from .scoring import ContentBasedScorer, ScoreBreakdown
+from .trace import RecommendationTrace
+
+__all__ = ["Recommendation", "HealthCoach"]
+
+
+@dataclass
+class Recommendation:
+    """One ranked recommendation with its score breakdown and trace."""
+
+    recipe: str
+    rank: int
+    score: float
+    breakdown: ScoreBreakdown
+    trace: RecommendationTrace
+    user_id: str
+    context: Dict[str, str] = field(default_factory=dict)
+
+    def reasons(self) -> List[str]:
+        return list(self.breakdown.reasons)
+
+
+class HealthCoach:
+    """A transparent content-based + constraint-filtering recommender."""
+
+    def __init__(
+        self,
+        catalog: FoodCatalog,
+        scorer: Optional[ContentBasedScorer] = None,
+        checker: Optional[ConstraintChecker] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.scorer = scorer or ContentBasedScorer(catalog)
+        self.checker = checker or ConstraintChecker(catalog)
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user: UserProfile,
+        context: SystemContext,
+        top_k: int = 5,
+    ) -> List[Recommendation]:
+        """Return the ``top_k`` recommendations for ``user`` in ``context``."""
+        trace = RecommendationTrace()
+        candidates = list(self.catalog.recipes.values())
+        trace.add("candidate-generation",
+                  f"considered {len(candidates)} catalogue recipes",
+                  count=len(candidates))
+
+        allowed, rejected = self.checker.partition(candidates, user)
+        trace.add("constraint-filter",
+                  f"removed {len(rejected)} recipes violating hard constraints "
+                  f"(allergies, conditions, diets)",
+                  removed=sorted(rejected),
+                  kept=len(allowed))
+
+        ranked = self.scorer.rank(allowed, user, context)
+        trace.add("scoring",
+                  f"scored {len(ranked)} remaining recipes with content-based features "
+                  f"(likes, seasonality, goals, diet, budget)",
+                  scored=len(ranked))
+
+        top = ranked[:top_k]
+        trace.add("selection", f"selected the top {len(top)} recipes", top=[b.recipe for b in top])
+
+        recommendations = []
+        for rank, breakdown in enumerate(top, start=1):
+            recommendations.append(Recommendation(
+                recipe=breakdown.recipe,
+                rank=rank,
+                score=breakdown.total,
+                breakdown=breakdown,
+                trace=trace,
+                user_id=user.identifier,
+                context=context.summary(),
+            ))
+        return recommendations
+
+    def recommend_one(self, user: UserProfile, context: SystemContext) -> Optional[Recommendation]:
+        """The single best recommendation (or ``None`` if everything is filtered)."""
+        results = self.recommend(user, context, top_k=1)
+        return results[0] if results else None
+
+    # ------------------------------------------------------------------
+    def why_not(self, recipe_name: str, user: UserProfile) -> List[ConstraintViolation]:
+        """The hard-constraint reasons a given recipe would be rejected."""
+        recipe = self.catalog.recipes.get(recipe_name)
+        if recipe is None:
+            raise KeyError(f"Unknown recipe {recipe_name!r}")
+        return self.checker.violations(recipe, user)
+
+    def compare(
+        self,
+        recipe_a: str,
+        recipe_b: str,
+        user: UserProfile,
+        context: SystemContext,
+    ) -> Dict[str, ScoreBreakdown]:
+        """Score two recipes side by side (input to contrastive explanations)."""
+        out: Dict[str, ScoreBreakdown] = {}
+        for name in (recipe_a, recipe_b):
+            recipe = self.catalog.recipes.get(name)
+            if recipe is None:
+                raise KeyError(f"Unknown recipe {name!r}")
+            out[name] = self.scorer.score(recipe, user, context)
+        return out

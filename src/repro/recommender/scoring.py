@@ -1,0 +1,151 @@
+"""Content-based scoring for the Health Coach substitute.
+
+The original Health Coach application uses machine-learning models; FEO is
+deliberately agnostic about what produces the recommendation.  This scorer
+is a transparent content-based stand-in: it rewards overlap with the
+user's likes, seasonal and regional availability, goal-aligned nutrients,
+diet fit, budget fit and meal-time fit, and penalises disliked
+ingredients.  Every component is reported so traces and explanations can
+cite them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..foodkg.schema import FoodCatalog, RecipeRecord
+from ..users.context import SystemContext
+from ..users.profile import UserProfile
+
+__all__ = ["ScoreBreakdown", "ContentBasedScorer", "DEFAULT_WEIGHTS"]
+
+#: Relative weight of each scoring component.
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "liked_recipe": 3.0,
+    "liked_ingredient_overlap": 1.0,
+    "disliked_ingredient": -2.0,
+    "seasonal": 1.5,
+    "regional": 0.75,
+    "goal_nutrient": 1.25,
+    "goal_recommended_food": 1.5,
+    "condition_recommended_food": 1.5,
+    "diet_match": 1.0,
+    "budget_match": 0.5,
+    "meal_time_match": 0.5,
+}
+
+_GOAL_NUTRIENTS = {
+    "high_folate": "folate",
+    "high_protein": "protein",
+    "high_fiber": "fiber",
+}
+
+
+@dataclass
+class ScoreBreakdown:
+    """The total score of one recipe and the contribution of each component."""
+
+    recipe: str
+    total: float = 0.0
+    components: Dict[str, float] = field(default_factory=dict)
+    reasons: List[str] = field(default_factory=list)
+
+    def add(self, component: str, value: float, reason: str) -> None:
+        if value == 0:
+            return
+        self.components[component] = self.components.get(component, 0.0) + value
+        self.total += value
+        self.reasons.append(reason)
+
+
+class ContentBasedScorer:
+    """Scores catalogue recipes for a (user, context) pair."""
+
+    def __init__(self, catalog: FoodCatalog, weights: Optional[Dict[str, float]] = None) -> None:
+        self._catalog = catalog
+        self._weights = dict(DEFAULT_WEIGHTS)
+        if weights:
+            self._weights.update(weights)
+
+    # ------------------------------------------------------------------
+    def score(self, recipe: RecipeRecord, user: UserProfile, context: SystemContext) -> ScoreBreakdown:
+        """Return the full score breakdown of ``recipe`` for ``user`` in ``context``."""
+        breakdown = ScoreBreakdown(recipe=recipe.name)
+        weights = self._weights
+        catalog = self._catalog
+        ingredients = [catalog.ingredients[name] for name in recipe.ingredients]
+
+        if user.likes_food(recipe.name):
+            breakdown.add("liked_recipe", weights["liked_recipe"],
+                          f"the user likes {recipe.name}")
+
+        liked_ingredients = [i.name for i in ingredients if user.likes_food(i.name)]
+        if liked_ingredients:
+            breakdown.add("liked_ingredient_overlap",
+                          weights["liked_ingredient_overlap"] * len(liked_ingredients),
+                          f"contains liked ingredients: {', '.join(liked_ingredients)}")
+
+        disliked = [i.name for i in ingredients if user.dislikes_food(i.name)]
+        if disliked:
+            breakdown.add("disliked_ingredient",
+                          weights["disliked_ingredient"] * len(disliked),
+                          f"contains disliked ingredients: {', '.join(disliked)}")
+
+        seasonal = [i.name for i in ingredients if context.season in i.seasons]
+        if seasonal:
+            breakdown.add("seasonal", weights["seasonal"],
+                          f"uses ingredients in season ({context.season}): {', '.join(seasonal)}")
+
+        regional = [i.name for i in ingredients if context.region in i.regions]
+        if regional:
+            breakdown.add("regional", weights["regional"],
+                          f"uses ingredients available in {context.region}")
+
+        for goal in user.goals:
+            nutrient = _GOAL_NUTRIENTS.get(goal)
+            if nutrient:
+                providers = [i.name for i in ingredients if nutrient in i.nutrients]
+                if providers:
+                    breakdown.add("goal_nutrient", weights["goal_nutrient"],
+                                  f"rich in {nutrient} ({', '.join(providers)}) supporting the "
+                                  f"{goal.replace('_', ' ')} goal")
+            for rule in catalog.rules_for(goal):
+                recommended = [name for name in rule.recommends
+                               if name in recipe.ingredients or name == recipe.name]
+                if recommended:
+                    breakdown.add("goal_recommended_food", weights["goal_recommended_food"],
+                                  f"contains foods recommended for {goal.replace('_', ' ')}: "
+                                  f"{', '.join(recommended)}")
+
+        for condition in user.conditions:
+            for rule in catalog.rules_for(condition):
+                recommended = [name for name in rule.recommends
+                               if name in recipe.ingredients or name == recipe.name]
+                if recommended:
+                    breakdown.add("condition_recommended_food",
+                                  weights["condition_recommended_food"],
+                                  f"contains foods recommended for {condition.replace('_', ' ')}: "
+                                  f"{', '.join(recommended)}")
+
+        matching_diets = [diet for diet in user.diets if diet in recipe.diets]
+        if matching_diets:
+            breakdown.add("diet_match", weights["diet_match"] * len(matching_diets),
+                          f"fits the user's {', '.join(matching_diets)} diet")
+
+        if user.budget and recipe.cost_level == user.budget:
+            breakdown.add("budget_match", weights["budget_match"],
+                          f"matches the user's {user.budget} budget")
+        elif user.budget == "low" and recipe.cost_level == "low":
+            breakdown.add("budget_match", weights["budget_match"], "is a low-cost recipe")
+
+        if context.meal_time and context.meal_time in recipe.meal_types:
+            breakdown.add("meal_time_match", weights["meal_time_match"],
+                          f"is suitable for {context.meal_time}")
+
+        return breakdown
+
+    def rank(self, recipes: List[RecipeRecord], user: UserProfile, context: SystemContext) -> List[ScoreBreakdown]:
+        """Score and sort ``recipes`` best-first (ties broken alphabetically)."""
+        scored = [self.score(recipe, user, context) for recipe in recipes]
+        return sorted(scored, key=lambda b: (-b.total, b.recipe))

@@ -1,0 +1,51 @@
+"""Machine-readable traces of a recommender run.
+
+FEO is a *post-hoc* explanation framework: it does not look inside the
+recommender, but trace-based explanations (one of the Table I types) need
+a record of the steps the system took.  :class:`RecommendationTrace`
+captures those steps so the trace-based generator can replay them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceStep", "RecommendationTrace"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of the recommendation pipeline."""
+
+    stage: str               # e.g. "candidate-generation", "constraint-filter", "scoring"
+    description: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RecommendationTrace:
+    """The ordered list of steps that produced one recommendation list."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def add(self, stage: str, description: str, **detail: Any) -> TraceStep:
+        step = TraceStep(stage=stage, description=description, detail=dict(detail))
+        self.steps.append(step)
+        return step
+
+    def stages(self) -> List[str]:
+        return [step.stage for step in self.steps]
+
+    def for_stage(self, stage: str) -> List[TraceStep]:
+        return [step for step in self.steps if step.stage == stage]
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def as_sentences(self) -> List[str]:
+        """Human-readable rendering used by trace-based explanations."""
+        return [f"[{step.stage}] {step.description}" for step in self.steps]

@@ -1,0 +1,54 @@
+"""A SPARQL 1.1 subset engine for querying :class:`repro.rdf.Graph`.
+
+The public entry points are :func:`query` (parse + evaluate in one call,
+also reachable as ``Graph.query``) and :func:`prepare` for queries that are
+evaluated repeatedly (the benchmark harness uses this to separate parse
+time from evaluation time).
+"""
+
+from typing import Any, Mapping, Optional
+
+from .algebra import Query
+from .evaluator import QueryEvaluator, evaluate_query
+from .parser import parse_query
+from .results import Result, ResultRow
+from .tokenizer import SparqlSyntaxError
+
+__all__ = [
+    "PreparedQuery",
+    "Query",
+    "QueryEvaluator",
+    "Result",
+    "ResultRow",
+    "SparqlSyntaxError",
+    "parse_query",
+    "prepare",
+    "query",
+]
+
+
+class PreparedQuery:
+    """A parsed query that can be evaluated against many graphs."""
+
+    def __init__(self, text: str, namespaces=None) -> None:
+        self.text = text
+        self.algebra = parse_query(text, namespaces)
+
+    def evaluate(self, graph, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
+        from ..rdf.terms import Variable
+
+        evaluator = QueryEvaluator(graph)
+        bindings = None
+        if init_bindings:
+            bindings = {Variable(str(k).lstrip("?$")): v for k, v in init_bindings.items()}
+        return evaluator.evaluate(self.algebra, bindings)
+
+
+def query(graph, query_text: str, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
+    """Evaluate ``query_text`` against ``graph`` and return a :class:`Result`."""
+    return evaluate_query(graph, query_text, init_bindings)
+
+
+def prepare(query_text: str, namespaces=None) -> PreparedQuery:
+    """Parse ``query_text`` once and return a reusable :class:`PreparedQuery`."""
+    return PreparedQuery(query_text, namespaces)

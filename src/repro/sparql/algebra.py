@@ -1,0 +1,268 @@
+"""Abstract syntax / algebra nodes for the SPARQL subset.
+
+The parser produces these dataclasses and the evaluator walks them.  The
+split keeps both sides readable and lets tests construct algebra nodes
+directly when exercising the evaluator in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import IRI, Literal, Variable, BNode
+
+__all__ = [
+    "PathExpr",
+    "PredicatePath",
+    "InversePath",
+    "SequencePath",
+    "AlternativePath",
+    "ModifiedPath",
+    "TriplePattern",
+    "Expression",
+    "VariableExpr",
+    "TermExpr",
+    "BinaryExpr",
+    "UnaryExpr",
+    "FunctionExpr",
+    "ExistsExpr",
+    "InExpr",
+    "AggregateExpr",
+    "Pattern",
+    "BGP",
+    "GroupPattern",
+    "FilterPattern",
+    "OptionalPattern",
+    "UnionPattern",
+    "MinusPattern",
+    "BindPattern",
+    "ValuesPattern",
+    "SelectQuery",
+    "AskQuery",
+    "ConstructQuery",
+    "Query",
+    "OrderCondition",
+    "Projection",
+]
+
+TermOrVar = Union[IRI, Literal, Variable, BNode]
+
+
+# ---------------------------------------------------------------------------
+# Property paths
+# ---------------------------------------------------------------------------
+class PathExpr:
+    """Base class for property-path expressions."""
+
+
+@dataclass(frozen=True)
+class PredicatePath(PathExpr):
+    """A plain predicate IRI used as a path of length one."""
+
+    iri: IRI
+
+
+@dataclass(frozen=True)
+class InversePath(PathExpr):
+    """``^path`` — traverse the path from object to subject."""
+
+    path: PathExpr
+
+
+@dataclass(frozen=True)
+class SequencePath(PathExpr):
+    """``p1 / p2`` — path composition."""
+
+    steps: Tuple[PathExpr, ...]
+
+
+@dataclass(frozen=True)
+class AlternativePath(PathExpr):
+    """``p1 | p2`` — either branch."""
+
+    options: Tuple[PathExpr, ...]
+
+
+@dataclass(frozen=True)
+class ModifiedPath(PathExpr):
+    """``path+``, ``path*`` or ``path?``."""
+
+    path: PathExpr
+    modifier: str  # one of '+', '*', '?'
+
+
+# ---------------------------------------------------------------------------
+# Triple patterns
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern whose predicate may be a term, variable or path."""
+
+    subject: TermOrVar
+    predicate: Union[TermOrVar, PathExpr]
+    object: TermOrVar
+
+    def variables(self) -> List[Variable]:
+        result = []
+        for term in (self.subject, self.predicate, self.object):
+            if isinstance(term, Variable):
+                result.append(term)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expression:
+    """Base class for filter/bind expressions."""
+
+
+@dataclass(frozen=True)
+class VariableExpr(Expression):
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class TermExpr(Expression):
+    term: Union[IRI, Literal]
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expression):
+    operator: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionExpr(Expression):
+    name: str
+    args: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expression):
+    pattern: "Pattern"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InExpr(Expression):
+    value: Expression
+    options: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AggregateExpr(Expression):
+    name: str  # COUNT, SUM, AVG, MIN, MAX, SAMPLE, GROUP_CONCAT
+    argument: Optional[Expression]  # None means COUNT(*)
+    distinct: bool = False
+    separator: str = " "
+
+
+# ---------------------------------------------------------------------------
+# Graph patterns
+# ---------------------------------------------------------------------------
+class Pattern:
+    """Base class for group graph pattern elements."""
+
+
+@dataclass
+class BGP(Pattern):
+    """A basic graph pattern: an ordered list of triple patterns."""
+
+    triples: List[TriplePattern] = field(default_factory=list)
+
+
+@dataclass
+class GroupPattern(Pattern):
+    """A ``{ ... }`` group: sub-patterns evaluated left to right."""
+
+    patterns: List[Pattern] = field(default_factory=list)
+
+
+@dataclass
+class FilterPattern(Pattern):
+    expression: Expression
+
+
+@dataclass
+class OptionalPattern(Pattern):
+    pattern: Pattern
+
+
+@dataclass
+class UnionPattern(Pattern):
+    alternatives: List[Pattern] = field(default_factory=list)
+
+
+@dataclass
+class MinusPattern(Pattern):
+    pattern: Pattern
+
+
+@dataclass
+class BindPattern(Pattern):
+    expression: Expression
+    variable: Variable
+
+
+@dataclass
+class ValuesPattern(Pattern):
+    variables: List[Variable] = field(default_factory=list)
+    rows: List[List[Optional[TermOrVar]]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+@dataclass
+class OrderCondition:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class Projection:
+    """One projected column: a bare variable or ``(expr AS ?var)``."""
+
+    variable: Variable
+    expression: Optional[Expression] = None
+
+
+@dataclass
+class SelectQuery:
+    projections: List[Projection]
+    where: Pattern
+    distinct: bool = False
+    select_all: bool = False
+    group_by: List[Expression] = field(default_factory=list)
+    having: List[Expression] = field(default_factory=list)
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass
+class AskQuery:
+    where: Pattern
+
+
+@dataclass
+class ConstructQuery:
+    template: List[TriplePattern]
+    where: Pattern
+    distinct: bool = False
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery]

@@ -1,0 +1,158 @@
+"""Property-path evaluation over a graph.
+
+``evaluate_path(graph, path, subject, obj)`` yields ``(subject, object)``
+pairs connected by ``path``.  Either endpoint may be bound (a concrete
+term) or ``None`` (free).  Transitive closures (``+`` / ``*``) are computed
+with a breadth-first search from the bound side whenever one side is bound,
+so queries like ``?cls rdfs:subClassOf+ feo:Characteristic`` stay linear in
+the size of the reachable subgraph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Optional, Set, Tuple
+
+from ..rdf.terms import IRI
+from .algebra import (
+    AlternativePath,
+    InversePath,
+    ModifiedPath,
+    PathExpr,
+    PredicatePath,
+    SequencePath,
+)
+
+__all__ = ["evaluate_path"]
+
+Pair = Tuple[object, object]
+
+
+def _predicate_pairs(graph, predicate: IRI, subject, obj) -> Iterator[Pair]:
+    for s, _, o in graph.triples((subject, predicate, obj)):
+        yield s, o
+
+
+def _inverse_pairs(graph, path: PathExpr, subject, obj) -> Iterator[Pair]:
+    for o, s in evaluate_path(graph, path, obj, subject):
+        yield s, o
+
+
+def _sequence_pairs(graph, steps, subject, obj) -> Iterator[Pair]:
+    if len(steps) == 1:
+        yield from evaluate_path(graph, steps[0], subject, obj)
+        return
+    first, rest = steps[0], steps[1:]
+    seen: Set[Pair] = set()
+    for s, mid in evaluate_path(graph, first, subject, None):
+        for _, o in _sequence_pairs(graph, rest, mid, obj):
+            pair = (s, o)
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+
+
+def _alternative_pairs(graph, options, subject, obj) -> Iterator[Pair]:
+    seen: Set[Pair] = set()
+    for option in options:
+        for pair in evaluate_path(graph, option, subject, obj):
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+
+
+def _closure_from(graph, path: PathExpr, start, include_start: bool) -> Iterator[object]:
+    """All nodes reachable from ``start`` via one-or-more (or zero-or-more) steps."""
+    visited: Set[object] = set()
+    if include_start:
+        visited.add(start)
+        yield start
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for _, nxt in evaluate_path(graph, path, node, None):
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+                yield nxt
+
+
+def _closure_to(graph, path: PathExpr, end, include_end: bool) -> Iterator[object]:
+    """All nodes that reach ``end`` via one-or-more (or zero-or-more) steps."""
+    visited: Set[object] = set()
+    if include_end:
+        visited.add(end)
+        yield end
+    queue = deque([end])
+    while queue:
+        node = queue.popleft()
+        for prev, _ in evaluate_path(graph, path, None, node):
+            if prev not in visited:
+                visited.add(prev)
+                queue.append(prev)
+                yield prev
+
+
+def _all_nodes(graph) -> Iterable[object]:
+    seen: Set[object] = set()
+    for s, _, o in graph.triples((None, None, None)):
+        if s not in seen:
+            seen.add(s)
+            yield s
+        if o not in seen:
+            seen.add(o)
+            yield o
+
+
+def _modified_pairs(graph, path: PathExpr, modifier: str, subject, obj) -> Iterator[Pair]:
+    include_self = modifier in ("*", "?")
+    if modifier == "?":
+        seen: Set[Pair] = set()
+        if include_self:
+            if subject is not None and (obj is None or subject == obj):
+                seen.add((subject, subject))
+                yield subject, subject
+            elif subject is None and obj is not None:
+                seen.add((obj, obj))
+                yield obj, obj
+        for pair in evaluate_path(graph, path, subject, obj):
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+        return
+
+    if subject is not None:
+        for node in _closure_from(graph, path, subject, include_start=include_self):
+            if obj is None or node == obj:
+                yield subject, node
+        return
+    if obj is not None:
+        for node in _closure_to(graph, path, obj, include_end=include_self):
+            yield node, obj
+        return
+    # Both ends free: closure from every subject node.
+    emitted: Set[Pair] = set()
+    for start in list(_all_nodes(graph)):
+        for node in _closure_from(graph, path, start, include_start=include_self):
+            pair = (start, node)
+            if pair not in emitted:
+                emitted.add(pair)
+                yield pair
+
+
+def evaluate_path(graph, path, subject, obj) -> Iterator[Pair]:
+    """Yield ``(s, o)`` pairs related by ``path`` (endpoints may be bound)."""
+    if isinstance(path, IRI):
+        yield from _predicate_pairs(graph, path, subject, obj)
+    elif isinstance(path, PredicatePath):
+        yield from _predicate_pairs(graph, path.iri, subject, obj)
+    elif isinstance(path, InversePath):
+        yield from _inverse_pairs(graph, path.path, subject, obj)
+    elif isinstance(path, SequencePath):
+        yield from _sequence_pairs(graph, list(path.steps), subject, obj)
+    elif isinstance(path, AlternativePath):
+        yield from _alternative_pairs(graph, list(path.options), subject, obj)
+    elif isinstance(path, ModifiedPath):
+        yield from _modified_pairs(graph, path.path, path.modifier, subject, obj)
+    else:
+        raise TypeError(f"Unsupported property path: {path!r}")

@@ -1,0 +1,162 @@
+"""Query result containers and text rendering.
+
+``Result`` unifies the three query forms: SELECT results iterate as
+:class:`ResultRow` objects (which behave like both tuples and mappings),
+ASK results expose ``askAnswer`` and CONSTRUCT results expose ``graph``.
+The text table renderer reproduces the style of the result tables printed
+in the paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Variable
+
+__all__ = ["ResultRow", "Result"]
+
+
+class ResultRow:
+    """One solution: behaves as a tuple (projection order) and as a mapping."""
+
+    __slots__ = ("_variables", "_values")
+
+    def __init__(self, variables: Sequence[Variable], values: Sequence[Any]) -> None:
+        self._variables = list(variables)
+        self._values = list(values)
+
+    def __getitem__(self, key) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        name = key if isinstance(key, str) else str(key)
+        name = name.lstrip("?$")
+        for variable, value in zip(self._variables, self._values):
+            if str(variable) == name:
+                return value
+        raise KeyError(key)
+
+    def get(self, key, default=None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError as exc:
+            raise AttributeError(name) from exc
+
+    def asdict(self) -> Dict[str, Any]:
+        return {
+            str(variable): value
+            for variable, value in zip(self._variables, self._values)
+            if value is not None
+        }
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ResultRow):
+            return self._values == other._values and self._variables == other._variables
+        if isinstance(other, (tuple, list)):
+            return tuple(self._values) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        pairs = ", ".join(f"?{v}={x}" for v, x in zip(self._variables, self._values))
+        return f"ResultRow({pairs})"
+
+
+class Result:
+    """The outcome of a SPARQL query."""
+
+    def __init__(
+        self,
+        type_: str,
+        variables: Optional[List[Variable]] = None,
+        rows: Optional[List[ResultRow]] = None,
+        ask_answer: Optional[bool] = None,
+        graph: Optional[Graph] = None,
+    ) -> None:
+        self.type = type_
+        self.variables = variables or []
+        self._rows = rows or []
+        self.askAnswer = ask_answer
+        self.graph = graph
+
+    # -- sequence protocol (SELECT) --------------------------------------
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        if self.type == "ASK":
+            return 1
+        if self.type == "CONSTRUCT" and self.graph is not None:
+            return len(self.graph)
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        if self.type == "ASK":
+            return bool(self.askAnswer)
+        return len(self) > 0
+
+    @property
+    def bindings(self) -> List[Dict[str, Any]]:
+        """SELECT solutions as plain dictionaries keyed by variable name."""
+        return [row.asdict() for row in self._rows]
+
+    def values(self, variable: str) -> List[Any]:
+        """All bindings of one variable, in row order (unbound rows skipped)."""
+        out = []
+        for row in self._rows:
+            value = row.get(variable)
+            if value is not None:
+                out.append(value)
+        return out
+
+    # -- rendering --------------------------------------------------------
+    def _format_term(self, term: Any, namespace_manager=None) -> str:
+        if term is None:
+            return ""
+        if isinstance(term, IRI) and namespace_manager is not None:
+            compact = namespace_manager.qname(term)
+            if compact:
+                return compact
+        if isinstance(term, Literal):
+            return term.lexical
+        return str(term)
+
+    def to_table(self, namespace_manager=None) -> str:
+        """Render SELECT results as an aligned text table (paper-listing style)."""
+        if self.type == "ASK":
+            return f"ASK -> {self.askAnswer}"
+        if self.type == "CONSTRUCT":
+            return self.graph.serialize("turtle") if self.graph is not None else ""
+        headers = [f"?{v}" for v in self.variables]
+        rows = [
+            [self._format_term(row.get(str(v)), namespace_manager) for v in self.variables]
+            for row in self._rows
+        ]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * widths[i] for i in range(len(headers))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Result type={self.type} rows={len(self._rows)}>"

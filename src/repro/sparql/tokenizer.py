@@ -1,0 +1,100 @@
+"""Tokenizer for the SPARQL subset used by the explanation engine.
+
+SPARQL keywords are case-insensitive; the tokenizer normalises them to
+upper case but preserves the original text for error messages.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["Token", "tokenize", "SparqlSyntaxError", "KEYWORDS"]
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised when a query cannot be tokenized or parsed."""
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FILTER", "OPTIONAL", "UNION",
+    "BIND", "AS", "VALUES", "UNDEF", "ASK", "CONSTRUCT", "DESCRIBE", "PREFIX",
+    "BASE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "GROUP", "HAVING",
+    "NOT", "EXISTS", "IN", "A", "GRAPH", "MINUS", "SERVICE",
+    # builtin function keywords
+    "BOUND", "STR", "LANG", "LANGMATCHES", "DATATYPE", "IRI", "URI", "BNODE",
+    "REGEX", "CONTAINS", "STRSTARTS", "STRENDS", "STRBEFORE", "STRAFTER",
+    "STRLEN", "UCASE", "LCASE", "CONCAT", "REPLACE", "SUBSTR", "ENCODE_FOR_URI",
+    "ABS", "CEIL", "FLOOR", "ROUND", "RAND", "NOW", "YEAR", "MONTH", "DAY",
+    "IF", "COALESCE", "SAMETERM", "ISIRI", "ISURI", "ISBLANK", "ISLITERAL",
+    "ISNUMERIC", "COUNT", "SUM", "MIN", "MAX", "AVG", "SAMPLE", "GROUP_CONCAT",
+    "SEPARATOR", "TRUE", "FALSE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<TRIPLE_STRING>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<STRING>"(?:[^"\\\n]|\\.)*")
+  | (?P<SQ_STRING>'(?:[^'\\\n]|\\.)*')
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<DOUBLE>(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<DECIMAL>\d*\.\d+)
+  | (?P<INTEGER>\d+)
+  | (?P<BLANK>_:[A-Za-z0-9][A-Za-z0-9_.-]*)
+  | (?P<PNAME>[A-Za-z][\w-]*:[A-Za-z0-9_](?:[\w.-]*[\w-])?|[A-Za-z][\w-]*:|:[A-Za-z0-9_](?:[\w.-]*[\w-])?)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<OP>\^\^|&&|\|\||!=|<=|>=|[=<>!+\-*/|^])
+  | (?P<PUNCT>[{}().,;\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """A single lexical token with position information."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind: str, value: str, line: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into a list of :class:`Token`, ending with an EOF token."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise SparqlSyntaxError(f"Line {line}: unexpected character {text[pos]!r}")
+        kind = match.lastgroup or "UNKNOWN"
+        value = match.group(0)
+        line += value.count("\n")
+        pos = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "NAME":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line))
+                continue
+            # bare 'a' shorthand is handled as a keyword above ("A")
+            tokens.append(Token("NAME", value, line))
+            continue
+        tokens.append(Token(kind, value, line))
+    tokens.append(Token("EOF", "", line))
+    return tokens

@@ -1,0 +1,15 @@
+"""User and system-context modelling (the FEO 'ecosystem')."""
+
+from .context import SystemContext
+from .personas import PERSONAS, all_personas, paper_context, paper_user, persona
+from .profile import UserProfile
+
+__all__ = [
+    "PERSONAS",
+    "SystemContext",
+    "UserProfile",
+    "all_personas",
+    "paper_context",
+    "paper_user",
+    "persona",
+]

@@ -1,0 +1,132 @@
+"""Sample personas used by tests, examples and the coverage benchmarks.
+
+``paper_user`` / ``paper_context`` reconstruct the (implicit) scenario of
+the paper's evaluation section: the recommender runs in autumn in the
+north-east US, and its user likes Broccoli Cheddar Soup but is allergic to
+broccoli — which is exactly what makes the contrastive competency question
+interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .context import SystemContext
+from .profile import UserProfile
+
+__all__ = ["paper_user", "paper_context", "PERSONAS", "persona", "all_personas"]
+
+
+def paper_user() -> UserProfile:
+    """The user implied by the paper's three competency questions."""
+    return UserProfile(
+        identifier="user-paper",
+        name="Alex",
+        likes=("Broccoli Cheddar Soup", "Sushi"),
+        dislikes=("Bacon",),
+        allergies=("Broccoli",),
+        diets=("vegetarian",),
+        goals=("high_folate",),
+        budget="medium",
+    )
+
+
+def paper_context() -> SystemContext:
+    """The system context implied by the paper (autumn, north-east US)."""
+    return SystemContext(season="autumn", region="northeast_us", meal_time="dinner")
+
+
+_PERSONA_SPECS: Dict[str, Tuple[UserProfile, SystemContext]] = {}
+
+
+def _register(key: str, profile: UserProfile, context: SystemContext) -> None:
+    _PERSONA_SPECS[key] = (profile, context)
+
+
+_register("paper", paper_user(), paper_context())
+
+_register(
+    "pregnant_user",
+    UserProfile(
+        identifier="user-pregnant",
+        name="Priya",
+        likes=("Sushi", "Spinach Frittata"),
+        allergies=(),
+        conditions=("pregnancy",),
+        goals=("high_folate",),
+        budget="medium",
+    ),
+    SystemContext(season="spring", region="west_coast_us", meal_time="lunch"),
+)
+
+_register(
+    "diabetic_user",
+    UserProfile(
+        identifier="user-diabetic",
+        name="Sam",
+        likes=("Oatmeal with Berries", "Lentil Soup"),
+        dislikes=("Sushi",),
+        conditions=("diabetes",),
+        goals=("low_carb", "high_fiber"),
+        budget="low",
+    ),
+    SystemContext(season="winter", region="midwest_us", meal_time="breakfast"),
+)
+
+_register(
+    "hypertensive_user",
+    UserProfile(
+        identifier="user-hypertensive",
+        name="Jordan",
+        likes=("Beef Tacos", "Chicken Noodle Soup"),
+        allergies=("Shrimp",),
+        conditions=("hypertension",),
+        goals=("low_sodium",),
+        budget="medium",
+    ),
+    SystemContext(season="summer", region="south_us", meal_time="dinner"),
+)
+
+_register(
+    "vegan_athlete",
+    UserProfile(
+        identifier="user-vegan-athlete",
+        name="Kai",
+        likes=("Tempeh Buddha Bowl", "Edamame Quinoa Salad"),
+        dislikes=("Mushroom",),
+        diets=("vegan",),
+        goals=("high_protein",),
+        budget="high",
+    ),
+    SystemContext(season="summer", region="west_coast_us", meal_time="lunch"),
+)
+
+_register(
+    "gluten_free_user",
+    UserProfile(
+        identifier="user-celiac",
+        name="Morgan",
+        likes=("Black Bean Tacos",),
+        allergies=("Peanut Butter",),
+        conditions=("celiac_disease",),
+        diets=("gluten_free",),
+        budget="low",
+    ),
+    SystemContext(season="autumn", region="northeast_us", meal_time="dinner"),
+)
+
+#: All registered persona keys.
+PERSONAS: List[str] = list(_PERSONA_SPECS)
+
+
+def persona(key: str) -> Tuple[UserProfile, SystemContext]:
+    """Return the (profile, context) pair registered under ``key``."""
+    try:
+        return _PERSONA_SPECS[key]
+    except KeyError as exc:
+        raise KeyError(f"Unknown persona {key!r}; available: {PERSONAS}") from exc
+
+
+def all_personas() -> Dict[str, Tuple[UserProfile, SystemContext]]:
+    """All personas as a dictionary (copies are cheap: profiles are frozen)."""
+    return dict(_PERSONA_SPECS)

@@ -1,0 +1,85 @@
+"""Shared fixtures.
+
+The expensive artefacts (combined ontology, loaded knowledge graph,
+reasoned scenario graphs, the explanation engine) are session-scoped: they
+are built once and treated as read-only by the tests that share them.
+Tests that need to mutate a graph build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ExplanationEngine
+from repro.core.questions import ContrastiveQuestion, WhatIfConditionQuestion, WhyQuestion
+from repro.foodkg.catalog import build_core_catalog
+from repro.foodkg.loader import load_catalog
+from repro.ontology.feo import build_combined_ontology
+from repro.owl import Reasoner
+from repro.users.personas import paper_context, paper_user
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The curated food catalogue."""
+    return build_core_catalog()
+
+
+@pytest.fixture(scope="session")
+def ontology_graph():
+    """EO + food ontology + FEO, schema only."""
+    return build_combined_ontology()
+
+
+@pytest.fixture(scope="session")
+def kg_graph(catalog):
+    """Combined ontology plus the loaded food knowledge graph (asserted only)."""
+    graph = build_combined_ontology()
+    load_catalog(catalog, graph)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def inferred_kg(kg_graph):
+    """The knowledge graph after reasoning (no scenario individuals)."""
+    return Reasoner(kg_graph.copy()).run()
+
+
+@pytest.fixture(scope="session")
+def engine(catalog):
+    """A shared explanation engine over the curated catalogue."""
+    return ExplanationEngine(catalog=catalog)
+
+
+@pytest.fixture(scope="session")
+def user():
+    return paper_user()
+
+
+@pytest.fixture(scope="session")
+def context():
+    return paper_context()
+
+
+@pytest.fixture(scope="session")
+def cq1_scenario(engine, user, context):
+    """Reasoned scenario for competency question 1 (contextual)."""
+    question = WhyQuestion(text="Why should I eat Cauliflower Potato Curry?",
+                           recipe="Cauliflower Potato Curry")
+    return engine.build_scenario(question, user, context)
+
+
+@pytest.fixture(scope="session")
+def cq2_scenario(engine, user, context):
+    """Reasoned scenario for competency question 2 (contrastive)."""
+    question = ContrastiveQuestion(
+        text="Why should I eat Butternut Squash Soup over a Broccoli Cheddar Soup?",
+        primary="Butternut Squash Soup", secondary="Broccoli Cheddar Soup")
+    return engine.build_scenario(question, user, context)
+
+
+@pytest.fixture(scope="session")
+def cq3_scenario(engine, user, context):
+    """Reasoned scenario for competency question 3 (counterfactual)."""
+    question = WhatIfConditionQuestion(text="What if I was pregnant?", condition="pregnancy")
+    return engine.build_scenario(question, user, context)

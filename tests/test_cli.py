@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def shared_engine(engine):
+    # Reuse the session engine fixture for CLI calls (avoids rebuilding the KG).
+    return engine
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_ask_arguments(self):
+        args = build_parser().parse_args(["ask", "Why should I eat Sushi?",
+                                          "--persona", "paper", "--type", "everyday"])
+        assert args.command == "ask"
+        assert args.explanation_type == "everyday"
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ask", "Why?", "--persona", "nobody"])
+
+    def test_export_defaults(self):
+        args = build_parser().parse_args(["export"])
+        assert args.output == "-" and args.format == "turtle"
+
+
+class TestCommands:
+    def test_ask_prints_explanation(self, shared_engine, capsys):
+        code = main(["ask", "Why should I eat Cauliflower Potato Curry?",
+                     "--show-evidence"], engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "contextual explanation" in out
+        assert "Autumn" in out
+
+    def test_ask_with_explicit_type(self, shared_engine, capsys):
+        code = main(["ask", "Why should I eat Sushi?", "--type", "everyday"],
+                    engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "everyday" in out
+
+    def test_recommend_lists_ranked_recipes(self, shared_engine, capsys):
+        code = main(["recommend", "--persona", "pregnant_user", "--top-k", "2"],
+                    engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "#1" in out and "#2" in out
+
+    def test_competency_command_passes(self, shared_engine, capsys):
+        code = main(["competency"], engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[PASS] CQ1" in out and "3/3" in out
+
+    def test_export_to_stdout(self, shared_engine, capsys):
+        code = main(["export"], engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feo:Characteristic" in out
+
+    def test_export_to_file(self, shared_engine, tmp_path, capsys):
+        target = tmp_path / "kg.nt"
+        code = main(["export", "--output", str(target), "--format", "ntriples"],
+                    engine=shared_engine)
+        capsys.readouterr()
+        assert code == 0
+        content = target.read_text()
+        assert "https://purl.org/heals/feo#Characteristic" in content

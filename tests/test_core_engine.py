@@ -1,0 +1,111 @@
+"""Tests for the ExplanationEngine facade and the competency-question harness."""
+
+import pytest
+
+from repro.core import (
+    CompetencySuite,
+    EXTENDED_COMPETENCY_QUESTIONS,
+    ExpectedBinding,
+    Explanation,
+    PAPER_COMPETENCY_QUESTIONS,
+)
+from repro.core.questions import WhyQuestion
+
+
+class TestEngineFacade:
+    def test_supported_types_cover_table1(self, engine):
+        assert set(engine.supported_explanation_types) == {
+            "case_based", "contextual", "contrastive", "counterfactual", "everyday",
+            "scientific", "simulation_based", "statistical", "trace_based",
+        }
+
+    def test_unknown_explanation_type_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.generator("magic")
+
+    def test_ask_routes_why_question_to_contextual(self, engine, user, context):
+        explanation = engine.ask("Why should I eat Cauliflower Potato Curry?", user, context)
+        assert explanation.explanation_type == "contextual"
+
+    def test_ask_routes_contrastive_question(self, engine, user, context):
+        explanation = engine.ask(
+            "Why should I eat Butternut Squash Soup over Broccoli Cheddar Soup?", user, context)
+        assert explanation.explanation_type == "contrastive"
+
+    def test_ask_routes_whatif_question_to_counterfactual(self, engine, user, context):
+        explanation = engine.ask("What if I was pregnant?", user, context)
+        assert explanation.explanation_type == "counterfactual"
+
+    def test_explicit_type_override(self, engine, user, context):
+        explanation = engine.ask("Why should I eat Sushi?", user, context,
+                                 explanation_type="everyday")
+        assert explanation.explanation_type == "everyday"
+
+    def test_explain_with_prebuilt_scenario_is_consistent(self, engine, user, context, cq1_scenario):
+        explanation = engine.explain(cq1_scenario.question, user, context,
+                                     explanation_type="contextual", scenario=cq1_scenario)
+        assert "Autumn" in explanation.subjects()
+
+    def test_explain_all_types_returns_all_nine(self, engine, user, context):
+        question = WhyQuestion(text="Why should I eat Lentil Soup?", recipe="Lentil Soup")
+        results = engine.explain_all_types(question, user, context)
+        assert set(results) == set(engine.supported_explanation_types)
+        assert all(isinstance(explanation, Explanation) for explanation in results.values())
+
+    def test_recommend_and_explain_pairs(self, engine, user, context):
+        pairs = engine.recommend_and_explain(user, context, top_k=2)
+        assert len(pairs) == 2
+        for recommendation, explanation in pairs:
+            assert recommendation.recipe in explanation.question.text
+
+    def test_explanation_summary_shape(self, engine, user, context):
+        explanation = engine.contextual("Butternut Squash Soup", user, context)
+        summary = explanation.summary()
+        assert summary["type"] == "contextual"
+        assert isinstance(summary["items"], list)
+
+
+class TestCompetencySuite:
+    @pytest.fixture(scope="class")
+    def results(self, engine, user, context):
+        return CompetencySuite(engine, user, context).run_all()
+
+    def test_paper_competency_questions_all_pass(self, results):
+        by_id = {result.question.identifier: result for result in results}
+        for identifier in ("CQ1", "CQ2", "CQ3"):
+            assert by_id[identifier].passed, by_id[identifier].summary()
+
+    def test_extended_competency_questions_all_pass(self, results):
+        extended = [r for r in results
+                    if r.question.identifier not in ("CQ1", "CQ2", "CQ3")]
+        assert extended
+        for result in extended:
+            assert result.passed, result.summary()
+
+    def test_every_table1_type_is_exercised(self, results):
+        exercised = {result.question.explanation_type for result in results}
+        assert exercised == {
+            "contextual", "contrastive", "counterfactual", "scientific", "statistical",
+            "everyday", "simulation_based", "case_based", "trace_based",
+        }
+
+    def test_result_summary_structure(self, results):
+        summary = results[0].summary()
+        assert {"id", "explanation_type", "question", "passed", "items", "missing"} <= set(summary)
+
+    def test_expected_binding_matching_logic(self):
+        binding = ExpectedBinding("Autumn", role="context", characteristic_type="SeasonCharacteristic")
+        from repro.core.explanation import Explanation as Expl, ExplanationItem
+        explanation = Expl(explanation_type="contextual",
+                           question=WhyQuestion(text="q", recipe="r"),
+                           items=[ExplanationItem(subject="Autumn", role="context",
+                                                  characteristic_type="SeasonCharacteristic")])
+        assert binding.satisfied_by(explanation)
+        assert not ExpectedBinding("Winter").satisfied_by(explanation)
+        assert not ExpectedBinding("Autumn", role="fact").satisfied_by(explanation)
+
+    def test_paper_suite_definition_matches_paper(self):
+        assert len(PAPER_COMPETENCY_QUESTIONS) == 3
+        assert {q.explanation_type for q in PAPER_COMPETENCY_QUESTIONS} == {
+            "contextual", "contrastive", "counterfactual"}
+        assert len(EXTENDED_COMPETENCY_QUESTIONS) == 6

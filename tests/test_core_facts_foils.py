@@ -1,0 +1,92 @@
+"""Tests for the Figure 3 fact/foil semantics (pure matrix + graph annotation)."""
+
+import pytest
+
+from repro.core.facts_foils import (
+    EcosystemView,
+    annotate_facts_and_foils,
+    classify_characteristic,
+    fact_foil_matrix,
+)
+from repro.ontology import eo, feo
+from repro.rdf.namespace import FOODKG
+from repro.rdf.terms import IRI
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+class TestClassificationMatrix:
+    def test_supports_and_present_is_fact(self):
+        assert classify_characteristic(True, True) == "fact"
+
+    def test_supports_and_absent_is_foil(self):
+        assert classify_characteristic(True, False) == "foil"
+
+    def test_opposes_and_present_is_foil(self):
+        assert classify_characteristic(False, True, opposes_parameter=True) == "foil"
+
+    def test_opposes_and_absent_is_neither(self):
+        assert classify_characteristic(False, False, opposes_parameter=True) == "neither"
+
+    def test_supports_but_opposed_by_ecosystem_is_foil(self):
+        # The allergy case: broccoli supports Broccoli Cheddar Soup but the
+        # user (ecosystem) is opposed by it.
+        assert classify_characteristic(True, False, opposed_by_ecosystem=True) == "foil"
+        assert classify_characteristic(True, True, opposed_by_ecosystem=True) == "foil"
+
+    def test_untouched_characteristic_is_neither(self):
+        assert classify_characteristic(False, True) == "neither"
+        assert classify_characteristic(False, False) == "neither"
+
+    def test_matrix_enumerates_all_touching_cases(self):
+        rows = fact_foil_matrix()
+        assert len(rows) == 12  # 3 parameter relations x 2 presence x 2 opposition
+        verdicts = {row["verdict"] for row in rows}
+        assert verdicts == {"fact", "foil", "neither"}
+
+    def test_matrix_has_exactly_one_pure_fact_configuration(self):
+        rows = fact_foil_matrix()
+        facts = [row for row in rows if row["verdict"] == "fact"]
+        assert all(row["supports_parameter"] and row["present_in_ecosystem"]
+                   and not row["opposed_by_ecosystem"] for row in facts)
+
+
+class TestGraphAnnotation:
+    def test_ecosystem_view_reads_supported_and_opposed(self, cq2_scenario):
+        view = EcosystemView.from_graph(cq2_scenario.inferred, cq2_scenario.ecosystem_iri)
+        assert feo.SEASONS["autumn"] in view.supported
+        assert IRI(FOODKG.Broccoli) in view.opposed
+
+    def test_autumn_is_a_fact_in_cq2(self, cq2_scenario):
+        assert (feo.SEASONS["autumn"], _RDF_TYPE, eo.Fact) in cq2_scenario.inferred
+
+    def test_broccoli_is_a_foil_in_cq2(self, cq2_scenario):
+        assert (IRI(FOODKG.Broccoli), _RDF_TYPE, eo.Foil) in cq2_scenario.inferred
+
+    def test_out_of_season_is_closed_world_foil(self, cq2_scenario):
+        # Spring supports Broccoli Cheddar Soup (broccoli is a spring vegetable)
+        # but is not the ecosystem's season -> closed-world foil.
+        assert (feo.SEASONS["spring"], _RDF_TYPE, eo.Foil) in cq2_scenario.inferred
+
+    def test_irrelevant_conditions_are_not_foils(self, cq2_scenario):
+        # The user has no health condition, so conditions linked to the soup's
+        # ingredients through forbids-knowledge must not be annotated as foils.
+        assert (feo.HEALTH_CONDITIONS["lactose_intolerance"], _RDF_TYPE, eo.Foil) \
+            not in cq2_scenario.inferred
+
+    def test_annotation_is_idempotent(self, cq2_scenario):
+        before = len(cq2_scenario.inferred)
+        added = annotate_facts_and_foils(cq2_scenario.inferred, cq2_scenario.ecosystem_iri)
+        assert added == {"facts": 0, "foils": 0}
+        assert len(cq2_scenario.inferred) == before
+
+    def test_annotation_returns_counts_on_fresh_graph(self, engine, user, context):
+        from repro.core.questions import ContrastiveQuestion
+        question = ContrastiveQuestion(text="Why A over B?",
+                                       primary="Butternut Squash Soup",
+                                       secondary="Broccoli Cheddar Soup")
+        scenario = engine.builder.build(question, user, context, run_reasoner=False)
+        from repro.owl import Reasoner
+        inferred = Reasoner(scenario.asserted).run()
+        added = annotate_facts_and_foils(inferred, scenario.ecosystem_iri)
+        assert added["foils"] >= 1

@@ -1,0 +1,166 @@
+"""Tests for the nine explanation generators."""
+
+import pytest
+
+from repro.core.generators import (
+    CaseBasedExplanationGenerator,
+    ContextualExplanationGenerator,
+    ContrastiveExplanationGenerator,
+    CounterfactualExplanationGenerator,
+    EverydayExplanationGenerator,
+    ScientificExplanationGenerator,
+    SimulationExplanationGenerator,
+    StatisticalExplanationGenerator,
+    TraceBasedExplanationGenerator,
+)
+from repro.core.questions import WhyQuestion
+
+
+class TestContextualGenerator:
+    @pytest.fixture(scope="class")
+    def explanation(self, cq1_scenario):
+        return ContextualExplanationGenerator().generate(cq1_scenario)
+
+    def test_paper_expected_season_item(self, explanation):
+        autumn = [i for i in explanation.items if i.subject == "Autumn"]
+        assert autumn and autumn[0].characteristic_type == "SeasonCharacteristic"
+
+    def test_only_external_characteristics_surface(self, explanation):
+        assert all(i.characteristic_type in
+                   {"SeasonCharacteristic", "LocationCharacteristic",
+                    "BudgetCharacteristic", "TimeCharacteristic"}
+                   for i in explanation.items)
+
+    def test_no_ingredients_leak_into_contextual_explanation(self, explanation):
+        assert "Cauliflower" not in explanation.subjects()
+
+    def test_text_mentions_recipe_and_season(self, explanation):
+        assert "Cauliflower Potato Curry" in explanation.text
+        assert "season" in explanation.text.lower()
+
+    def test_query_and_bindings_recorded(self, explanation):
+        assert "feo:hasParameter" in explanation.query
+        assert explanation.bindings
+
+    def test_explanation_type_label(self, explanation):
+        assert explanation.explanation_type == "contextual"
+
+
+class TestContrastiveGenerator:
+    @pytest.fixture(scope="class")
+    def explanation(self, cq2_scenario):
+        return ContrastiveExplanationGenerator().generate(cq2_scenario)
+
+    def test_autumn_fact_present(self, explanation):
+        facts = {i.subject: i.characteristic_type for i in explanation.items_with_role("fact")}
+        assert facts.get("Autumn") == "SeasonCharacteristic"
+
+    def test_broccoli_allergy_foil_present(self, explanation):
+        foils = {i.subject: i.characteristic_type for i in explanation.items_with_role("foil")}
+        assert foils.get("Broccoli") == "AllergicFoodCharacteristic"
+
+    def test_facts_and_foils_disjoint(self, explanation):
+        facts = {i.subject for i in explanation.items_with_role("fact")}
+        foils = {i.subject for i in explanation.items_with_role("foil")}
+        assert not facts & foils
+
+    def test_no_knowledge_classes_in_types(self, explanation):
+        assert all(i.characteristic_type not in {"IngredientCharacteristic", "NutrientCharacteristic"}
+                   for i in explanation.items)
+
+    def test_text_contrasts_both_recipes(self, explanation):
+        assert "Butternut Squash Soup" in explanation.text
+        assert "Broccoli Cheddar Soup" in explanation.text
+        assert "allergic" in explanation.text
+
+
+class TestCounterfactualGenerator:
+    @pytest.fixture(scope="class")
+    def explanation(self, cq3_scenario):
+        return CounterfactualExplanationGenerator().generate(cq3_scenario)
+
+    def test_sushi_forbidden(self, explanation):
+        assert "Sushi" in {i.subject for i in explanation.items_with_role("forbidden")}
+
+    def test_raw_fish_forbidden_with_inherited_dish(self, explanation):
+        raw_fish = [i for i in explanation.items_with_role("forbidden") if i.subject == "RawFish"]
+        assert raw_fish and raw_fish[0].value == "Sushi"
+
+    def test_spinach_recommended(self, explanation):
+        recommended = {i.subject for i in explanation.items_with_role("recommended")}
+        assert "Spinach" in recommended
+
+    def test_spinach_frittata_inherited(self, explanation):
+        spinach = [i for i in explanation.items_with_role("recommended") if i.subject == "Spinach"]
+        assert spinach[0].value in {"SpinachFrittata", "ChickpeaSpinachStew", "GrilledSalmonBowl",
+                                    "BerrySpinachSmoothie", "RoastedBeetSalad", "TofuScramble",
+                                    "VegetarianLentilCurry", "ChickenQuinoaSalad"}
+
+    def test_text_shape_matches_paper_answer(self, explanation):
+        assert "advised against eating" in explanation.text
+        assert "encouraged to eat" in explanation.text
+
+
+class TestKnowledgeDrivenGenerators:
+    def test_scientific_explanation_surfaces_pregnancy_rationale(self, engine, cq3_scenario):
+        explanation = ScientificExplanationGenerator(engine.catalog).generate(cq3_scenario)
+        assert any("pregnancy" == item.subject for item in explanation.items)
+        assert any("folate" in (item.detail or "").lower() for item in explanation.items)
+
+    def test_scientific_explanation_for_recipe_question(self, engine, cq1_scenario):
+        explanation = ScientificExplanationGenerator(engine.catalog).generate(cq1_scenario)
+        assert explanation.explanation_type == "scientific"
+
+    def test_statistical_explanation_reports_diet_share(self, engine, cq1_scenario):
+        explanation = StatisticalExplanationGenerator(engine.catalog).generate(cq1_scenario)
+        diet_items = [i for i in explanation.items if i.characteristic_type == "DietCharacteristic"]
+        assert diet_items and "%" in diet_items[0].detail
+
+    def test_statistical_explanation_counts_are_consistent(self, engine, cq1_scenario):
+        explanation = StatisticalExplanationGenerator(engine.catalog).generate(cq1_scenario)
+        assert explanation.metadata["kg_recipe_count"] == len(engine.catalog.recipes)
+
+    def test_everyday_explanation_lists_pairings(self, engine, cq1_scenario):
+        explanation = EverydayExplanationGenerator(engine.catalog).generate(cq1_scenario)
+        assert 0 < len(explanation.items) <= 5
+        assert all(item.role == "pairing" for item in explanation.items)
+
+    def test_everyday_pairings_exclude_staples(self, engine):
+        pairings = EverydayExplanationGenerator(engine.catalog).pairings_for("Sushi")
+        assert "Salt" not in pairings and "Olive Oil" not in pairings
+
+    def test_simulation_explanation_reports_nutrients(self, engine, cq1_scenario):
+        explanation = SimulationExplanationGenerator(engine.catalog).generate(cq1_scenario)
+        assert explanation.items
+        assert all(item.characteristic_type == "NutrientCharacteristic" for item in explanation.items)
+
+    def test_simulation_fractions_are_positive(self, engine):
+        fractions = SimulationExplanationGenerator(engine.catalog).simulate("Broccoli Cheddar Soup")
+        assert all(value >= 0 for value in fractions.values())
+        assert fractions["calories"] > 0
+
+    def test_case_based_explanation_finds_similar_user(self, engine, user, context):
+        question = WhyQuestion(text="Why should I eat Spinach Frittata?", recipe="Spinach Frittata")
+        scenario = engine.build_scenario(question, user, context)
+        explanation = CaseBasedExplanationGenerator(engine.catalog).generate(scenario)
+        assert any(item.role == "case" for item in explanation.items)
+
+    def test_case_based_skips_dissimilar_population(self, engine, user, context, catalog):
+        question = WhyQuestion(text="Why should I eat Spinach Frittata?", recipe="Spinach Frittata")
+        scenario = engine.build_scenario(question, user, context)
+        generator = CaseBasedExplanationGenerator(catalog, population=[])
+        explanation = generator.generate(scenario)
+        assert explanation.is_empty
+
+    def test_trace_based_explanation_replays_pipeline(self, engine, user, context):
+        recommendation = engine.recommender.recommend_one(user, context)
+        question = WhyQuestion(text=f"Why should I eat {recommendation.recipe}?",
+                               recipe=recommendation.recipe)
+        scenario = engine.build_scenario(question, user, context, recommendation=recommendation)
+        explanation = TraceBasedExplanationGenerator().generate(scenario)
+        stages = [item.subject for item in explanation.items_with_role("trace_step")]
+        assert stages == ["candidate-generation", "constraint-filter", "scoring", "selection"]
+
+    def test_trace_based_without_recommendation_is_empty(self, cq1_scenario):
+        explanation = TraceBasedExplanationGenerator().generate(cq1_scenario)
+        assert explanation.is_empty

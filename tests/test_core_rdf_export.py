@@ -1,0 +1,88 @@
+"""Tests for serialising explanations back into RDF (EO encoding)."""
+
+import pytest
+
+from repro.core.generators import (
+    ContextualExplanationGenerator,
+    ContrastiveExplanationGenerator,
+    CounterfactualExplanationGenerator,
+)
+from repro.core.rdf_export import explanation_iri, explanation_to_rdf
+from repro.ontology import eo, feo
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FOODKG
+from repro.rdf.terms import IRI
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+@pytest.fixture(scope="module")
+def contextual_rdf(cq1_scenario):
+    explanation = ContextualExplanationGenerator().generate(cq1_scenario)
+    graph = explanation_to_rdf(explanation, scenario=cq1_scenario)
+    return explanation, graph
+
+
+class TestExplanationToRdf:
+    def test_explanation_individual_typed_with_eo_class(self, contextual_rdf):
+        explanation, graph = contextual_rdf
+        subject = explanation_iri(explanation)
+        assert (subject, _RDF_TYPE, eo.ContextualExplanation) in graph
+        assert (subject, _RDF_TYPE, eo.Explanation) in graph
+
+    def test_explanation_addresses_the_question(self, contextual_rdf, cq1_scenario):
+        explanation, graph = contextual_rdf
+        subject = explanation_iri(explanation)
+        assert (subject, eo.addresses, cq1_scenario.question_iri) in graph
+        assert (cq1_scenario.question_iri, feo.hasExplanation, subject) in graph
+
+    def test_supporting_evidence_linked(self, contextual_rdf):
+        explanation, graph = contextual_rdf
+        subject = explanation_iri(explanation)
+        assert (subject, eo.isSupportedBy, feo.SEASONS["autumn"]) in graph
+
+    def test_rendered_text_attached_as_comment(self, contextual_rdf):
+        explanation, graph = contextual_rdf
+        subject = explanation_iri(explanation)
+        comments = list(graph.objects(subject, IRI("http://www.w3.org/2000/01/rdf-schema#comment")))
+        assert any("recommended because" in str(comment) for comment in comments)
+
+    def test_knowledge_records_created_for_details(self, contextual_rdf):
+        _, graph = contextual_rdf
+        assert list(graph.subjects(_RDF_TYPE, eo.KnowledgeRecord))
+
+    def test_contrastive_export_links_foils_via_in_relation_to(self, cq2_scenario):
+        explanation = ContrastiveExplanationGenerator().generate(cq2_scenario)
+        graph = explanation_to_rdf(explanation, scenario=cq2_scenario)
+        subject = explanation_iri(explanation)
+        assert (subject, _RDF_TYPE, eo.ContrastiveExplanation) in graph
+        assert (subject, eo.inRelationTo, IRI(FOODKG.Broccoli)) in graph
+        assert (subject, eo.isSupportedBy, feo.SEASONS["autumn"]) in graph
+
+    def test_counterfactual_export_resolves_condition_iri(self, cq3_scenario):
+        explanation = CounterfactualExplanationGenerator().generate(cq3_scenario)
+        graph = explanation_to_rdf(explanation, scenario=cq3_scenario)
+        subject = explanation_iri(explanation)
+        assert (subject, _RDF_TYPE, eo.CounterfactualExplanation) in graph
+        assert (subject, eo.inRelationTo, IRI(FOODKG.Sushi)) in graph
+
+    def test_export_into_existing_graph_accumulates(self, cq1_scenario, cq2_scenario):
+        graph = Graph()
+        first = ContextualExplanationGenerator().generate(cq1_scenario)
+        second = ContrastiveExplanationGenerator().generate(cq2_scenario)
+        explanation_to_rdf(first, graph=graph, scenario=cq1_scenario)
+        explanation_to_rdf(second, graph=graph, scenario=cq2_scenario)
+        explanations = set(graph.subjects(_RDF_TYPE, eo.Explanation))
+        assert len(explanations) == 2
+
+    def test_export_round_trips_through_turtle(self, contextual_rdf):
+        _, graph = contextual_rdf
+        graph.bind("eo", str(eo.Explanation).rsplit("#", 1)[0] + "#")
+        text = graph.serialize("turtle")
+        reparsed = Graph().parse(text)
+        assert len(reparsed) == len(graph)
+
+    def test_explanation_iri_is_deterministic(self, cq1_scenario):
+        explanation = ContextualExplanationGenerator().generate(cq1_scenario)
+        assert explanation_iri(explanation) == explanation_iri(explanation)
+        assert "Contextual" in str(explanation_iri(explanation))

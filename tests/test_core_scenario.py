@@ -1,0 +1,141 @@
+"""Tests for scenario assembly (profile/context/question → reasoned RDF)."""
+
+import pytest
+
+from repro.core.questions import (
+    ContrastiveQuestion,
+    WhatIfConditionQuestion,
+    WhatIfIngredientQuestion,
+    WhyQuestion,
+)
+from repro.ontology import eo, feo, food
+from repro.rdf.namespace import FEO, FOODKG
+from repro.rdf.terms import IRI
+from repro.users import SystemContext, UserProfile
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+class TestUserAndSystemAssertions:
+    def test_user_typed_and_labelled(self, cq1_scenario):
+        graph = cq1_scenario.asserted
+        assert (cq1_scenario.user_iri, _RDF_TYPE, food.User) in graph
+
+    def test_likes_and_allergies_asserted(self, cq1_scenario):
+        graph = cq1_scenario.asserted
+        assert (cq1_scenario.user_iri, feo.likes, IRI(FOODKG.BroccoliCheddarSoup)) in graph
+        assert (cq1_scenario.user_iri, feo.allergicTo, IRI(FOODKG.Broccoli)) in graph
+
+    def test_diet_goal_budget_asserted(self, cq1_scenario):
+        graph = cq1_scenario.asserted
+        assert (cq1_scenario.user_iri, feo.followsDiet, IRI(FOODKG.VegetarianDiet)) in graph
+        assert (cq1_scenario.user_iri, feo.hasGoal, feo.NUTRITIONAL_GOALS["high_folate"]) in graph
+        assert (cq1_scenario.user_iri, feo.hasBudget, feo.BUDGET_LEVELS["medium"]) in graph
+
+    def test_system_season_and_region_asserted(self, cq1_scenario):
+        graph = cq1_scenario.asserted
+        assert (cq1_scenario.system_iri, feo.currentSeason, feo.SEASONS["autumn"]) in graph
+        assert (cq1_scenario.system_iri, feo.locatedIn, IRI(FOODKG.NortheastUsRegion)) in graph
+
+    def test_ecosystem_links_user_and_system(self, cq1_scenario):
+        graph = cq1_scenario.asserted
+        assert (cq1_scenario.ecosystem_iri, feo.hasUser, cq1_scenario.user_iri) in graph
+        assert (cq1_scenario.ecosystem_iri, feo.hasSystem, cq1_scenario.system_iri) in graph
+        assert (cq1_scenario.ecosystem_iri, _RDF_TYPE, feo.Ecosystem) in graph
+
+
+class TestQuestionAssertions:
+    def test_why_question_iri_matches_paper_naming(self, cq1_scenario):
+        assert cq1_scenario.question_iri == IRI(FEO.WhyEatCauliflowerPotatoCurry)
+
+    def test_why_question_parameter(self, cq1_scenario):
+        graph = cq1_scenario.asserted
+        assert (cq1_scenario.question_iri, feo.hasParameter, IRI(FOODKG.CauliflowerPotatoCurry)) in graph
+        assert (cq1_scenario.question_iri, _RDF_TYPE, feo.WhyQuestion) in graph
+
+    def test_contrastive_question_has_both_parameters(self, cq2_scenario):
+        graph = cq2_scenario.asserted
+        assert (cq2_scenario.question_iri, feo.hasPrimaryParameter,
+                IRI(FOODKG.ButternutSquashSoup)) in graph
+        assert (cq2_scenario.question_iri, feo.hasSecondaryParameter,
+                IRI(FOODKG.BroccoliCheddarSoup)) in graph
+
+    def test_whatif_question_parameter_is_the_condition(self, cq3_scenario):
+        graph = cq3_scenario.asserted
+        assert (cq3_scenario.question_iri, feo.hasHypothetical,
+                feo.HEALTH_CONDITIONS["pregnancy"]) in graph
+
+    def test_whatif_question_iri_matches_paper_style(self, cq3_scenario):
+        assert "WhatIfIWas" in str(cq3_scenario.question_iri)
+
+    def test_parameters_recorded_on_scenario(self, cq2_scenario):
+        assert IRI(FOODKG.ButternutSquashSoup) in cq2_scenario.parameter_iris
+        assert IRI(FOODKG.BroccoliCheddarSoup) in cq2_scenario.parameter_iris
+
+    def test_unknown_condition_raises(self, engine, user, context):
+        question = WhatIfConditionQuestion(text="What if I was bionic?", condition="bionic")
+        with pytest.raises(KeyError):
+            engine.builder.build(question, user, context, run_reasoner=False)
+
+    def test_ingredient_whatif_question(self, engine, user, context):
+        question = WhatIfIngredientQuestion(
+            text="What if we changed Cheddar Cheese in Broccoli Cheddar Soup?",
+            recipe="Broccoli Cheddar Soup", ingredient="Cheddar Cheese")
+        scenario = engine.builder.build(question, user, context, run_reasoner=False)
+        assert (scenario.question_iri, feo.hasHypothetical, IRI(FOODKG.CheddarCheese)) in scenario.asserted
+
+
+class TestReasonedScenario:
+    def test_inferred_graph_is_larger_than_asserted(self, cq1_scenario):
+        assert len(cq1_scenario.inferred) > len(cq1_scenario.asserted)
+
+    def test_parameter_typed_by_range_inference(self, cq1_scenario):
+        assert (IRI(FOODKG.CauliflowerPotatoCurry), _RDF_TYPE, feo.Parameter) in cq1_scenario.inferred
+
+    def test_transitive_characteristic_closure(self, cq1_scenario):
+        # curry -> cauliflower -> autumn
+        assert (IRI(FOODKG.CauliflowerPotatoCurry), feo.hasCharacteristic,
+                feo.SEASONS["autumn"]) in cq1_scenario.inferred
+
+    def test_liked_recipe_classified_as_liked_food_characteristic(self, cq1_scenario):
+        assert (IRI(FOODKG.BroccoliCheddarSoup), _RDF_TYPE,
+                feo.LikedFoodCharacteristic) in cq1_scenario.inferred
+
+    def test_allergy_classified_as_allergic_food_characteristic(self, cq2_scenario):
+        assert (IRI(FOODKG.Broccoli), _RDF_TYPE,
+                feo.AllergicFoodCharacteristic) in cq2_scenario.inferred
+
+    def test_ecosystem_characteristics_collected(self, cq1_scenario):
+        assert (cq1_scenario.ecosystem_iri, feo.hasEcosystemCharacteristic,
+                feo.SEASONS["autumn"]) in cq1_scenario.inferred
+
+    def test_ecosystem_opposed_by_allergy(self, cq1_scenario):
+        assert (cq1_scenario.ecosystem_iri, feo.isOpposedBy,
+                IRI(FOODKG.Broccoli)) in cq1_scenario.inferred
+
+    def test_scenario_query_helper(self, cq1_scenario):
+        result = cq1_scenario.query(
+            "PREFIX feo: <https://purl.org/heals/feo#> "
+            "SELECT ?c WHERE { ?e a feo:Ecosystem . ?e feo:hasEcosystemCharacteristic ?c }")
+        assert len(list(result)) >= 3
+
+    def test_base_graph_unaffected_by_scenarios(self, engine, user, context):
+        base_size = len(engine.builder._base)
+        question = WhyQuestion(text="Why should I eat Sushi?", recipe="Sushi")
+        engine.builder.build(question, user, context, run_reasoner=False)
+        assert len(engine.builder._base) == base_size
+
+    def test_recommendation_assertion(self, engine, user, context):
+        recommendation = engine.recommender.recommend_one(user, context)
+        question = WhyQuestion(text=f"Why should I eat {recommendation.recipe}?",
+                               recipe=recommendation.recipe)
+        scenario = engine.builder.build(question, user, context,
+                                        recommendation=recommendation, run_reasoner=False)
+        recs = list(scenario.asserted.subjects(_RDF_TYPE, eo.SystemRecommendation))
+        assert len(recs) == 1
+
+    def test_free_text_likes_still_get_an_iri(self, engine, context):
+        user = UserProfile(identifier="freetext", likes=("Grandma's Secret Stew",))
+        question = WhyQuestion(text="Why should I eat Sushi?", recipe="Sushi")
+        scenario = engine.builder.build(question, user, context, run_reasoner=False)
+        assert any(True for _ in scenario.asserted.triples((scenario.user_iri, feo.likes, None)))

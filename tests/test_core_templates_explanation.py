@@ -1,0 +1,166 @@
+"""Tests for natural-language templates, the explanation data model and queries."""
+
+import pytest
+
+from repro.core.explanation import Explanation, ExplanationItem
+from repro.core.queries import (
+    PREFIXES,
+    contextual_query,
+    contrastive_query,
+    counterfactual_query,
+)
+from repro.core.questions import WhyQuestion
+from repro.core.templates import (
+    humanize,
+    join_phrases,
+    render_contextual,
+    render_contrastive,
+    render_counterfactual,
+    render_scientific,
+    render_simulation,
+    render_trace_based,
+)
+from repro.rdf.terms import IRI
+
+
+class TestHumanize:
+    def test_camel_case_split(self):
+        assert humanize("CauliflowerPotatoCurry") == "Cauliflower Potato Curry"
+
+    def test_snake_case_split(self):
+        assert humanize("high_folate") == "high folate"
+
+    def test_acronyms_not_exploded(self):
+        assert humanize("NortheastUS") == "Northeast US"
+
+    def test_already_spaced_text_unchanged(self):
+        assert humanize("Butternut Squash Soup") == "Butternut Squash Soup"
+
+
+class TestJoinPhrases:
+    def test_empty(self):
+        assert join_phrases([]) == ""
+
+    def test_single(self):
+        assert join_phrases(["one"]) == "one"
+
+    def test_two(self):
+        assert join_phrases(["one", "two"]) == "one and two"
+
+    def test_many(self):
+        assert join_phrases(["a", "b", "c"]) == "a, b and c"
+
+    def test_skips_empty_strings(self):
+        assert join_phrases(["a", "", "b"]) == "a and b"
+
+
+class TestRenderers:
+    def _item(self, subject, role="context", ctype="SeasonCharacteristic", **kwargs):
+        return ExplanationItem(subject=subject, role=role, characteristic_type=ctype, **kwargs)
+
+    def test_contextual_sentence_mentions_season(self):
+        text = render_contextual("CauliflowerPotatoCurry", [self._item("Autumn")])
+        assert "Cauliflower Potato Curry" in text
+        assert "Autumn is the current season" in text
+
+    def test_contextual_empty_fallback(self):
+        text = render_contextual("Sushi", [])
+        assert "No external context" in text
+
+    def test_contrastive_sentence_contains_fact_and_foil(self):
+        facts = [self._item("Autumn", role="fact")]
+        foils = [self._item("Broccoli", role="foil", ctype="AllergicFoodCharacteristic")]
+        text = render_contrastive("ButternutSquashSoup", "BroccoliCheddarSoup", facts, foils)
+        assert "preferred over" in text
+        assert "allergic to Broccoli" in text
+
+    def test_contrastive_empty_fallback(self):
+        text = render_contrastive("A", "B", [], [])
+        assert "could not be distinguished" in text
+
+    def test_counterfactual_sentence(self):
+        forbidden = [self._item("Sushi", role="forbidden", ctype="FoodCharacteristic")]
+        recommended = [self._item("Spinach", role="recommended", ctype="FoodCharacteristic",
+                                  value="SpinachFrittata")]
+        text = render_counterfactual("pregnancy", forbidden, recommended)
+        assert "advised against eating Sushi" in text
+        assert "Spinach" in text and "Spinach Frittata" in text
+
+    def test_counterfactual_no_changes(self):
+        assert "would not alter" in render_counterfactual("pregnancy", [], [])
+
+    def test_scientific_render(self):
+        items = [ExplanationItem(subject="pregnancy", role="evidence",
+                                 characteristic_type="KnowledgeRecord",
+                                 detail="folate supports neural-tube development")]
+        assert "folate" in render_scientific("Spinach Frittata", items)
+
+    def test_simulation_render(self):
+        items = [ExplanationItem(subject="sodium", role="high_contribution",
+                                 characteristic_type="NutrientCharacteristic",
+                                 detail="would supply 40% of daily sodium")]
+        assert "every day for a week" in render_simulation("Sushi", items)
+
+    def test_trace_render(self):
+        items = [ExplanationItem(subject="scoring", role="trace_step",
+                                 characteristic_type="ObjectRecord", detail="step 1: scored")]
+        assert "arrived at" in render_trace_based("Lentil Soup", items)
+
+
+class TestExplanationModel:
+    def test_items_with_role_filters(self):
+        explanation = Explanation(
+            explanation_type="contrastive",
+            question=WhyQuestion(text="q", recipe="r"),
+            items=[ExplanationItem(subject="A", role="fact"),
+                   ExplanationItem(subject="B", role="foil")],
+        )
+        assert [i.subject for i in explanation.items_with_role("fact")] == ["A"]
+
+    def test_is_empty(self):
+        explanation = Explanation(explanation_type="contextual",
+                                  question=WhyQuestion(text="q", recipe="r"))
+        assert explanation.is_empty
+
+    def test_item_describe_includes_type_and_detail(self):
+        item = ExplanationItem(subject="Autumn", role="context",
+                               characteristic_type="SeasonCharacteristic", detail="in season")
+        text = item.describe()
+        assert "Autumn" in text and "SeasonCharacteristic" in text and "in season" in text
+
+    def test_summary_round_trips_question_text(self):
+        explanation = Explanation(explanation_type="contextual",
+                                  question=WhyQuestion(text="Why?", recipe="r"),
+                                  text="Because.")
+        assert explanation.summary()["question"] == "Why?"
+
+
+class TestQueryTemplates:
+    def test_prefixes_declared_once(self):
+        assert PREFIXES.count("PREFIX feo:") == 1
+
+    def test_contextual_query_embeds_question_iri(self):
+        query = contextual_query(IRI("https://purl.org/heals/feo#WhyEatSushi"))
+        assert "<https://purl.org/heals/feo#WhyEatSushi>" in query
+        assert "feo:isInternal false" in query
+
+    def test_contextual_query_ecosystem_variant_adds_clause(self):
+        plain = contextual_query(IRI("https://purl.org/heals/feo#Q"))
+        matched = contextual_query(IRI("https://purl.org/heals/feo#Q"), match_ecosystem=True)
+        assert "hasEcosystemCharacteristic" not in plain
+        assert "hasEcosystemCharacteristic" in matched
+
+    def test_contrastive_query_uses_fact_and_foil(self):
+        query = contrastive_query(IRI("https://purl.org/heals/feo#Q"))
+        assert "eo:Fact" in query and "eo:Foil" in query
+        assert "rdfs:subClassOf+" in query
+
+    def test_counterfactual_query_uses_optional(self):
+        query = counterfactual_query(IRI("https://purl.org/heals/feo#Q"))
+        assert "OPTIONAL" in query and "feo:isIngredientOf" in query
+
+    def test_queries_are_parseable_by_our_engine(self):
+        from repro.sparql import parse_query
+        for query in (contextual_query(IRI("urn:q")), contrastive_query(IRI("urn:q")),
+                      counterfactual_query(IRI("urn:q"))):
+            assert parse_query(query) is not None

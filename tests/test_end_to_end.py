@@ -1,0 +1,120 @@
+"""End-to-end integration tests across personas.
+
+These tests exercise the full pipeline (profile → recommendation →
+scenario → reasoning → SPARQL → explanation) for every built-in persona,
+checking cross-cutting invariants rather than specific rows: explanations
+are always produced for the paper's three primary types, hard constraints
+are never violated by recommendations, and the explanation evidence never
+contradicts the user's profile.
+"""
+
+import pytest
+
+from repro.core.questions import ContrastiveQuestion, WhatIfConditionQuestion, WhyQuestion
+from repro.users.personas import all_personas
+
+PERSONA_ITEMS = sorted(all_personas().items())
+PERSONA_IDS = [key for key, _ in PERSONA_ITEMS]
+
+
+@pytest.fixture(scope="module", params=PERSONA_ITEMS, ids=PERSONA_IDS)
+def persona_setup(request, engine):
+    key, (user, context) = request.param
+    recommendations = engine.recommender.recommend(user, context, top_k=5)
+    return key, user, context, recommendations
+
+
+class TestRecommendationInvariants:
+    def test_recommendations_exist_for_every_persona(self, persona_setup):
+        _, _, _, recommendations = persona_setup
+        assert recommendations, "every persona should receive at least one recommendation"
+
+    def test_no_recommendation_contains_an_allergen(self, persona_setup, engine):
+        _, user, _, recommendations = persona_setup
+        for recommendation in recommendations:
+            allergens = set(engine.catalog.recipe_allergens(recommendation.recipe))
+            ingredients = set(engine.catalog.recipes[recommendation.recipe].ingredients)
+            for allergy in user.allergies:
+                assert allergy not in ingredients
+                assert allergy.lower() not in {a.lower() for a in allergens}
+
+    def test_no_recommendation_violates_condition_rules(self, persona_setup, engine):
+        _, user, _, recommendations = persona_setup
+        forbidden = set()
+        for condition in user.conditions:
+            for rule in engine.catalog.rules_for(condition):
+                forbidden.update(rule.forbids)
+        for recommendation in recommendations:
+            ingredients = set(engine.catalog.recipes[recommendation.recipe].ingredients)
+            assert not forbidden & ingredients
+
+    def test_diet_constraints_respected(self, persona_setup, engine):
+        _, user, _, recommendations = persona_setup
+        for recommendation in recommendations:
+            recipe = engine.catalog.recipes[recommendation.recipe]
+            for diet in user.diets:
+                assert diet in recipe.diets
+
+
+class TestExplanationInvariants:
+    def test_contextual_explanation_for_top_recommendation(self, persona_setup, engine):
+        _, user, context, recommendations = persona_setup
+        top = recommendations[0]
+        explanation = engine.contextual(top.recipe, user, context)
+        assert explanation.explanation_type == "contextual"
+        # Every surfaced characteristic is external by construction.
+        assert all(item.characteristic_type in
+                   {"SeasonCharacteristic", "LocationCharacteristic",
+                    "BudgetCharacteristic", "TimeCharacteristic"}
+                   for item in explanation.items)
+
+    def test_contrastive_explanation_between_top_two(self, persona_setup, engine):
+        _, user, context, recommendations = persona_setup
+        if len(recommendations) < 2:
+            pytest.skip("persona has fewer than two recommendations")
+        primary, secondary = recommendations[0].recipe, recommendations[1].recipe
+        question = ContrastiveQuestion(
+            text=f"Why should I eat {primary} over {secondary}?",
+            primary=primary, secondary=secondary)
+        explanation = engine.explain(question, user, context, explanation_type="contrastive")
+        facts = {item.subject for item in explanation.items_with_role("fact")}
+        foils = {item.subject for item in explanation.items_with_role("foil")}
+        assert not facts & foils
+
+    def test_counterfactual_explanation_for_pregnancy(self, persona_setup, engine):
+        _, user, context, _ = persona_setup
+        explanation = engine.counterfactual_condition("pregnancy", user, context)
+        forbidden = {item.subject for item in explanation.items_with_role("forbidden")}
+        # The pregnancy rule always forbids raw fish, hence sushi by inheritance.
+        assert "RawFish" in forbidden
+        assert "Sushi" in forbidden
+
+    def test_explanation_text_is_always_a_sentence(self, persona_setup, engine):
+        key, user, context, recommendations = persona_setup
+        explanation = engine.contextual(recommendations[0].recipe, user, context)
+        assert explanation.text.strip().endswith(".")
+        assert len(explanation.text) > 20
+
+
+class TestScenarioConsistency:
+    def test_scenario_graphs_isolated_between_personas(self, engine):
+        """Two personas' scenarios never leak each other's profile assertions."""
+        from repro.ontology import feo
+
+        personas = all_personas()
+        (user_a, context_a) = personas["paper"]
+        (user_b, context_b) = personas["vegan_athlete"]
+        question = WhyQuestion(text="Why should I eat Lentil Soup?", recipe="Lentil Soup")
+        scenario_a = engine.build_scenario(question, user_a, context_a)
+        scenario_b = engine.build_scenario(question, user_b, context_b)
+        assert scenario_a.user_iri != scenario_b.user_iri
+        assert not list(scenario_b.inferred.triples((scenario_a.user_iri, feo.likes, None)))
+
+    def test_whatif_condition_not_added_to_actual_profile(self, engine, user, context):
+        """Asking 'what if I was pregnant' must not assert the condition on the user."""
+        from repro.ontology import feo
+
+        question = WhatIfConditionQuestion(text="What if I was pregnant?", condition="pregnancy")
+        scenario = engine.build_scenario(question, user, context)
+        assert (scenario.user_iri, feo.hasCondition,
+                feo.HEALTH_CONDITIONS["pregnancy"]) not in scenario.asserted

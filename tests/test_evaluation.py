@@ -1,0 +1,104 @@
+"""Tests for the evaluation harness: metrics, coverage matrix and report."""
+
+import pytest
+
+from repro.core.queries import contextual_query, contrastive_query
+from repro.evaluation import (
+    CoverageMatrix,
+    compute_coverage,
+    ontology_metrics,
+    query_metrics,
+    run_evaluation,
+)
+from repro.evaluation.coverage import CoverageCell
+from repro.rdf.terms import IRI
+from repro.users import persona
+
+
+class TestOntologyMetrics:
+    def test_counts_reflect_ontology_content(self, ontology_graph):
+        metrics = ontology_metrics(ontology_graph)
+        assert metrics.classes >= 40
+        assert metrics.object_properties >= 40
+        assert metrics.subclass_axioms >= 30
+        assert metrics.triples == len(ontology_graph)
+
+    def test_as_dict_keys(self, ontology_graph):
+        data = ontology_metrics(ontology_graph).as_dict()
+        assert {"triples", "classes", "object_properties", "named_individuals"} <= set(data)
+
+
+class TestQueryMetrics:
+    def test_contextual_query_complexity(self):
+        metrics = query_metrics(contextual_query(IRI("urn:q")))
+        assert metrics.filters == 2
+        assert metrics.not_exists == 1
+        assert metrics.variables >= 4
+
+    def test_contrastive_query_has_paths_and_negations(self):
+        metrics = query_metrics(contrastive_query(IRI("urn:q")))
+        assert metrics.not_exists == 4
+        assert metrics.property_paths >= 2
+
+    def test_as_dict(self):
+        data = query_metrics(contextual_query(IRI("urn:q"))).as_dict()
+        assert set(data) == {"triple_patterns", "filters", "not_exists", "optionals",
+                             "property_paths", "variables"}
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def matrix(self, engine):
+        user, context = persona("paper")
+        return compute_coverage(engine, personas={"paper": (user, context)})
+
+    def test_cells_cover_all_types_for_the_persona(self, matrix):
+        types = {cell.explanation_type for cell in matrix.cells}
+        assert len(types) == 9
+
+    def test_core_types_covered_for_paper_persona(self, matrix):
+        for explanation_type in ("contextual", "contrastive", "counterfactual",
+                                 "scientific", "statistical", "everyday",
+                                 "simulation_based", "trace_based"):
+            assert matrix.covered("paper", explanation_type), explanation_type
+
+    def test_overall_coverage_bounds(self, matrix):
+        assert 0.0 <= matrix.overall_coverage() <= 1.0
+        assert matrix.overall_coverage() >= 8 / 9
+
+    def test_coverage_by_type_structure(self, matrix):
+        by_type = matrix.coverage_by_type()
+        assert set(by_type) == {cell.explanation_type for cell in matrix.cells}
+        assert all(0.0 <= value <= 1.0 for value in by_type.values())
+
+    def test_table_rendering(self, matrix):
+        table = matrix.to_table()
+        assert "paper" in table and "contextual" in table
+
+    def test_unknown_cell_lookup_raises(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.covered("nobody", "contextual")
+
+    def test_empty_matrix_coverage_is_zero(self):
+        assert CoverageMatrix().overall_coverage() == 0.0
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self, engine):
+        return run_evaluation(engine, include_extended=False)
+
+    def test_all_paper_questions_pass(self, report):
+        assert report.all_passed
+
+    def test_text_report_sections(self, report):
+        text = report.to_text()
+        assert "Competency questions" in text
+        assert "Coverage" in text
+        assert "Ontology metrics" in text
+        assert "query complexity" in text
+
+    def test_report_contains_cq_identifiers(self, report):
+        text = report.to_text()
+        for identifier in ("CQ1", "CQ2", "CQ3"):
+            assert identifier in text

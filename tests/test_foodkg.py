@@ -1,0 +1,225 @@
+"""Tests for the synthetic FoodKG: schema records, catalogue, generator and loader."""
+
+import pytest
+
+from repro.foodkg import (
+    FoodCatalog,
+    FoodKGLoader,
+    IngredientRecord,
+    NutrientProfile,
+    PAPER_INGREDIENTS,
+    PAPER_RECIPES,
+    RecipeRecord,
+    SyntheticCatalogGenerator,
+    build_core_catalog,
+    generate_catalog,
+    load_catalog,
+    slugify,
+)
+from repro.ontology import feo, food
+from repro.owl.vocabulary import RDF_TYPE
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FOODKG
+from repro.rdf.terms import IRI
+
+
+class TestSlugify:
+    def test_paper_example(self):
+        assert slugify("Cauliflower Potato Curry") == "CauliflowerPotatoCurry"
+
+    def test_punctuation_removed(self):
+        assert slugify("mac & cheese!") == "MacCheese"
+
+    def test_snake_case_input(self):
+        assert slugify("northeast_us") == "NortheastUs"
+
+    def test_preserves_existing_capitals(self):
+        assert slugify("BBQ ribs") == "BBQRibs"
+
+
+class TestSchemaRecords:
+    def test_nutrient_profile_combined(self):
+        total = NutrientProfile(calories=100, protein=5).combined(NutrientProfile(calories=50, protein=2))
+        assert total.calories == 150 and total.protein == 7
+
+    def test_nutrient_profile_scaled(self):
+        half = NutrientProfile(calories=100, sodium=200).scaled(0.5)
+        assert half.calories == 50 and half.sodium == 100
+
+    def test_catalog_rejects_recipe_with_unknown_ingredient(self):
+        catalog = FoodCatalog()
+        with pytest.raises(KeyError):
+            catalog.add_recipe(RecipeRecord(name="Mystery Stew", ingredients=("Unobtainium",)))
+
+    def test_catalog_tracks_allergens_and_regions(self):
+        catalog = FoodCatalog()
+        catalog.add_ingredient(IngredientRecord("Milk", allergens=("dairy",), regions=("global",)))
+        assert "dairy" in catalog.allergens
+        assert "global" in catalog.regions
+
+
+class TestCoreCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_core_catalog()
+
+    def test_contains_every_paper_recipe(self, catalog):
+        for name in PAPER_RECIPES:
+            assert name in catalog.recipes
+
+    def test_contains_every_paper_ingredient(self, catalog):
+        for name in PAPER_INGREDIENTS:
+            assert name in catalog.ingredients
+
+    def test_cauliflower_is_an_autumn_vegetable(self, catalog):
+        assert "autumn" in catalog.ingredients["Cauliflower"].seasons
+
+    def test_butternut_squash_is_autumn_only(self, catalog):
+        assert catalog.ingredients["Butternut Squash"].seasons == ("autumn",)
+
+    def test_broccoli_cheddar_soup_contains_broccoli_and_dairy(self, catalog):
+        assert "Broccoli" in catalog.recipes["Broccoli Cheddar Soup"].ingredients
+        assert "dairy" in catalog.recipe_allergens("Broccoli Cheddar Soup")
+
+    def test_sushi_contains_raw_fish(self, catalog):
+        assert "Raw Fish" in catalog.recipes["Sushi"].ingredients
+
+    def test_spinach_is_a_folate_source(self, catalog):
+        assert "folate" in catalog.ingredients["Spinach"].nutrients
+
+    def test_pregnancy_rule_forbids_raw_fish_and_recommends_spinach(self, catalog):
+        rules = catalog.rules_for("pregnancy")
+        assert rules, "pregnancy rule missing"
+        assert "Raw Fish" in rules[0].forbids
+        assert "Spinach" in rules[0].recommends
+
+    def test_every_condition_and_goal_has_a_rule(self, catalog):
+        subjects = {rule.subject for rule in catalog.condition_rules}
+        assert {"pregnancy", "diabetes", "hypertension", "lactose_intolerance",
+                "celiac_disease", "high_cholesterol"} <= subjects
+        assert {"high_folate", "low_sodium", "high_protein"} <= subjects
+
+    def test_recipe_ingredient_references_are_closed(self, catalog):
+        for recipe in catalog.recipes.values():
+            for ingredient in recipe.ingredients:
+                assert ingredient in catalog.ingredients
+
+    def test_rule_food_references_are_closed(self, catalog):
+        for rule in catalog.condition_rules:
+            for name in rule.forbids + rule.recommends:
+                assert name in catalog.ingredients or name in catalog.recipes
+
+    def test_recipe_seasons_derived_from_ingredients(self, catalog):
+        assert "autumn" in catalog.recipe_seasons("Butternut Squash Soup")
+
+    def test_recipe_nutrition_aggregates_ingredients(self, catalog):
+        nutrition = catalog.recipe_nutrition("Spinach Frittata")
+        assert nutrition.calories > 0 and nutrition.protein > 0
+
+    def test_recipes_containing(self, catalog):
+        names = [r.name for r in catalog.recipes_containing("Spinach")]
+        assert "Spinach Frittata" in names
+
+    def test_catalogue_is_reasonably_sized(self, catalog):
+        stats = catalog.stats()
+        assert stats["recipes"] >= 40
+        assert stats["ingredients"] >= 80
+
+    def test_vegetarian_recipes_exist(self, catalog):
+        assert any("vegetarian" in r.diets for r in catalog.recipes.values())
+
+
+class TestSyntheticGenerator:
+    def test_generation_is_deterministic_for_a_seed(self):
+        first = generate_catalog(extra_ingredients=5, extra_recipes=5, seed=42)
+        second = generate_catalog(extra_ingredients=5, extra_recipes=5, seed=42)
+        assert list(first.recipes) == list(second.recipes)
+        assert list(first.ingredients) == list(second.ingredients)
+
+    def test_different_seeds_differ(self):
+        first = generate_catalog(extra_recipes=5, seed=1)
+        second = generate_catalog(extra_recipes=5, seed=2)
+        first_new = list(first.recipes)[-5:]
+        second_new = list(second.recipes)[-5:]
+        assert first_new != second_new
+
+    def test_expansion_counts(self):
+        catalog = generate_catalog(extra_ingredients=10, extra_recipes=20)
+        base = build_core_catalog()
+        assert len(catalog.ingredients) == len(base.ingredients) + 10
+        assert len(catalog.recipes) == len(base.recipes) + 20
+
+    def test_synthetic_recipes_reference_known_ingredients(self):
+        catalog = generate_catalog(extra_ingredients=5, extra_recipes=10)
+        for recipe in catalog.recipes.values():
+            for ingredient in recipe.ingredients:
+                assert ingredient in catalog.ingredients
+
+    def test_synthetic_ingredient_values_in_range(self):
+        generator = SyntheticCatalogGenerator(seed=3)
+        record = generator.ingredient(1)
+        assert 0 <= record.nutrition.calories <= 300
+        assert set(record.seasons) <= {"spring", "summer", "autumn", "winter"}
+
+
+class TestLoader:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        catalog = build_core_catalog()
+        graph = load_catalog(catalog)
+        return catalog, graph
+
+    def test_recipes_typed_as_recipes(self, loaded):
+        _, graph = loaded
+        assert (IRI(FOODKG.CauliflowerPotatoCurry), RDF_TYPE, food.Recipe) in graph
+
+    def test_ingredients_typed_as_ingredients(self, loaded):
+        _, graph = loaded
+        assert (IRI(FOODKG.Cauliflower), RDF_TYPE, food.Ingredient) in graph
+
+    def test_recipe_ingredient_edges(self, loaded):
+        _, graph = loaded
+        assert (IRI(FOODKG.Sushi), food.hasIngredient, IRI(FOODKG.RawFish)) in graph
+
+    def test_seasonal_availability_uses_feo_seasons(self, loaded):
+        _, graph = loaded
+        assert (IRI(FOODKG.Cauliflower), feo.availableInSeason, feo.SEASONS["autumn"]) in graph
+
+    def test_allergen_edges(self, loaded):
+        _, graph = loaded
+        assert (IRI(FOODKG.CheddarCheese), feo.containsAllergen, IRI(FOODKG.DairyAllergen)) in graph
+
+    def test_condition_rules_loaded(self, loaded):
+        _, graph = loaded
+        assert (feo.HEALTH_CONDITIONS["pregnancy"], feo.forbids, IRI(FOODKG.RawFish)) in graph
+        assert (feo.HEALTH_CONDITIONS["pregnancy"], feo.recommends, IRI(FOODKG.Spinach)) in graph
+
+    def test_nutrition_literals_attached(self, loaded):
+        _, graph = loaded
+        assert graph.value(IRI(FOODKG.SpinachFrittata), food.hasCalories) is not None
+
+    def test_budget_levels_attached(self, loaded):
+        _, graph = loaded
+        assert (IRI(FOODKG.Sushi), feo.requiresBudget, feo.BUDGET_LEVELS["high"]) in graph
+
+    def test_labels_attached(self, loaded):
+        _, graph = loaded
+        label = graph.value(IRI(FOODKG.ButternutSquashSoup),
+                            IRI("http://www.w3.org/2000/01/rdf-schema#label"))
+        assert str(label) == "Butternut Squash Soup"
+
+    def test_food_iri_lookup(self, loaded):
+        catalog, _ = loaded
+        loader = FoodKGLoader()
+        assert loader.food_iri(catalog, "Sushi") == IRI(FOODKG.Sushi)
+        assert loader.food_iri(catalog, "Spinach") == IRI(FOODKG.Spinach)
+        with pytest.raises(KeyError):
+            loader.food_iri(catalog, "Unobtainium")
+
+    def test_unknown_season_raises(self):
+        with pytest.raises(KeyError):
+            FoodKGLoader.season_iri("monsoon")
+
+    def test_graph_size_scales_with_catalog(self, loaded):
+        catalog, graph = loaded
+        assert len(graph) > 10 * len(catalog.recipes)

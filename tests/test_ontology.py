@@ -1,0 +1,209 @@
+"""Tests for the ontology builder and the three ontologies (EO, food, FEO)."""
+
+import pytest
+
+from repro.ontology import eo, feo, food
+from repro.ontology.builder import (
+    OntologyBuilder,
+    has_value,
+    intersection_of,
+    some_values_from,
+    union_of,
+)
+from repro.owl import ClassHierarchy, PropertyHierarchy, Reasoner
+from repro.owl.vocabulary import (
+    OWL_CLASS,
+    OWL_EQUIVALENT_CLASS,
+    OWL_OBJECT_PROPERTY,
+    OWL_TRANSITIVE_PROPERTY,
+    RDF_TYPE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+class TestOntologyBuilder:
+    def test_declare_class_with_label_and_parent(self):
+        builder = OntologyBuilder()
+        builder.declare_class(ex("Cat"), "Cat", subclass_of=[ex("Animal")])
+        graph = builder.graph
+        assert (ex("Cat"), RDF_TYPE, OWL_CLASS) in graph
+        assert (ex("Cat"), RDFS_SUBCLASSOF, ex("Animal")) in graph
+
+    def test_declare_class_with_restriction_equivalence(self):
+        builder = OntologyBuilder()
+        builder.declare_class(ex("Parent"),
+                              equivalent_to=[some_values_from(ex("hasChild"), ex("Person"))])
+        assert list(builder.graph.triples((ex("Parent"), OWL_EQUIVALENT_CLASS, None)))
+
+    def test_declare_object_property_characteristics(self):
+        builder = OntologyBuilder()
+        builder.declare_object_property(ex("partOf"), transitive=True,
+                                        inverse_of=ex("hasPart"),
+                                        domain=ex("Piece"), range=ex("Whole"))
+        graph = builder.graph
+        assert (ex("partOf"), RDF_TYPE, OWL_OBJECT_PROPERTY) in graph
+        assert (ex("partOf"), RDF_TYPE, OWL_TRANSITIVE_PROPERTY) in graph
+
+    def test_declare_property_chain(self):
+        builder = OntologyBuilder()
+        builder.declare_object_property(ex("hasUncle"), property_chain=[ex("hasParent"), ex("hasBrother")])
+        assert list(builder.graph.triples(
+            (ex("hasUncle"), IRI("http://www.w3.org/2002/07/owl#propertyChainAxiom"), None)))
+
+    def test_add_individual_with_properties(self):
+        builder = OntologyBuilder()
+        builder.add_individual(ex("felix"), [ex("Cat")], label="Felix",
+                               properties={ex("age"): Literal(3), ex("knows"): [ex("tom")]})
+        graph = builder.graph
+        assert (ex("felix"), RDF_TYPE, ex("Cat")) in graph
+        assert (ex("felix"), ex("age"), Literal(3)) in graph
+        assert (ex("felix"), ex("knows"), ex("tom")) in graph
+
+    def test_restriction_helpers_compose(self):
+        builder = OntologyBuilder()
+        expression = intersection_of(
+            ex("Food"),
+            some_values_from(ex("hasIngredient"), union_of(ex("Vegetable"), ex("Fruit"))),
+            has_value(ex("isHealthy"), Literal(True)),
+        )
+        builder.declare_class(ex("HealthyFood"), equivalent_to=[expression])
+        # The encoded expression must round-trip through the reasoner's parser.
+        from repro.owl.expressions import parse_class_expression
+        node = builder.graph.value(ex("HealthyFood"), OWL_EQUIVALENT_CLASS)
+        parsed = parse_class_expression(builder.graph, node)
+        assert parsed is not None
+        assert ex("Vegetable") in parsed.named_classes()
+
+
+class TestExplanationOntology:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return eo.build_eo_graph()
+
+    def test_all_nine_explanation_types_declared(self, graph):
+        for type_iri in eo.EXPLANATION_TYPES.values():
+            assert (type_iri, RDFS_SUBCLASSOF, eo.Explanation) in graph
+
+    def test_table1_has_nine_types(self):
+        assert len(eo.EXPLANATION_TYPES) == 9
+
+    def test_fact_and_foil_classes_exist(self, graph):
+        assert (eo.Fact, RDF_TYPE, OWL_CLASS) in graph
+        assert (eo.Foil, RDF_TYPE, OWL_CLASS) in graph
+
+    def test_record_classes_are_knowledge(self, graph):
+        assert (eo.ObjectRecord, RDFS_SUBCLASSOF, eo.Knowledge) in graph
+        assert (eo.KnowledgeRecord, RDFS_SUBCLASSOF, eo.Knowledge) in graph
+
+
+class TestFoodOntology:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return food.build_food_graph()
+
+    def test_recipe_and_ingredient_are_foods(self, graph):
+        assert (food.Recipe, RDFS_SUBCLASSOF, food.Food) in graph
+        assert (food.Ingredient, RDFS_SUBCLASSOF, food.Food) in graph
+
+    def test_core_classes_declared(self, graph):
+        for cls in (food.User, food.Diet, food.MealType, food.Cuisine, food.Allergen, food.Nutrient):
+            assert (cls, RDF_TYPE, OWL_CLASS) in graph
+
+    def test_has_ingredient_domain_range(self, graph):
+        assert graph.value(food.hasIngredient, IRI("http://www.w3.org/2000/01/rdf-schema#domain")) == food.Recipe
+        assert graph.value(food.hasIngredient, IRI("http://www.w3.org/2000/01/rdf-schema#range")) == food.Ingredient
+
+
+class TestFEO:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return feo.build_combined_ontology()
+
+    @pytest.fixture(scope="class")
+    def hierarchy(self, graph):
+        return ClassHierarchy(Reasoner(graph.copy()).run())
+
+    def test_figure1_main_subclasses(self, graph):
+        for cls in (feo.Parameter, feo.UserCharacteristic, feo.SystemCharacteristic):
+            assert (cls, RDFS_SUBCLASSOF, feo.Characteristic) in graph
+
+    def test_figure1_user_characteristic_leaves(self, hierarchy):
+        for cls in (feo.LikedFoodCharacteristic, feo.DislikedFoodCharacteristic,
+                    feo.AllergicFoodCharacteristic, feo.DietCharacteristic,
+                    feo.HealthConditionCharacteristic, feo.NutritionalGoalCharacteristic):
+            assert hierarchy.is_a(cls, feo.UserCharacteristic)
+
+    def test_figure1_system_characteristic_leaves(self, hierarchy):
+        for cls in (feo.SeasonCharacteristic, feo.LocationCharacteristic, feo.TimeCharacteristic):
+            assert hierarchy.is_a(cls, feo.SystemCharacteristic)
+
+    def test_has_characteristic_is_transitive_with_inverse(self, graph):
+        assert (feo.hasCharacteristic, RDF_TYPE, OWL_TRANSITIVE_PROPERTY) in graph
+        assert (feo.hasCharacteristic,
+                IRI("http://www.w3.org/2002/07/owl#inverseOf"), feo.isCharacteristicOf) in graph
+
+    def test_forbids_is_subproperty_of_both_superproperties(self, graph):
+        # The property interplay the paper highlights explicitly.
+        assert (feo.forbids, RDFS_SUBPROPERTYOF, feo.isOpposedBy) in graph
+        assert (feo.forbids, RDFS_SUBPROPERTYOF, feo.isCharacteristicOf) in graph
+
+    def test_recommends_is_subproperty_of_is_characteristic_of(self, graph):
+        assert (feo.recommends, RDFS_SUBPROPERTYOF, feo.isCharacteristicOf) in graph
+
+    def test_user_profile_properties_feed_the_lattice(self, graph):
+        assert (feo.likes, RDFS_SUBPROPERTYOF, feo.hasCharacteristic) in graph
+        assert (feo.allergicTo, RDFS_SUBPROPERTYOF, feo.isOpposedBy) in graph
+        assert (feo.dislikes, RDFS_SUBPROPERTYOF, feo.isOpposedBy) in graph
+
+    def test_food_properties_feed_the_lattice(self, graph):
+        from repro.ontology import food as food_module
+        assert (food_module.hasIngredient, RDFS_SUBPROPERTYOF, feo.hasCharacteristic) in graph
+        assert (feo.availableInSeason, RDFS_SUBPROPERTYOF, feo.hasCharacteristic) in graph
+
+    def test_internal_external_partition_is_disjoint(self):
+        internal = set(feo.INTERNAL_CHARACTERISTIC_CLASSES)
+        external = set(feo.EXTERNAL_CHARACTERISTIC_CLASSES)
+        assert not internal & external
+
+    def test_isinternal_hasvalue_axioms_materialise_on_instances(self, graph):
+        inferred = Reasoner(graph.copy()).run()
+        assert (feo.SEASONS["autumn"], feo.isInternal, Literal(False)) in inferred
+
+    def test_shared_individuals_are_typed(self, graph):
+        assert (feo.SEASONS["winter"], RDF_TYPE, feo.SeasonCharacteristic) in graph
+        assert (feo.HEALTH_CONDITIONS["pregnancy"], RDF_TYPE, feo.HealthConditionCharacteristic) in graph
+        assert (feo.NUTRITIONAL_GOALS["low_sodium"], RDF_TYPE, feo.NutritionalGoalCharacteristic) in graph
+        assert (feo.BUDGET_LEVELS["low"], RDF_TYPE, feo.BudgetCharacteristic) in graph
+
+    def test_fact_and_foil_have_equivalence_definitions(self, graph):
+        assert list(graph.triples((eo.Fact, OWL_EQUIVALENT_CLASS, None)))
+        assert list(graph.triples((eo.Foil, OWL_EQUIVALENT_CLASS, None)))
+
+    def test_ingredient_characteristic_is_knowledge(self, graph):
+        assert (feo.IngredientCharacteristic, RDFS_SUBCLASSOF, eo.Knowledge) in graph
+
+    def test_combined_ontology_contains_all_three_namespaces(self, graph):
+        assert (eo.Explanation, RDF_TYPE, OWL_CLASS) in graph
+        assert (food.Recipe, RDF_TYPE, OWL_CLASS) in graph
+        assert (feo.Characteristic, RDF_TYPE, OWL_CLASS) in graph
+
+    def test_figure2_property_lattice_via_hierarchy(self, graph):
+        inferred = Reasoner(graph.copy()).run()
+        lattice = PropertyHierarchy(inferred)
+        assert feo.forbids in lattice.descendants(feo.isCharacteristicOf)
+        assert feo.recommends in lattice.descendants(feo.isCharacteristicOf)
+        assert feo.forbids in lattice.descendants(feo.isOpposedBy)
+
+    def test_ontology_serialises_to_turtle(self, graph):
+        text = graph.serialize("turtle")
+        assert "feo:Characteristic" in text
+        assert "owl:TransitiveProperty" in text

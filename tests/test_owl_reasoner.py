@@ -1,0 +1,353 @@
+"""Tests for the OWL-RL-style reasoner (the Pellet substitute)."""
+
+import pytest
+
+from repro.owl import (
+    AxiomIndex,
+    ClassHierarchy,
+    InconsistentOntologyError,
+    PropertyHierarchy,
+    Reasoner,
+    render_tree,
+)
+from repro.owl.vocabulary import RDF_TYPE, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+def reason(ttl: str) -> Graph:
+    graph = Graph()
+    graph.bind("ex", EX)
+    graph.parse(
+        "@prefix ex: <http://example.org/> .\n"
+        "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+        "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n" + ttl
+    )
+    return Reasoner(graph).run()
+
+
+class TestRdfsRules:
+    def test_subclass_transitivity(self):
+        inferred = reason("""
+        ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C .
+        """)
+        assert (ex("A"), RDFS_SUBCLASSOF, ex("C")) in inferred
+
+    def test_type_propagation_through_subclass(self):
+        inferred = reason("""
+        ex:Cat rdfs:subClassOf ex:Mammal . ex:Mammal rdfs:subClassOf ex:Animal .
+        ex:felix a ex:Cat .
+        """)
+        assert (ex("felix"), RDF_TYPE, ex("Mammal")) in inferred
+        assert (ex("felix"), RDF_TYPE, ex("Animal")) in inferred
+
+    def test_subproperty_transitivity_and_propagation(self):
+        inferred = reason("""
+        ex:hasMother rdfs:subPropertyOf ex:hasParent .
+        ex:hasParent rdfs:subPropertyOf ex:hasAncestor .
+        ex:amy ex:hasMother ex:beth .
+        """)
+        assert (ex("hasMother"), RDFS_SUBPROPERTYOF, ex("hasAncestor")) in inferred
+        assert (ex("amy"), ex("hasParent"), ex("beth")) in inferred
+        assert (ex("amy"), ex("hasAncestor"), ex("beth")) in inferred
+
+    def test_domain_and_range_typing(self):
+        inferred = reason("""
+        ex:teaches rdfs:domain ex:Teacher . ex:teaches rdfs:range ex:Course .
+        ex:ann ex:teaches ex:math101 .
+        """)
+        assert (ex("ann"), RDF_TYPE, ex("Teacher")) in inferred
+        assert (ex("math101"), RDF_TYPE, ex("Course")) in inferred
+
+    def test_range_not_applied_to_literals(self):
+        inferred = reason("""
+        ex:label rdfs:range ex:Name .
+        ex:ann ex:label "Ann" .
+        """)
+        assert not list(inferred.triples((None, RDF_TYPE, ex("Name"))))
+
+
+class TestOwlPropertyRules:
+    def test_inverse_of(self):
+        inferred = reason("""
+        ex:hasChild owl:inverseOf ex:hasParent .
+        ex:ann ex:hasChild ex:bo .
+        """)
+        assert (ex("bo"), ex("hasParent"), ex("ann")) in inferred
+
+    def test_inverse_is_symmetric_declaration(self):
+        inferred = reason("""
+        ex:hasChild owl:inverseOf ex:hasParent .
+        ex:bo ex:hasParent ex:ann .
+        """)
+        assert (ex("ann"), ex("hasChild"), ex("bo")) in inferred
+
+    def test_symmetric_property(self):
+        inferred = reason("""
+        ex:marriedTo a owl:SymmetricProperty .
+        ex:ann ex:marriedTo ex:bo .
+        """)
+        assert (ex("bo"), ex("marriedTo"), ex("ann")) in inferred
+
+    def test_transitive_property(self):
+        inferred = reason("""
+        ex:partOf a owl:TransitiveProperty .
+        ex:finger ex:partOf ex:hand . ex:hand ex:partOf ex:arm . ex:arm ex:partOf ex:body .
+        """)
+        assert (ex("finger"), ex("partOf"), ex("arm")) in inferred
+        assert (ex("finger"), ex("partOf"), ex("body")) in inferred
+
+    def test_property_chain(self):
+        inferred = reason("""
+        ex:hasUncle owl:propertyChainAxiom ( ex:hasParent ex:hasBrother ) .
+        ex:kid ex:hasParent ex:mum . ex:mum ex:hasBrother ex:uncle .
+        """)
+        assert (ex("kid"), ex("hasUncle"), ex("uncle")) in inferred
+
+    def test_equivalent_property(self):
+        inferred = reason("""
+        ex:cost owl:equivalentProperty ex:price .
+        ex:item ex:cost ex:tenDollars .
+        """)
+        assert (ex("item"), ex("price"), ex("tenDollars")) in inferred
+
+
+class TestClassification:
+    def test_has_value_classification(self):
+        inferred = reason("""
+        ex:RedThing owl:equivalentClass [ a owl:Restriction ;
+            owl:onProperty ex:color ; owl:hasValue ex:red ] .
+        ex:apple ex:color ex:red .
+        ex:sky ex:color ex:blue .
+        """)
+        assert (ex("apple"), RDF_TYPE, ex("RedThing")) in inferred
+        assert (ex("sky"), RDF_TYPE, ex("RedThing")) not in inferred
+
+    def test_has_value_consequence_direction(self):
+        inferred = reason("""
+        ex:RedThing rdfs:subClassOf [ a owl:Restriction ;
+            owl:onProperty ex:color ; owl:hasValue ex:red ] .
+        ex:cherry a ex:RedThing .
+        """)
+        assert (ex("cherry"), ex("color"), ex("red")) in inferred
+
+    def test_some_values_from_classification(self):
+        inferred = reason("""
+        ex:Parent owl:equivalentClass [ a owl:Restriction ;
+            owl:onProperty ex:hasChild ; owl:someValuesFrom ex:Person ] .
+        ex:kid a ex:Person .
+        ex:ann ex:hasChild ex:kid .
+        ex:rock ex:hasChild ex:pebble .
+        """)
+        assert (ex("ann"), RDF_TYPE, ex("Parent")) in inferred
+        assert (ex("rock"), RDF_TYPE, ex("Parent")) not in inferred
+
+    def test_intersection_classification(self):
+        inferred = reason("""
+        ex:WorkingParent owl:equivalentClass [ owl:intersectionOf ( ex:Parent ex:Worker ) ] .
+        ex:ann a ex:Parent , ex:Worker .
+        ex:bo a ex:Parent .
+        """)
+        assert (ex("ann"), RDF_TYPE, ex("WorkingParent")) in inferred
+        assert (ex("bo"), RDF_TYPE, ex("WorkingParent")) not in inferred
+
+    def test_intersection_decomposition(self):
+        inferred = reason("""
+        ex:WorkingParent owl:equivalentClass [ owl:intersectionOf ( ex:Parent ex:Worker ) ] .
+        ex:cat a ex:WorkingParent .
+        """)
+        assert (ex("cat"), RDF_TYPE, ex("Parent")) in inferred
+        assert (ex("cat"), RDF_TYPE, ex("Worker")) in inferred
+
+    def test_union_classification(self):
+        inferred = reason("""
+        ex:Pet owl:equivalentClass [ owl:unionOf ( ex:Cat ex:Dog ) ] .
+        ex:rex a ex:Dog .
+        ex:tree a ex:Plant .
+        """)
+        assert (ex("rex"), RDF_TYPE, ex("Pet")) in inferred
+        assert (ex("tree"), RDF_TYPE, ex("Pet")) not in inferred
+
+    def test_all_values_from_consequence(self):
+        inferred = reason("""
+        ex:DogOwner rdfs:subClassOf [ a owl:Restriction ;
+            owl:onProperty ex:hasPet ; owl:allValuesFrom ex:Dog ] .
+        ex:ann a ex:DogOwner . ex:ann ex:hasPet ex:rex .
+        """)
+        assert (ex("rex"), RDF_TYPE, ex("Dog")) in inferred
+
+    def test_one_of_classification(self):
+        inferred = reason("""
+        ex:PrimaryColor owl:equivalentClass [ owl:oneOf ( ex:red ex:green ex:blue ) ] .
+        ex:red ex:isA ex:thing .
+        """)
+        assert (ex("red"), RDF_TYPE, ex("PrimaryColor")) in inferred
+
+    def test_restriction_subclass_of_named_class(self):
+        inferred = reason("""
+        [ a owl:Restriction ; owl:onProperty ex:wearsCollar ; owl:hasValue true ]
+            rdfs:subClassOf ex:Pet .
+        ex:rex ex:wearsCollar true .
+        """)
+        assert (ex("rex"), RDF_TYPE, ex("Pet")) in inferred
+
+    def test_named_equivalence_is_mutual_subclass(self):
+        inferred = reason("""
+        ex:Human owl:equivalentClass ex:Person .
+        ex:ann a ex:Human .
+        """)
+        assert (ex("ann"), RDF_TYPE, ex("Person")) in inferred
+
+
+class TestReasonerBehaviour:
+    def test_report_statistics(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:A rdfs:subClassOf ex:B . ex:x a ex:A ."
+        )
+        reasoner = Reasoner(graph)
+        closed = reasoner.run()
+        assert reasoner.report.input_triples == 2
+        assert reasoner.report.inferred_triples == len(closed) - 2
+        assert reasoner.report.iterations >= 1
+
+    def test_base_graph_not_mutated(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:A rdfs:subClassOf ex:B . ex:x a ex:A ."
+        )
+        before = len(graph)
+        Reasoner(graph).run()
+        assert len(graph) == before
+
+    def test_inferred_only_excludes_asserted(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:A rdfs:subClassOf ex:B . ex:x a ex:A ."
+        )
+        delta = Reasoner(graph).inferred_only()
+        assert (ex("x"), RDF_TYPE, ex("A")) not in delta
+        assert (ex("x"), RDF_TYPE, ex("B")) in delta
+
+    def test_idempotent_on_closed_graph(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:partOf a owl:TransitiveProperty .\n"
+            "ex:a ex:partOf ex:b . ex:b ex:partOf ex:c ."
+        )
+        closed_once = Reasoner(graph).run()
+        closed_twice = Reasoner(closed_once).run()
+        assert set(closed_once) == set(closed_twice)
+
+    def test_disjointness_violation_raises(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+            "ex:Meat owl:disjointWith ex:Vegetable .\n"
+            "ex:weird a ex:Meat , ex:Vegetable ."
+        )
+        with pytest.raises(InconsistentOntologyError):
+            Reasoner(graph).run()
+
+    def test_consistency_check_can_be_disabled(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+            "ex:Meat owl:disjointWith ex:Vegetable .\n"
+            "ex:weird a ex:Meat , ex:Vegetable ."
+        )
+        closed = Reasoner(graph, check_consistency=False).run()
+        assert len(closed) >= len(graph)
+
+
+class TestAxiomIndex:
+    def test_superclass_closure(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C ."
+        )
+        index = AxiomIndex.from_graph(graph)
+        assert index.superclass_closure(ex("A")) == {ex("A"), ex("B"), ex("C")}
+
+    def test_subclasses_of(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C ."
+        )
+        index = AxiomIndex.from_graph(graph)
+        assert index.subclasses_of(ex("C")) == {ex("A"), ex("B")}
+
+    def test_superproperty_closure(self):
+        graph = Graph()
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            "ex:p rdfs:subPropertyOf ex:q . ex:q rdfs:subPropertyOf ex:r ."
+        )
+        index = AxiomIndex.from_graph(graph)
+        assert index.superproperty_closure(ex("p")) == {ex("p"), ex("q"), ex("r")}
+
+
+class TestHierarchies:
+    @pytest.fixture
+    def hierarchy_graph(self):
+        return reason("""
+        ex:Season rdfs:subClassOf ex:SystemCharacteristic .
+        ex:Location rdfs:subClassOf ex:SystemCharacteristic .
+        ex:SystemCharacteristic rdfs:subClassOf ex:Characteristic .
+        ex:UserCharacteristic rdfs:subClassOf ex:Characteristic .
+        ex:likes rdfs:subPropertyOf ex:hasCharacteristic .
+        """)
+
+    def test_class_children_and_parents(self, hierarchy_graph):
+        hierarchy = ClassHierarchy(hierarchy_graph)
+        assert ex("SystemCharacteristic") in hierarchy.children(ex("Characteristic"))
+        assert ex("Characteristic") in hierarchy.parents(ex("SystemCharacteristic"))
+
+    def test_ancestors_descendants(self, hierarchy_graph):
+        hierarchy = ClassHierarchy(hierarchy_graph)
+        assert ex("Characteristic") in hierarchy.ancestors(ex("Season"))
+        assert ex("Season") in hierarchy.descendants(ex("Characteristic"))
+
+    def test_direct_children_excludes_grandchildren(self, hierarchy_graph):
+        hierarchy = ClassHierarchy(hierarchy_graph)
+        direct = hierarchy.direct_children(ex("Characteristic"))
+        assert ex("Season") not in direct
+        assert ex("SystemCharacteristic") in direct
+
+    def test_is_a(self, hierarchy_graph):
+        hierarchy = ClassHierarchy(hierarchy_graph)
+        assert hierarchy.is_a(ex("Season"), ex("Characteristic"))
+        assert not hierarchy.is_a(ex("Characteristic"), ex("Season"))
+
+    def test_tree_and_rendering(self, hierarchy_graph):
+        hierarchy = ClassHierarchy(hierarchy_graph)
+        tree = hierarchy.tree(ex("Characteristic"))
+        text = render_tree(tree)
+        assert "Characteristic" in text and "Season" in text
+
+    def test_property_hierarchy(self, hierarchy_graph):
+        hierarchy = PropertyHierarchy(hierarchy_graph)
+        assert ex("likes") in hierarchy.children(ex("hasCharacteristic"))

@@ -1,0 +1,137 @@
+"""Integration tests: the paper's Listings 1-3 run against the reasoned scenarios.
+
+These tests execute the SPARQL of the paper's listings (modulo IRI
+substitution for the question individual) over the inferred graphs and
+check that the rows the paper's result tables show are among the results.
+"""
+
+import pytest
+
+from repro.core.queries import (
+    characteristic_hierarchy_query,
+    contextual_query,
+    contrastive_query,
+    counterfactual_query,
+    fact_query,
+    foil_query,
+    property_lattice_query,
+)
+
+
+def _names(result, variable):
+    return {term.local_name() for term in result.values(variable)}
+
+
+class TestListing1Contextual:
+    @pytest.fixture(scope="class")
+    def result(self, cq1_scenario):
+        return cq1_scenario.query(contextual_query(cq1_scenario.question_iri))
+
+    def test_returns_at_least_one_row(self, result):
+        assert len(list(result)) >= 1
+
+    def test_autumn_season_row_present(self, result):
+        # The paper's result table: feo:Autumn / feo:SeasonCharacteristic.
+        pairs = {(row["characteristic"].local_name(), row["classes"].local_name())
+                 for row in result}
+        assert ("Autumn", "SeasonCharacteristic") in pairs
+
+    def test_all_characteristics_are_external(self, cq1_scenario, result):
+        # Every returned characteristic carries feo:isInternal false.
+        from repro.ontology import feo
+        from repro.rdf.terms import Literal
+        for characteristic in result.values("characteristic"):
+            assert (characteristic, feo.isInternal, Literal(False)) in cq1_scenario.inferred
+
+    def test_no_knowledge_classes_in_results(self, result):
+        assert "IngredientCharacteristic" not in _names(result, "classes")
+
+    def test_ecosystem_matched_variant_is_subset_of_paper_query(self, cq1_scenario):
+        paper_rows = set()
+        for row in cq1_scenario.query(contextual_query(cq1_scenario.question_iri)):
+            paper_rows.add((row["characteristic"], row["classes"]))
+        matched_rows = set()
+        for row in cq1_scenario.query(
+                contextual_query(cq1_scenario.question_iri, match_ecosystem=True)):
+            matched_rows.add((row["characteristic"], row["classes"]))
+        assert matched_rows <= paper_rows
+
+
+class TestListing2Contrastive:
+    @pytest.fixture(scope="class")
+    def result(self, cq2_scenario):
+        return cq2_scenario.query(contrastive_query(cq2_scenario.question_iri))
+
+    def test_returns_rows(self, result):
+        assert len(list(result)) >= 1
+
+    def test_paper_fact_row(self, result):
+        # fact: feo:Autumn typed feo:SeasonCharacteristic
+        pairs = {(row["factA"].local_name(), row["factType"].local_name()) for row in result}
+        assert ("Autumn", "SeasonCharacteristic") in pairs
+
+    def test_paper_foil_row(self, result):
+        # foil: feo:Broccoli typed feo:AllergicFoodCharacteristic
+        pairs = {(row["foilB"].local_name(), row["foilType"].local_name()) for row in result}
+        assert ("Broccoli", "AllergicFoodCharacteristic") in pairs
+
+    def test_fact_types_are_leaf_characteristic_classes(self, result):
+        assert "SystemCharacteristic" not in _names(result, "factType")
+        assert "Characteristic" not in _names(result, "factType")
+
+    def test_foils_do_not_include_primary_parameter_facts(self, result):
+        assert "Autumn" not in _names(result, "foilB")
+
+
+class TestListing3Counterfactual:
+    @pytest.fixture(scope="class")
+    def result(self, cq3_scenario):
+        return cq3_scenario.query(counterfactual_query(cq3_scenario.question_iri))
+
+    def test_returns_rows(self, result):
+        assert len(list(result)) >= 2
+
+    def test_forbids_sushi_row(self, result):
+        rows = {(row["property"].local_name(), row["baseFood"].local_name()) for row in result}
+        assert ("forbids", "Sushi") in rows
+
+    def test_recommends_spinach_with_frittata_row(self, result):
+        rows = {
+            (row["property"].local_name(), row["baseFood"].local_name(),
+             row["inheritedFood"].local_name() if row.get("inheritedFood") else None)
+            for row in result
+        }
+        assert ("recommends", "Spinach", "SpinachFrittata") in rows
+
+    def test_only_subproperties_of_is_characteristic_of_appear(self, result):
+        assert _names(result, "property") <= {"forbids", "recommends"}
+
+    def test_base_foods_are_foods(self, cq3_scenario, result):
+        from repro.ontology import food
+        from repro.rdf.terms import IRI
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        for base_food in result.values("baseFood"):
+            assert (base_food, rdf_type, food.Food) in cq3_scenario.inferred
+
+
+class TestAuxiliaryQueries:
+    def test_figure1_hierarchy_query(self, cq1_scenario):
+        result = cq1_scenario.query(characteristic_hierarchy_query())
+        classes = _names(result, "cls")
+        assert {"Parameter", "UserCharacteristic", "SystemCharacteristic",
+                "SeasonCharacteristic", "LikedFoodCharacteristic"} <= classes
+
+    def test_figure2_property_lattice_query(self, cq1_scenario):
+        result = cq1_scenario.query(property_lattice_query())
+        pairs = {(row["property"].local_name(), row["superProperty"].local_name())
+                 for row in result}
+        assert ("forbids", "isOpposedBy") in pairs
+        assert ("forbids", "isCharacteristicOf") in pairs
+        assert ("recommends", "isCharacteristicOf") in pairs
+        assert ("likes", "hasCharacteristic") in pairs
+
+    def test_fact_and_foil_queries(self, cq2_scenario):
+        facts = _names(cq2_scenario.query(fact_query()), "fact")
+        foils = _names(cq2_scenario.query(foil_query()), "foil")
+        assert "Autumn" in facts
+        assert "Broccoli" in foils

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.facts_foils import classify_characteristic
+from repro.foodkg.generator import SyntheticCatalogGenerator, generate_catalog
+from repro.foodkg.schema import NutrientProfile, slugify
+from repro.owl import Reasoner
+from repro.owl.vocabulary import RDF_TYPE, RDFS_SUBCLASSOF
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse as parse_nt, serialize as serialize_nt
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import query as sparql_query
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+_local_names = st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=12)
+_iris = _local_names.map(lambda name: IRI("http://example.org/" + name))
+_literals = st.one_of(
+    st.text(alphabet=string.printable, max_size=30).map(Literal),
+    st.integers(min_value=-10**6, max_value=10**6).map(Literal),
+    st.booleans().map(Literal),
+)
+_nodes = st.one_of(_iris, _literals)
+_triples = st.tuples(_iris, _iris, _nodes)
+
+
+class TestGraphProperties:
+    @given(st.lists(_triples, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_graph_length_equals_unique_triples(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        assert len(graph) == len(set(triples))
+
+    @given(st.lists(_triples, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_every_added_triple_is_findable_by_every_index(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        for s, p, o in triples:
+            assert (s, p, o) in graph
+            assert (s, p, o) in set(graph.triples((s, None, None)))
+            assert (s, p, o) in set(graph.triples((None, p, None)))
+            assert (s, p, o) in set(graph.triples((None, None, o)))
+
+    @given(st.lists(_triples, max_size=40), st.lists(_triples, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_union_and_difference_are_set_like(self, left_triples, right_triples):
+        left, right = Graph(), Graph()
+        left.addN(left_triples)
+        right.addN(right_triples)
+        union = left + right
+        assert set(union) == set(left) | set(right)
+        difference = left - right
+        assert set(difference) == set(left) - set(right)
+
+    @given(st.lists(_triples, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_removal_leaves_no_trace_in_indexes(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        for s, p, o in list(graph):
+            graph.remove((s, p, o))
+        assert len(graph) == 0
+        assert list(graph.triples((None, None, None))) == []
+
+
+class TestSerialisationProperties:
+    @given(st.lists(st.tuples(_iris, _iris, st.one_of(_iris, _literals)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_ntriples_roundtrip_is_lossless(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        reparsed = parse_nt(serialize_nt(graph))
+        assert set(reparsed) == set(graph)
+
+
+class TestSparqlProperties:
+    @given(st.lists(st.tuples(_iris, _iris, _iris), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_select_star_returns_one_row_per_triple(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        result = sparql_query(graph, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        assert len(list(result)) == len(set(triples))
+
+    @given(st.lists(st.tuples(_iris, _iris, _iris), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_count_aggregate_matches_row_count(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        result = sparql_query(graph, "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }")
+        row = next(iter(result))
+        assert row["n"].value == len(set(triples))
+
+    @given(st.lists(st.tuples(_iris, _iris, _iris), max_size=25), _iris)
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_ask_agrees_with_membership(self, triples, probe):
+        graph = Graph()
+        graph.addN(triples)
+        result = sparql_query(graph, f"ASK {{ <{probe}> ?p ?o }}")
+        expected = any(s == probe for s, _, _ in graph)
+        assert result.askAnswer is expected
+
+
+class TestReasonerProperties:
+    @given(st.lists(st.tuples(_iris, _iris), min_size=1, max_size=12), st.data())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_subclass_chain_membership_propagates(self, edges, data):
+        """Typing an individual with any class propagates to all its ancestors."""
+        graph = Graph()
+        for sub, sup in edges:
+            if sub != sup:
+                graph.add((sub, RDFS_SUBCLASSOF, sup))
+        start = data.draw(st.sampled_from([sub for sub, _ in edges]))
+        individual = IRI("http://example.org/__individual")
+        graph.add((individual, RDF_TYPE, start))
+        inferred = Reasoner(graph).run()
+        # Compute reachable ancestors over the asserted edges.
+        reachable, frontier = set(), {start}
+        adjacency = {}
+        for sub, sup in edges:
+            if sub != sup:
+                adjacency.setdefault(sub, set()).add(sup)
+        while frontier:
+            node = frontier.pop()
+            for parent in adjacency.get(node, ()):
+                if parent not in reachable:
+                    reachable.add(parent)
+                    frontier.add(parent)
+        for ancestor in reachable:
+            assert (individual, RDF_TYPE, ancestor) in inferred
+
+    @given(st.lists(st.tuples(_iris, _iris, _iris), max_size=20))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_reasoning_is_monotonic(self, triples):
+        """The closure always contains the asserted graph."""
+        graph = Graph()
+        graph.addN(triples)
+        inferred = Reasoner(graph).run()
+        assert set(graph) <= set(inferred)
+
+
+class TestFactFoilProperties:
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    @settings(max_examples=64, deadline=None)
+    def test_verdict_is_total_and_closed(self, supports, present, opposes, opposed_by):
+        verdict = classify_characteristic(supports, present, opposes, opposed_by)
+        assert verdict in {"fact", "foil", "neither"}
+
+    @given(st.booleans(), st.booleans())
+    @settings(max_examples=16, deadline=None)
+    def test_untouched_characteristics_are_never_facts_or_foils(self, present, opposed_by):
+        assert classify_characteristic(False, present, False, opposed_by) == "neither"
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    @settings(max_examples=32, deadline=None)
+    def test_facts_require_ecosystem_presence_without_opposition(self, present, opposes, opposed_by):
+        verdict = classify_characteristic(True, present, opposes, opposed_by)
+        if verdict == "fact":
+            assert present and not opposed_by
+
+
+class TestCatalogProperties:
+    @given(st.text(alphabet=string.ascii_letters + string.digits + " _-'&", min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_slugify_produces_identifier_safe_names(self, name):
+        slug = slugify(name)
+        assert all(ch.isalnum() for ch in slug)
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False),
+           st.floats(min_value=0, max_value=1000, allow_nan=False),
+           st.floats(min_value=0.1, max_value=3.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_nutrient_profile_scaling_is_linear(self, calories, protein, factor):
+        profile = NutrientProfile(calories=calories, protein=protein)
+        scaled = profile.scaled(factor)
+        assert scaled.calories == pytest.approx(calories * factor)
+        assert scaled.protein == pytest.approx(protein * factor)
+
+    @given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=12),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_catalogues_always_reference_known_ingredients(self, extra_ing, extra_rec, seed):
+        catalog = generate_catalog(extra_ingredients=extra_ing, extra_recipes=extra_rec, seed=seed)
+        for recipe in catalog.recipes.values():
+            assert set(recipe.ingredients) <= set(catalog.ingredients)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_synthetic_ingredients_are_deterministic_per_seed(self, seed, index):
+        first = SyntheticCatalogGenerator(seed=seed).ingredient(index)
+        second = SyntheticCatalogGenerator(seed=seed).ingredient(index)
+        assert first == second

@@ -1,0 +1,197 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.rdf.graph import Graph, ReadOnlyGraphUnion
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import BNode, IRI, Literal
+
+EX = "http://example.org/"
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def small_graph():
+    g = Graph()
+    g.add((ex("alice"), ex("knows"), ex("bob")))
+    g.add((ex("alice"), ex("knows"), ex("carol")))
+    g.add((ex("bob"), ex("knows"), ex("carol")))
+    g.add((ex("alice"), ex("name"), Literal("Alice")))
+    g.add((ex("alice"), IRI(RDF.type), ex("Person")))
+    return g
+
+
+class TestAddRemove:
+    def test_len_counts_unique_triples(self, small_graph):
+        assert len(small_graph) == 5
+
+    def test_duplicate_add_is_idempotent(self, small_graph):
+        small_graph.add((ex("alice"), ex("knows"), ex("bob")))
+        assert len(small_graph) == 5
+
+    def test_contains_full_triple(self, small_graph):
+        assert (ex("alice"), ex("knows"), ex("bob")) in small_graph
+
+    def test_contains_pattern_with_wildcards(self, small_graph):
+        assert (ex("alice"), None, None) in small_graph
+        assert (None, ex("knows"), ex("carol")) in small_graph
+        assert (ex("carol"), None, None) not in small_graph
+
+    def test_remove_specific_triple(self, small_graph):
+        small_graph.remove((ex("alice"), ex("knows"), ex("bob")))
+        assert (ex("alice"), ex("knows"), ex("bob")) not in small_graph
+        assert len(small_graph) == 4
+
+    def test_remove_with_wildcard(self, small_graph):
+        small_graph.remove((ex("alice"), None, None))
+        assert len(small_graph) == 1
+
+    def test_remove_nonexistent_is_noop(self, small_graph):
+        small_graph.remove((ex("zed"), None, None))
+        assert len(small_graph) == 5
+
+    def test_set_replaces_existing_values(self, small_graph):
+        small_graph.set((ex("alice"), ex("knows"), ex("dave")))
+        assert list(small_graph.objects(ex("alice"), ex("knows"))) == [ex("dave")]
+
+    def test_clear(self, small_graph):
+        small_graph.clear()
+        assert len(small_graph) == 0
+
+    def test_literal_subject_rejected(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((Literal("x"), ex("p"), ex("o")))
+
+    def test_literal_predicate_rejected(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((ex("s"), Literal("p"), ex("o")))
+
+    def test_bnode_predicate_rejected(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((ex("s"), BNode(), ex("o")))
+
+    def test_addN(self):
+        g = Graph()
+        g.addN([(ex("a"), ex("p"), ex("b")), (ex("a"), ex("p"), ex("c"))])
+        assert len(g) == 2
+
+
+class TestPatternMatching:
+    def test_all_triples(self, small_graph):
+        assert len(list(small_graph.triples((None, None, None)))) == 5
+
+    def test_subject_bound(self, small_graph):
+        assert len(list(small_graph.triples((ex("alice"), None, None)))) == 4
+
+    def test_subject_predicate_bound(self, small_graph):
+        assert len(list(small_graph.triples((ex("alice"), ex("knows"), None)))) == 2
+
+    def test_predicate_bound(self, small_graph):
+        assert len(list(small_graph.triples((None, ex("knows"), None)))) == 3
+
+    def test_object_bound(self, small_graph):
+        assert len(list(small_graph.triples((None, None, ex("carol"))))) == 2
+
+    def test_predicate_object_bound(self, small_graph):
+        assert len(list(small_graph.triples((None, ex("knows"), ex("carol"))))) == 2
+
+    def test_no_match_returns_empty(self, small_graph):
+        assert list(small_graph.triples((ex("nobody"), None, None))) == []
+
+    def test_indexes_consistent_after_removal(self, small_graph):
+        small_graph.remove((None, ex("knows"), ex("carol")))
+        assert list(small_graph.triples((None, ex("knows"), ex("carol")))) == []
+        assert (ex("alice"), ex("knows"), ex("bob")) in small_graph
+
+
+class TestAccessors:
+    def test_subjects(self, small_graph):
+        assert set(small_graph.subjects(ex("knows"), ex("carol"))) == {ex("alice"), ex("bob")}
+
+    def test_objects(self, small_graph):
+        assert set(small_graph.objects(ex("alice"), ex("knows"))) == {ex("bob"), ex("carol")}
+
+    def test_predicates(self, small_graph):
+        assert ex("knows") in set(small_graph.predicates(ex("alice")))
+
+    def test_value_returns_one_match(self, small_graph):
+        assert small_graph.value(ex("alice"), ex("name")) == Literal("Alice")
+
+    def test_value_default(self, small_graph):
+        assert small_graph.value(ex("zed"), ex("name"), default="n/a") == "n/a"
+
+    def test_value_requires_two_bound_positions(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.value(ex("alice"))
+
+    def test_types_of(self, small_graph):
+        assert small_graph.types_of(ex("alice")) == {ex("Person")}
+
+    def test_instances_of(self, small_graph):
+        assert small_graph.instances_of(ex("Person")) == {ex("alice")}
+
+    def test_subject_objects(self, small_graph):
+        pairs = set(small_graph.subject_objects(ex("knows")))
+        assert (ex("alice"), ex("bob")) in pairs
+
+    def test_all_nodes(self, small_graph):
+        nodes = small_graph.all_nodes()
+        assert ex("alice") in nodes and Literal("Alice") in nodes
+
+
+class TestSetOperations:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add((ex("new"), ex("p"), ex("o")))
+        assert len(clone) == len(small_graph) + 1
+
+    def test_union(self, small_graph):
+        other = Graph()
+        other.add((ex("x"), ex("p"), ex("y")))
+        union = small_graph + other
+        assert len(union) == 6
+
+    def test_difference(self, small_graph):
+        other = Graph()
+        other.add((ex("alice"), ex("knows"), ex("bob")))
+        diff = small_graph - other
+        assert len(diff) == 4
+
+    def test_intersection(self, small_graph):
+        other = Graph()
+        other.add((ex("alice"), ex("knows"), ex("bob")))
+        other.add((ex("unrelated"), ex("p"), ex("o")))
+        inter = small_graph & other
+        assert len(inter) == 1
+
+    def test_equality_by_triple_set(self, small_graph):
+        assert small_graph == small_graph.copy()
+
+    def test_iadd(self, small_graph):
+        small_graph += [(ex("x"), ex("p"), ex("y"))]
+        assert (ex("x"), ex("p"), ex("y")) in small_graph
+
+
+class TestReadOnlyUnion:
+    def test_union_view_sees_both_graphs(self, small_graph):
+        other = Graph()
+        other.add((ex("x"), ex("p"), ex("y")))
+        view = ReadOnlyGraphUnion(small_graph, other)
+        assert (ex("x"), ex("p"), ex("y")) in view
+        assert (ex("alice"), ex("knows"), ex("bob")) in view
+        assert len(view) == 6
+
+    def test_union_view_deduplicates(self, small_graph):
+        other = small_graph.copy()
+        view = ReadOnlyGraphUnion(small_graph, other)
+        assert len(view) == len(small_graph)
+
+    def test_union_requires_at_least_one_graph(self):
+        with pytest.raises(ValueError):
+            ReadOnlyGraphUnion()

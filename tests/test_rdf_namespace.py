@@ -1,0 +1,103 @@
+"""Unit tests for namespaces and the namespace manager."""
+
+import pytest
+
+from repro.rdf.namespace import (
+    DEFAULT_PREFIXES,
+    FEO,
+    Namespace,
+    NamespaceManager,
+    RDF,
+    RDFS,
+)
+from repro.rdf.terms import IRI
+
+
+class TestNamespace:
+    def test_attribute_access_mints_iri(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Thing == IRI("http://example.org/Thing")
+
+    def test_item_access_mints_iri(self):
+        ns = Namespace("http://example.org/")
+        assert ns["Thing"] == IRI("http://example.org/Thing")
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("a b") == IRI("http://example.org/a b")
+
+    def test_contains_checks_prefix(self):
+        assert str(FEO.Autumn) in FEO
+        assert "http://other.org/x" not in FEO
+
+    def test_dunder_attributes_not_minted(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ns.__wrapped__
+
+    def test_well_known_namespaces(self):
+        assert RDF.type == IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        assert RDFS.subClassOf == IRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+
+
+class TestNamespaceManager:
+    def test_defaults_bound(self):
+        manager = NamespaceManager()
+        assert manager.namespace_for("feo") == str(FEO)
+
+    def test_expand_prefixed_name(self):
+        manager = NamespaceManager()
+        assert manager.expand("feo:Autumn") == IRI(str(FEO) + "Autumn")
+
+    def test_expand_unknown_prefix_raises(self):
+        manager = NamespaceManager()
+        with pytest.raises(KeyError):
+            manager.expand("nope:Thing")
+
+    def test_expand_requires_colon(self):
+        manager = NamespaceManager()
+        with pytest.raises(ValueError):
+            manager.expand("Autumn")
+
+    def test_qname_compacts(self):
+        manager = NamespaceManager()
+        assert manager.qname(IRI(str(FEO) + "Autumn")) == "feo:Autumn"
+
+    def test_qname_returns_none_when_unknown(self):
+        manager = NamespaceManager()
+        assert manager.qname(IRI("http://unknown.example/x")) is None
+
+    def test_qname_refuses_nested_paths(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.qname(IRI("http://example.org/a/b")) is None
+
+    def test_bind_and_rebind(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one.example/")
+        manager.bind("ex", "http://two.example/")
+        assert manager.namespace_for("ex") == "http://two.example/"
+
+    def test_bind_without_replace_keeps_existing(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one.example/")
+        manager.bind("ex", "http://two.example/", replace=False)
+        assert manager.namespace_for("ex") == "http://one.example/"
+
+    def test_copy_is_independent(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one.example/")
+        clone = manager.copy()
+        clone.bind("ex", "http://two.example/")
+        assert manager.namespace_for("ex") == "http://one.example/"
+
+    def test_namespaces_iteration_sorted(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("b", "http://b.example/")
+        manager.bind("a", "http://a.example/")
+        assert [prefix for prefix, _ in manager.namespaces()] == ["a", "b"]
+
+    def test_default_prefix_catalogue_is_consistent(self):
+        manager = NamespaceManager()
+        for prefix, namespace in DEFAULT_PREFIXES.items():
+            assert manager.namespace_for(prefix) == str(namespace)

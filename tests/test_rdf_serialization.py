@@ -1,0 +1,224 @@
+"""Tests for Turtle and N-Triples parsing/serialisation and graph comparison."""
+
+import pytest
+
+from repro.rdf.collection import make_collection, read_collection
+from repro.rdf.compare import graph_diff, isomorphic
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.ntriples import NTriplesParseError, parse as parse_nt, serialize as serialize_nt
+from repro.rdf.terms import BNode, IRI, Literal, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+from repro.rdf.turtle import TurtleParseError, parse as parse_ttl, serialize as serialize_ttl
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+class TestTurtleParsing:
+    def test_prefix_and_simple_triple(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:p ex:b .')
+        assert (ex("a"), ex("p"), ex("b")) in g
+
+    def test_sparql_style_prefix(self):
+        g = parse_ttl('PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .')
+        assert (ex("a"), ex("p"), ex("b")) in g
+
+    def test_a_keyword_is_rdf_type(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a a ex:Thing .')
+        assert (ex("a"), IRI(RDF.type), ex("Thing")) in g
+
+    def test_predicate_object_lists(self):
+        g = parse_ttl(
+            '@prefix ex: <http://example.org/> .\n'
+            'ex:a ex:p ex:b ; ex:q ex:c , ex:d .'
+        )
+        assert len(g) == 3
+
+    def test_language_literal(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:label "chat"@fr .')
+        assert (ex("a"), ex("label"), Literal("chat", language="fr")) in g
+
+    def test_typed_literal(self):
+        g = parse_ttl(
+            '@prefix ex: <http://example.org/> .\n'
+            '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n'
+            'ex:a ex:count "5"^^xsd:integer .'
+        )
+        assert (ex("a"), ex("count"), Literal("5", datatype=XSD_INTEGER)) in g
+
+    def test_numeric_shorthand(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:n 5 ; ex:m 2.5 .')
+        assert (ex("a"), ex("n"), Literal("5", datatype=XSD_INTEGER)) in g
+        assert (ex("a"), ex("m"), Literal("2.5", datatype=XSD_DECIMAL)) in g
+
+    def test_boolean_shorthand(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:flag true .')
+        assert (ex("a"), ex("flag"), Literal("true", datatype=XSD_BOOLEAN)) in g
+
+    def test_blank_node_property_list(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:p [ ex:q ex:b ] .')
+        assert len(g) == 2
+        bnodes = [o for _, _, o in g.triples((ex("a"), ex("p"), None))]
+        assert isinstance(bnodes[0], BNode)
+
+    def test_collection(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:list ( ex:x ex:y ) .')
+        head = g.value(ex("a"), ex("list"))
+        assert read_collection(g, head) == [ex("x"), ex("y")]
+
+    def test_empty_collection_is_nil(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:list ( ) .')
+        assert g.value(ex("a"), ex("list")) == IRI(RDF.nil)
+
+    def test_comments_ignored(self):
+        g = parse_ttl('# a comment\n@prefix ex: <http://example.org/> .\nex:a ex:p ex:b . # done')
+        assert len(g) == 1
+
+    def test_triple_quoted_string(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:note """line1\nline2""" .')
+        assert (ex("a"), ex("note"), Literal("line1\nline2")) in g
+
+    def test_escaped_characters_in_string(self):
+        g = parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:note "tab\\there" .')
+        assert (ex("a"), ex("note"), Literal("tab\there")) in g
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_ttl('nope:a nope:p nope:b .')
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_ttl('@prefix ex: <http://example.org/> .\nex:a ex:p ex:b')
+
+    def test_garbage_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_ttl('@prefix ex: <http://example.org/> .\nex:a ~~~ ex:b .')
+
+
+class TestTurtleSerialisation:
+    def test_roundtrip_preserves_triples(self):
+        source = Graph()
+        source.bind("ex", EX)
+        source.add((ex("a"), ex("p"), ex("b")))
+        source.add((ex("a"), IRI(RDF.type), ex("Thing")))
+        source.add((ex("a"), ex("label"), Literal("thing", language="en")))
+        source.add((ex("a"), ex("count"), Literal(3)))
+        text = serialize_ttl(source)
+        reparsed = parse_ttl(text)
+        assert set(reparsed) == set(source)
+
+    def test_serialisation_uses_prefixes(self):
+        g = Graph()
+        g.bind("ex", EX)
+        g.add((ex("a"), ex("p"), ex("b")))
+        assert "@prefix ex:" in serialize_ttl(g)
+        assert "ex:a" in serialize_ttl(g)
+
+    def test_rdf_type_written_as_a(self):
+        g = Graph()
+        g.bind("ex", EX)
+        g.add((ex("a"), IRI(RDF.type), ex("Thing")))
+        assert " a ex:Thing" in serialize_ttl(g)
+
+    def test_empty_graph_serialises_to_empty_string(self):
+        assert serialize_ttl(Graph()) == ""
+
+    def test_graph_serialize_method_dispatch(self):
+        g = Graph()
+        g.add((ex("a"), ex("p"), ex("b")))
+        assert "example.org" in g.serialize("turtle")
+        assert "example.org" in g.serialize("ntriples")
+        with pytest.raises(ValueError):
+            g.serialize("jsonld")
+
+
+class TestNTriples:
+    def test_roundtrip(self):
+        g = Graph()
+        g.add((ex("a"), ex("p"), ex("b")))
+        g.add((ex("a"), ex("label"), Literal("x y", language="en")))
+        g.add((ex("a"), ex("count"), Literal(4)))
+        g.add((BNode("n1"), ex("p"), ex("b")))
+        text = serialize_nt(g)
+        assert set(parse_nt(text)) == set(g)
+
+    def test_sorted_output_is_deterministic(self):
+        g = Graph()
+        g.add((ex("b"), ex("p"), ex("c")))
+        g.add((ex("a"), ex("p"), ex("c")))
+        assert serialize_nt(g) == serialize_nt(g.copy())
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\n<http://example.org/a> <http://example.org/p> <http://example.org/b> .\n"
+        assert len(parse_nt(text)) == 1
+
+    def test_literal_with_datatype(self):
+        text = ('<http://example.org/a> <http://example.org/n> '
+                '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        g = parse_nt(text)
+        assert (ex("a"), ex("n"), Literal("5", datatype=XSD_INTEGER)) in g
+
+    def test_escaped_literal(self):
+        text = '<http://example.org/a> <http://example.org/p> "line\\nbreak" .'
+        g = parse_nt(text)
+        assert g.value(ex("a"), ex("p")) == Literal("line\nbreak")
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_nt("this is not ntriples")
+
+
+class TestCollections:
+    def test_make_and_read_roundtrip(self):
+        g = Graph()
+        head = make_collection(g, [ex("a"), ex("b"), Literal(3)])
+        assert read_collection(g, head) == [ex("a"), ex("b"), Literal(3)]
+
+    def test_empty_collection(self):
+        g = Graph()
+        assert make_collection(g, []) == IRI(RDF.nil)
+        assert read_collection(g, IRI(RDF.nil)) == []
+
+    def test_cycle_guard(self):
+        g = Graph()
+        node = BNode()
+        g.add((node, IRI(RDF.first), ex("a")))
+        g.add((node, IRI(RDF.rest), node))
+        with pytest.raises(ValueError):
+            read_collection(g, node, max_length=10)
+
+
+class TestGraphComparison:
+    def test_graph_diff(self):
+        left, right = Graph(), Graph()
+        left.add((ex("a"), ex("p"), ex("b")))
+        left.add((ex("shared"), ex("p"), ex("x")))
+        right.add((ex("shared"), ex("p"), ex("x")))
+        right.add((ex("c"), ex("p"), ex("d")))
+        both, only_left, only_right = graph_diff(left, right)
+        assert len(both) == 1 and len(only_left) == 1 and len(only_right) == 1
+
+    def test_isomorphic_identical_graphs(self):
+        g = Graph()
+        g.add((ex("a"), ex("p"), ex("b")))
+        assert isomorphic(g, g.copy())
+
+    def test_isomorphic_with_renamed_bnodes(self):
+        left, right = Graph(), Graph()
+        left.add((BNode("x"), ex("p"), ex("b")))
+        right.add((BNode("y"), ex("p"), ex("b")))
+        assert isomorphic(left, right)
+
+    def test_not_isomorphic_different_sizes(self):
+        left, right = Graph(), Graph()
+        left.add((ex("a"), ex("p"), ex("b")))
+        assert not isomorphic(left, right)
+
+    def test_not_isomorphic_different_structure(self):
+        left, right = Graph(), Graph()
+        left.add((BNode("x"), ex("p"), ex("b")))
+        right.add((BNode("y"), ex("q"), ex("b")))
+        assert not isomorphic(left, right)

@@ -1,0 +1,172 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+from decimal import Decimal
+
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    URIRef,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    RDF_LANGSTRING,
+)
+
+
+class TestIRI:
+    def test_equality_with_same_value(self):
+        assert IRI("http://example.org/a") == IRI("http://example.org/a")
+
+    def test_inequality_with_different_value(self):
+        assert IRI("http://example.org/a") != IRI("http://example.org/b")
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert IRI("hello") != Literal("hello")
+
+    def test_not_equal_to_bnode_with_same_text(self):
+        assert IRI("b0") != BNode("b0")
+
+    def test_uriref_alias(self):
+        assert URIRef is IRI
+
+    def test_n3_form(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_hashable_and_usable_in_sets(self):
+        s = {IRI("http://example.org/a"), IRI("http://example.org/a")}
+        assert len(s) == 1
+
+    def test_local_name_hash_fragment(self):
+        assert IRI("https://purl.org/heals/feo#Autumn").local_name() == "Autumn"
+
+    def test_local_name_slash(self):
+        assert IRI("http://purl.org/heals/food/Recipe").local_name() == "Recipe"
+
+    def test_defrag(self):
+        assert IRI("http://x.org/a#b").defrag() == IRI("http://x.org/a")
+
+    def test_requires_string(self):
+        with pytest.raises(TypeError):
+            IRI(42)
+
+
+class TestBNode:
+    def test_auto_label_unique(self):
+        assert BNode() != BNode()
+
+    def test_explicit_label_equality(self):
+        assert BNode("x") == BNode("x")
+
+    def test_n3_form(self):
+        assert BNode("x").n3() == "_:x"
+
+    def test_not_equal_to_iri(self):
+        assert BNode("x") != IRI("x")
+
+    def test_hash_differs_from_plain_string_usage_in_mixed_sets(self):
+        mixed = {BNode("x"), IRI("x")}
+        assert len(mixed) == 2
+
+
+class TestLiteral:
+    def test_plain_string_equality(self):
+        assert Literal("cat") == Literal("cat")
+
+    def test_language_tag_distinguishes(self):
+        assert Literal("cat", language="en") != Literal("cat")
+
+    def test_language_normalised_to_lowercase(self):
+        assert Literal("cat", language="EN").language == "en"
+
+    def test_datatype_inferred_for_int(self):
+        lit = Literal(5)
+        assert lit.datatype == XSD_INTEGER
+        assert lit.value == 5
+
+    def test_datatype_inferred_for_float(self):
+        lit = Literal(2.5)
+        assert lit.datatype == XSD_DOUBLE
+        assert lit.value == 2.5
+
+    def test_datatype_inferred_for_bool(self):
+        assert Literal(True).datatype == XSD_BOOLEAN
+        assert Literal(True).value is True
+        assert Literal(False).lexical == "false"
+
+    def test_datatype_inferred_for_decimal(self):
+        lit = Literal(Decimal("1.50"))
+        assert lit.datatype == XSD_DECIMAL
+        assert lit.value == Decimal("1.50")
+
+    def test_explicit_datatype_parsing(self):
+        lit = Literal("42", datatype=XSD_INTEGER)
+        assert lit.value == 42
+
+    def test_invalid_lexical_for_datatype_falls_back_to_text(self):
+        lit = Literal("notanumber", datatype=XSD_INTEGER)
+        assert lit.value == "notanumber"
+
+    def test_cannot_have_both_language_and_datatype(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en", datatype=XSD_STRING)
+
+    def test_plain_and_xsd_string_literals_are_equal(self):
+        assert Literal("x") == Literal("x", datatype=XSD_STRING)
+
+    def test_numeric_equality_across_datatypes(self):
+        assert Literal("1", datatype=XSD_INTEGER) == 1
+        assert Literal("1.0", datatype=XSD_DOUBLE) == 1.0
+
+    def test_equality_with_python_string(self):
+        assert Literal("spam") == "spam"
+
+    def test_boolean_value_comparison(self):
+        assert Literal("true", datatype=XSD_BOOLEAN) == True  # noqa: E712
+
+    def test_n3_plain(self):
+        assert Literal("cat").n3() == '"cat"'
+
+    def test_n3_language(self):
+        assert Literal("cat", language="en").n3() == '"cat"@en'
+
+    def test_n3_typed(self):
+        assert Literal(3).n3() == '"3"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_n3_escaping(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+    def test_is_numeric(self):
+        assert Literal(3).is_numeric()
+        assert not Literal("three").is_numeric()
+
+    def test_ordering_numeric(self):
+        assert Literal(2) < Literal(10)
+
+    def test_ordering_lexical(self):
+        assert Literal("apple") < Literal("banana")
+
+    def test_langstring_normalised_datatype(self):
+        assert Literal("x", language="en")._normalised_datatype() == RDF_LANGSTRING
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?x") == Variable("x")
+
+    def test_strips_dollar(self):
+        assert Variable("$x") == Variable("x")
+
+    def test_n3(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("?9bad")
+
+    def test_not_equal_to_iri(self):
+        assert Variable("x") != IRI("x")

@@ -1,0 +1,247 @@
+"""Tests for SPARQL query evaluation over a graph."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def family_graph():
+    g = Graph()
+    g.bind("ex", EX)
+    ttl = """
+    @prefix ex: <http://example.org/> .
+    ex:alice a ex:Person ; ex:age 34 ; ex:knows ex:bob, ex:carol ; ex:name "Alice"@en .
+    ex:bob a ex:Person ; ex:age 25 ; ex:knows ex:carol ; ex:city ex:Boston .
+    ex:carol a ex:Person ; ex:age 41 ; ex:city ex:Troy .
+    ex:dave a ex:Robot ; ex:age 2 .
+    ex:Boston ex:inRegion ex:NewEngland .
+    ex:NewEngland ex:inRegion ex:USEast .
+    ex:Person ex:subClassOf ex:Agent .
+    ex:Robot ex:subClassOf ex:Agent .
+    """
+    return g.parse(ttl)
+
+
+class TestBasicSelect:
+    def test_single_pattern(self, family_graph):
+        rows = list(family_graph.query("SELECT ?p WHERE { ?p a ex:Person }"))
+        assert len(rows) == 3
+
+    def test_join_across_patterns(self, family_graph):
+        result = family_graph.query(
+            "SELECT ?x ?city WHERE { ?x ex:knows ?y . ?y ex:city ?city }")
+        pairs = {(str(r["x"]), str(r["city"])) for r in result}
+        assert (EX + "alice", EX + "Boston") in pairs
+        assert (EX + "alice", EX + "Troy") in pairs
+        assert (EX + "bob", EX + "Troy") in pairs
+
+    def test_no_match_returns_empty(self, family_graph):
+        assert len(family_graph.query("SELECT ?x WHERE { ?x a ex:Unicorn }")) == 0
+
+    def test_distinct(self, family_graph):
+        without = family_graph.query("SELECT ?y WHERE { ?x ex:knows ?y }")
+        with_distinct = family_graph.query("SELECT DISTINCT ?y WHERE { ?x ex:knows ?y }")
+        assert len(list(without)) == 3
+        assert len(list(with_distinct)) == 2
+
+    def test_select_star_collects_all_variables(self, family_graph):
+        result = family_graph.query("SELECT * WHERE { ?x ex:knows ?y }")
+        assert {"x", "y"} <= {str(v) for v in result.variables}
+
+    def test_limit_offset(self, family_graph):
+        all_rows = list(family_graph.query("SELECT ?p WHERE { ?p ex:age ?a } ORDER BY ?a"))
+        limited = list(family_graph.query("SELECT ?p WHERE { ?p ex:age ?a } ORDER BY ?a LIMIT 2 OFFSET 1"))
+        assert limited == all_rows[1:3]
+
+    def test_order_by_numeric_ascending(self, family_graph):
+        rows = list(family_graph.query("SELECT ?p ?a WHERE { ?p ex:age ?a } ORDER BY ?a"))
+        ages = [int(r["a"].value) for r in rows]
+        assert ages == sorted(ages)
+
+    def test_order_by_descending(self, family_graph):
+        rows = list(family_graph.query("SELECT ?p ?a WHERE { ?p ex:age ?a } ORDER BY DESC(?a)"))
+        ages = [int(r["a"].value) for r in rows]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_init_bindings_restrict_results(self, family_graph):
+        result = family_graph.query(
+            "SELECT ?y WHERE { ?x ex:knows ?y }", initBindings={"x": ex("bob")})
+        assert [str(r["y"]) for r in result] == [EX + "carol"]
+
+    def test_result_row_attribute_and_key_access(self, family_graph):
+        row = next(iter(family_graph.query("SELECT ?p WHERE { ?p a ex:Robot }")))
+        assert row["p"] == row.p == row[0]
+
+
+class TestFilters:
+    def test_numeric_comparison(self, family_graph):
+        rows = family_graph.query("SELECT ?p WHERE { ?p ex:age ?a . FILTER (?a > 30) }")
+        assert {str(r["p"]) for r in rows} == {EX + "alice", EX + "carol"}
+
+    def test_boolean_or(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p ex:age ?a . FILTER (?a < 10 || ?a > 40) }")
+        assert {str(r["p"]) for r in rows} == {EX + "dave", EX + "carol"}
+
+    def test_boolean_and_negation(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p ex:age ?a . FILTER (?a > 20 && !(?a > 40)) }")
+        assert {str(r["p"]) for r in rows} == {EX + "alice", EX + "bob"}
+
+    def test_equality_on_iris(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?x WHERE { ?x ex:knows ?y . FILTER (?y = ex:carol) }")
+        assert {str(r["x"]) for r in rows} == {EX + "alice", EX + "bob"}
+
+    def test_in_operator(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p ex:age ?a . FILTER (?a IN (25, 41)) }")
+        assert {str(r["p"]) for r in rows} == {EX + "bob", EX + "carol"}
+
+    def test_not_exists(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p a ex:Person . FILTER NOT EXISTS { ?p ex:city ?c } }")
+        assert [str(r["p"]) for r in rows] == [EX + "alice"]
+
+    def test_exists(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p a ex:Person . FILTER EXISTS { ?p ex:city ?c } }")
+        assert {str(r["p"]) for r in rows} == {EX + "bob", EX + "carol"}
+
+    def test_regex_function(self, family_graph):
+        rows = family_graph.query(
+            'SELECT ?p WHERE { ?p ex:name ?n . FILTER regex(?n, "^Ali") }')
+        assert len(list(rows)) == 1
+
+    def test_filter_scope_covers_whole_group(self, family_graph):
+        # The filter references a variable bound by a later pattern.
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p a ex:Person . FILTER (?a > 30) . ?p ex:age ?a }")
+        assert {str(r["p"]) for r in rows} == {EX + "alice", EX + "carol"}
+
+    def test_filter_error_drops_solution(self, family_graph):
+        # Comparing an IRI with a number is an error: those solutions drop out.
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p ex:city ?c . FILTER (?c > 5) }")
+        assert len(list(rows)) == 0
+
+
+class TestOptionalUnionMinus:
+    def test_optional_keeps_unmatched_rows(self, family_graph):
+        rows = list(family_graph.query(
+            "SELECT ?p ?c WHERE { ?p a ex:Person . OPTIONAL { ?p ex:city ?c } }"))
+        assert len(rows) == 3
+        cities = {str(r["p"]): r.get("c") for r in rows}
+        assert cities[EX + "alice"] is None
+        assert str(cities[EX + "bob"]) == EX + "Boston"
+
+    def test_union_combines_branches(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?x WHERE { { ?x a ex:Person } UNION { ?x a ex:Robot } }")
+        assert len(list(rows)) == 4
+
+    def test_minus_removes_matching(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p a ex:Person . MINUS { ?p ex:city ex:Troy } }")
+        assert {str(r["p"]) for r in rows} == {EX + "alice", EX + "bob"}
+
+    def test_bind_adds_variable(self, family_graph):
+        rows = list(family_graph.query(
+            "SELECT ?p ?double WHERE { ?p ex:age ?a . BIND ((?a + ?a) AS ?double) }"))
+        doubled = {str(r["p"]): float(r["double"].value) for r in rows}
+        assert doubled[EX + "bob"] == 50
+
+    def test_values_restricts(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p ?a WHERE { VALUES ?p { ex:alice ex:dave } ?p ex:age ?a }")
+        assert {str(r["p"]) for r in rows} == {EX + "alice", EX + "dave"}
+
+
+class TestPropertyPaths:
+    def test_one_or_more(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?r WHERE { ex:Boston ex:inRegion+ ?r }")
+        assert {str(r["r"]) for r in rows} == {EX + "NewEngland", EX + "USEast"}
+
+    def test_zero_or_more_includes_start(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?r WHERE { ex:Boston ex:inRegion* ?r }")
+        assert EX + "Boston" in {str(r["r"]) for r in rows}
+
+    def test_inverse_path(self, family_graph):
+        rows = family_graph.query("SELECT ?x WHERE { ex:carol ^ex:knows ?x }")
+        assert {str(r["x"]) for r in rows} == {EX + "alice", EX + "bob"}
+
+    def test_sequence_path(self, family_graph):
+        rows = family_graph.query("SELECT ?r WHERE { ex:bob ex:city/ex:inRegion ?r }")
+        assert [str(r["r"]) for r in rows] == [EX + "NewEngland"]
+
+    def test_alternative_path(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?o WHERE { ex:bob ex:city|ex:age ?o }")
+        assert len(list(rows)) == 2
+
+    def test_transitive_path_with_bound_object(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?x WHERE { ?x ex:inRegion+ ex:USEast }")
+        assert {str(r["x"]) for r in rows} == {EX + "Boston", EX + "NewEngland"}
+
+
+class TestAggregatesAndForms:
+    def test_count(self, family_graph):
+        row = next(iter(family_graph.query(
+            "SELECT (COUNT(?p) AS ?n) WHERE { ?p a ex:Person }")))
+        assert row["n"].value == 3
+
+    def test_count_distinct(self, family_graph):
+        row = next(iter(family_graph.query(
+            "SELECT (COUNT(DISTINCT ?y) AS ?n) WHERE { ?x ex:knows ?y }")))
+        assert row["n"].value == 2
+
+    def test_group_by_with_count(self, family_graph):
+        rows = list(family_graph.query(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ex:knows ?y } GROUP BY ?x"))
+        counts = {str(r["x"]): r["n"].value for r in rows}
+        assert counts[EX + "alice"] == 2 and counts[EX + "bob"] == 1
+
+    def test_avg_min_max_sum(self, family_graph):
+        row = next(iter(family_graph.query(
+            "SELECT (AVG(?a) AS ?avg) (MIN(?a) AS ?min) (MAX(?a) AS ?max) (SUM(?a) AS ?sum) "
+            "WHERE { ?p a ex:Person . ?p ex:age ?a }")))
+        assert row["min"].value == 25 and row["max"].value == 41
+        assert row["sum"].value == 100
+        assert abs(float(row["avg"].value) - 100 / 3) < 1e-6
+
+    def test_having_filters_groups(self, family_graph):
+        rows = list(family_graph.query(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ex:knows ?y } GROUP BY ?x "
+            "HAVING (COUNT(?y) > 1)"))
+        assert [str(r["x"]) for r in rows] == [EX + "alice"]
+
+    def test_ask_true_and_false(self, family_graph):
+        assert family_graph.query("ASK { ex:alice ex:knows ex:bob }").askAnswer is True
+        assert family_graph.query("ASK { ex:bob ex:knows ex:alice }").askAnswer is False
+
+    def test_construct_builds_graph(self, family_graph):
+        result = family_graph.query(
+            "CONSTRUCT { ?y ex:knownBy ?x } WHERE { ?x ex:knows ?y }")
+        assert (ex("bob"), ex("knownBy"), ex("alice")) in result.graph
+        assert len(result.graph) == 3
+
+    def test_result_table_rendering(self, family_graph):
+        result = family_graph.query("SELECT ?p WHERE { ?p a ex:Person } ORDER BY ?p")
+        table = result.to_table(family_graph.namespace_manager)
+        assert "?p" in table and "ex:alice" in table
+
+    def test_result_bindings_and_values_helpers(self, family_graph):
+        result = family_graph.query("SELECT ?p ?a WHERE { ?p ex:age ?a }")
+        assert len(result.bindings) == 4
+        assert len(result.values("a")) == 4

@@ -1,0 +1,265 @@
+"""Tests for user/system modelling and the Health Coach substitute."""
+
+import pytest
+
+from repro.foodkg import build_core_catalog
+from repro.recommender import (
+    ConstraintChecker,
+    ContentBasedScorer,
+    HealthCoach,
+    RecommendationTrace,
+)
+from repro.users import SystemContext, UserProfile, all_personas, paper_context, paper_user, persona
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_core_catalog()
+
+
+class TestUserProfile:
+    def test_requires_identifier(self):
+        with pytest.raises(ValueError):
+            UserProfile(identifier="")
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(identifier="u", conditions=("scurvy",))
+
+    def test_unknown_goal_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(identifier="u", goals=("more_cake",))
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(identifier="u", budget="infinite")
+
+    def test_with_condition_returns_new_profile(self):
+        base = UserProfile(identifier="u")
+        pregnant = base.with_condition("pregnancy")
+        assert pregnant.has_condition("pregnancy")
+        assert not base.has_condition("pregnancy")
+
+    def test_with_condition_idempotent(self):
+        profile = UserProfile(identifier="u", conditions=("diabetes",))
+        assert profile.with_condition("diabetes") is profile
+
+    def test_without_condition(self):
+        profile = UserProfile(identifier="u", conditions=("diabetes",))
+        assert not profile.without_condition("diabetes").has_condition("diabetes")
+
+    def test_preference_queries(self):
+        profile = UserProfile(identifier="u", likes=("Sushi",), dislikes=("Bacon",),
+                              allergies=("Broccoli",))
+        assert profile.likes_food("Sushi")
+        assert profile.dislikes_food("Bacon")
+        assert profile.is_allergic_to("Broccoli")
+
+    def test_summary_structure(self):
+        profile = paper_user()
+        summary = profile.summary()
+        assert summary["allergies"] == ["Broccoli"]
+        assert summary["budget"] == ["medium"]
+
+
+class TestSystemContext:
+    def test_defaults_are_valid(self):
+        context = SystemContext()
+        assert context.season == "autumn"
+
+    def test_unknown_season_rejected(self):
+        with pytest.raises(ValueError):
+            SystemContext(season="monsoon")
+
+    def test_unknown_meal_time_rejected(self):
+        with pytest.raises(ValueError):
+            SystemContext(meal_time="brunch")
+
+    def test_for_month_maps_to_season(self):
+        assert SystemContext.for_month(10).season == "autumn"
+        assert SystemContext.for_month(1).season == "winter"
+        assert SystemContext.for_month(7).season == "summer"
+
+    def test_for_month_out_of_range(self):
+        with pytest.raises(ValueError):
+            SystemContext.for_month(13)
+
+    def test_with_season_returns_copy(self):
+        context = SystemContext(season="autumn")
+        assert context.with_season("winter").season == "winter"
+        assert context.season == "autumn"
+
+    def test_summary_includes_optional_fields(self):
+        context = SystemContext(meal_time="dinner", budget="low")
+        summary = context.summary()
+        assert summary["meal_time"] == "dinner" and summary["budget"] == "low"
+
+
+class TestPersonas:
+    def test_paper_user_matches_paper_scenario(self):
+        user = paper_user()
+        assert user.is_allergic_to("Broccoli")
+        assert "Broccoli Cheddar Soup" in user.likes
+
+    def test_paper_context_is_autumn(self):
+        assert paper_context().season == "autumn"
+
+    def test_all_personas_well_formed(self, catalog):
+        for key, (user, context) in all_personas().items():
+            assert user.identifier
+            for liked in user.likes:
+                assert liked in catalog.recipes or liked in catalog.ingredients, (key, liked)
+
+    def test_persona_lookup_unknown_key(self):
+        with pytest.raises(KeyError):
+            persona("nonexistent")
+
+
+class TestConstraints:
+    @pytest.fixture(scope="class")
+    def checker(self, catalog):
+        return ConstraintChecker(catalog)
+
+    def test_allergy_violation_direct_ingredient(self, checker, catalog):
+        violations = checker.violations(catalog.recipe("Broccoli Cheddar Soup"), paper_user())
+        kinds = {v.kind for v in violations}
+        assert "allergy" in kinds
+
+    def test_condition_violation(self, checker, catalog):
+        pregnant = UserProfile(identifier="p", conditions=("pregnancy",))
+        violations = checker.violations(catalog.recipe("Sushi"), pregnant)
+        assert any(v.kind == "condition" and v.detail == "Raw Fish" for v in violations)
+
+    def test_diet_violation(self, checker, catalog):
+        vegan = UserProfile(identifier="v", diets=("vegan",))
+        violations = checker.violations(catalog.recipe("Broccoli Cheddar Soup"), vegan)
+        assert any(v.kind == "diet" for v in violations)
+
+    def test_dislike_violation(self, checker, catalog):
+        user = UserProfile(identifier="d", dislikes=("Bacon",))
+        violations = checker.violations(catalog.recipe("Bacon Egg Breakfast Sandwich"), user)
+        assert any(v.kind == "dislike" for v in violations)
+
+    def test_no_violations_for_compatible_recipe(self, checker, catalog):
+        assert checker.is_allowed(catalog.recipe("Butternut Squash Soup"), paper_user())
+
+    def test_partition_splits_consistently(self, checker, catalog):
+        recipes = list(catalog.recipes.values())
+        allowed, rejected = checker.partition(recipes, paper_user())
+        assert len(allowed) + len(rejected) == len(recipes)
+        assert "Broccoli Cheddar Soup" in rejected
+
+    def test_violation_descriptions_are_sentences(self, checker, catalog):
+        violations = checker.violations(catalog.recipe("Broccoli Cheddar Soup"), paper_user())
+        for violation in violations:
+            assert violation.recipe in violation.describe()
+
+
+class TestScoring:
+    @pytest.fixture(scope="class")
+    def scorer(self, catalog):
+        return ContentBasedScorer(catalog)
+
+    def test_liked_recipe_scores_higher_than_unknown(self, scorer, catalog):
+        user, context = paper_user(), paper_context()
+        liked = scorer.score(catalog.recipe("Broccoli Cheddar Soup"), user, context)
+        neutral = scorer.score(catalog.recipe("Beef Tacos"), user, context)
+        assert liked.total > neutral.total
+
+    def test_seasonal_component_awarded_in_autumn(self, scorer, catalog):
+        breakdown = scorer.score(catalog.recipe("Butternut Squash Soup"), paper_user(), paper_context())
+        assert "seasonal" in breakdown.components
+
+    def test_seasonal_component_absent_out_of_season(self, scorer, catalog):
+        winter = paper_context().with_season("winter")
+        breakdown = scorer.score(catalog.recipe("Butternut Squash Soup"), paper_user(), winter)
+        assert "seasonal" not in breakdown.components
+
+    def test_goal_nutrient_component(self, scorer, catalog):
+        breakdown = scorer.score(catalog.recipe("Spinach Frittata"), paper_user(), paper_context())
+        assert "goal_nutrient" in breakdown.components
+
+    def test_disliked_ingredient_penalty(self, scorer, catalog):
+        user = UserProfile(identifier="d", dislikes=("Bacon",))
+        breakdown = scorer.score(catalog.recipe("Bacon Egg Breakfast Sandwich"), user, paper_context())
+        assert breakdown.components["disliked_ingredient"] < 0
+
+    def test_breakdown_total_is_sum_of_components(self, scorer, catalog):
+        breakdown = scorer.score(catalog.recipe("Lentil Soup"), paper_user(), paper_context())
+        assert abs(breakdown.total - sum(breakdown.components.values())) < 1e-9
+
+    def test_rank_orders_best_first(self, scorer, catalog):
+        ranked = scorer.rank(list(catalog.recipes.values()), paper_user(), paper_context())
+        totals = [b.total for b in ranked]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_custom_weights_respected(self, catalog):
+        heavy = ContentBasedScorer(catalog, weights={"seasonal": 100.0})
+        breakdown = heavy.score(catalog.recipe("Butternut Squash Soup"), paper_user(), paper_context())
+        assert breakdown.components["seasonal"] == 100.0
+
+
+class TestHealthCoach:
+    @pytest.fixture(scope="class")
+    def coach(self, catalog):
+        return HealthCoach(catalog)
+
+    def test_recommends_top_k(self, coach):
+        recommendations = coach.recommend(paper_user(), paper_context(), top_k=5)
+        assert len(recommendations) == 5
+        assert [r.rank for r in recommendations] == [1, 2, 3, 4, 5]
+
+    def test_never_recommends_allergen_violating_recipes(self, coach):
+        recommendations = coach.recommend(paper_user(), paper_context(), top_k=20)
+        assert all(r.recipe != "Broccoli Cheddar Soup" for r in recommendations)
+
+    def test_pregnant_user_never_gets_sushi(self, coach):
+        pregnant = UserProfile(identifier="p", conditions=("pregnancy",), likes=("Sushi",))
+        recommendations = coach.recommend(pregnant, paper_context(), top_k=20)
+        assert all(r.recipe != "Sushi" for r in recommendations)
+
+    def test_vegetarian_user_gets_only_vegetarian_recipes(self, coach, catalog):
+        recommendations = coach.recommend(paper_user(), paper_context(), top_k=10)
+        for recommendation in recommendations:
+            assert "vegetarian" in catalog.recipes[recommendation.recipe].diets
+
+    def test_scores_descending(self, coach):
+        recommendations = coach.recommend(paper_user(), paper_context(), top_k=10)
+        scores = [r.score for r in recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_trace_contains_pipeline_stages(self, coach):
+        recommendation = coach.recommend_one(paper_user(), paper_context())
+        stages = recommendation.trace.stages()
+        assert stages == ["candidate-generation", "constraint-filter", "scoring", "selection"]
+
+    def test_why_not_explains_rejection(self, coach):
+        violations = coach.why_not("Broccoli Cheddar Soup", paper_user())
+        assert any(v.kind == "allergy" for v in violations)
+
+    def test_why_not_unknown_recipe_raises(self, coach):
+        with pytest.raises(KeyError):
+            coach.why_not("Imaginary Pie", paper_user())
+
+    def test_compare_returns_both_breakdowns(self, coach):
+        comparison = coach.compare("Butternut Squash Soup", "Broccoli Cheddar Soup",
+                                   paper_user(), paper_context())
+        assert set(comparison) == {"Butternut Squash Soup", "Broccoli Cheddar Soup"}
+
+    def test_reasons_are_human_readable(self, coach):
+        recommendation = coach.recommend_one(paper_user(), paper_context())
+        assert all(isinstance(reason, str) and reason for reason in recommendation.reasons())
+
+
+class TestTrace:
+    def test_trace_accumulates_steps(self):
+        trace = RecommendationTrace()
+        trace.add("stage-one", "did something", detail=1)
+        trace.add("stage-two", "did something else")
+        assert len(trace) == 2
+        assert trace.for_stage("stage-one")[0].detail == {"detail": 1}
+
+    def test_trace_sentences(self):
+        trace = RecommendationTrace()
+        trace.add("scoring", "scored 5 recipes")
+        assert trace.as_sentences() == ["[scoring] scored 5 recipes"]
