@@ -1,0 +1,106 @@
+"""Experiment E10: service-layer throughput on repeated/batched workloads.
+
+The ROADMAP's north star is serving heavy multi-user traffic against one
+ontology.  This benchmark quantifies what the service layer buys over the
+naive pattern the seed code implied (construct an engine, ask, throw it
+away): the prepared-query cache, the fingerprint-keyed closure cache and
+the scenario cache together must make a repeated-query workload at least
+5x faster than per-request engine construction (the ISSUE acceptance
+criterion; in practice the gap is one to two orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.engine import ExplanationEngine
+from repro.core.queries import contextual_query, evaluate_contextual
+from repro.service import ExplanationRequest, ExplanationService
+from repro.sparql import query as sparql_query
+from repro.users.personas import persona
+
+#: A repeated-query workload: two distinct (persona, question) requests, each
+#: arriving 8 times — the interactive-traffic shape the service targets
+#: (many users re-asking a small working set of questions).
+_UNIQUE_REQUESTS = [
+    ("paper", "Why should I eat Cauliflower Potato Curry?"),
+    ("pregnant_user", "What if I was pregnant?"),
+]
+_WORKLOAD = _UNIQUE_REQUESTS * 8
+
+
+def _naive_loop(workload) -> float:
+    """The seed's usage pattern: a fresh engine per request, no sharing."""
+    start = time.perf_counter()
+    for persona_key, question in workload:
+        user, context = persona(persona_key)
+        engine = ExplanationEngine()
+        engine.ask(question, user, context)
+    return time.perf_counter() - start
+
+
+def _service_batch(workload) -> float:
+    """The served pattern: one warmed service answering the same workload."""
+    service = ExplanationService().warm()
+    start = time.perf_counter()
+    service.explain_batch([
+        ExplanationRequest(question=question, persona=persona_key)
+        for persona_key, question in workload
+    ])
+    return time.perf_counter() - start
+
+
+def test_service_is_5x_faster_than_per_request_engines():
+    """Acceptance criterion: >= 5x speedup on the repeated-query workload."""
+    naive_seconds = _naive_loop(_WORKLOAD)
+    service_seconds = _service_batch(_WORKLOAD)
+    speedup = naive_seconds / service_seconds
+    print(f"\nnaive loop: {naive_seconds:.2f}s, service batch: {service_seconds:.2f}s "
+          f"-> speedup {speedup:.1f}x over {len(_WORKLOAD)} requests")
+    assert speedup >= 5.0, (
+        f"service must be >=5x faster than per-request engine construction, "
+        f"got {speedup:.1f}x"
+    )
+
+
+def test_batch_amortises_scenario_construction():
+    """Repeats in one batch hit the scenario cache; uniques miss exactly once."""
+    service = ExplanationService().warm()
+    responses = service.explain_batch([
+        ExplanationRequest(question=question, persona=persona_key)
+        for persona_key, question in _WORKLOAD
+    ])
+    unique = {(persona_key, question) for persona_key, question in _WORKLOAD}
+    stats = service.stats()
+    assert stats.scenario_cache_misses == len(unique)
+    assert stats.scenario_cache_hits == len(_WORKLOAD) - len(unique)
+    # Cached repeats must serve the same answer.
+    by_question = {}
+    for response in responses:
+        text = by_question.setdefault(response.request.question, response.explanation.text)
+        assert response.explanation.text == text
+
+
+def test_repeated_ask_hits_closure_cache(benchmark, engine, user, context):
+    """The steady-state request path (all caches warm), measured."""
+    service = ExplanationService(engine=engine).warm()
+    question = "Why should I eat Cauliflower Potato Curry?"
+    service.ask(question, user=user, context=context)  # prime every layer
+
+    response = benchmark(service.ask, question, user=user, context=context)
+
+    assert response.scenario_cache_hit
+    assert "Autumn" in [item.subject for item in response.explanation.items]
+
+
+def test_prepared_query_beats_reparsing(benchmark, cq1_scenario):
+    """Listing 1 via the prepared cache vs. parse-per-call, same rows."""
+    graph, question_iri = cq1_scenario.inferred, cq1_scenario.question_iri
+    fresh = sparql_query(graph, contextual_query(question_iri, match_ecosystem=True))
+    evaluate_contextual(graph, question_iri, match_ecosystem=True)  # warm the cache
+
+    result = benchmark(evaluate_contextual, graph, question_iri, True)
+
+    assert sorted(tuple(r) for r in result) == sorted(tuple(r) for r in fresh)

@@ -1,0 +1,75 @@
+"""Batched, multi-user explanation serving with :class:`ExplanationService`.
+
+Run with::
+
+    PYTHONPATH=src python examples/batch_explanations.py
+
+The example plays a small burst of interactive traffic: three personas,
+a working set of questions with repeats, plus one question answered under
+every explanation type.  One warmed service handles everything — the
+prepared-query cache, the fingerprint-keyed closure cache and the scenario
+cache do the amortisation — and the final stats show how little work was
+actually repeated.  Compare with examples/quickstart.py, which builds one
+engine for one user.
+"""
+
+from repro import ExplanationRequest, ExplanationService
+
+#: (persona, question) traffic with the repeats a real session mix produces.
+TRAFFIC = [
+    ("paper", "Why should I eat Cauliflower Potato Curry?"),
+    ("pregnant_user", "What if I was pregnant?"),
+    ("paper", "Why should I eat Cauliflower Potato Curry?"),
+    ("diabetic_user", "Why should I eat Lentil Soup?"),
+    ("pregnant_user", "What if I was pregnant?"),
+    ("paper", "Why should I eat Butternut Squash Soup over Broccoli Cheddar Soup?"),
+]
+
+
+def main() -> None:
+    service = ExplanationService().warm()
+
+    # --- batched requests across personas --------------------------------
+    print("=" * 72)
+    print(f"Serving a batch of {len(TRAFFIC)} requests")
+    print("=" * 72)
+    responses = service.ask_batch(TRAFFIC)
+    for (persona_key, _), response in zip(TRAFFIC, responses):
+        cached = " (scenario cached)" if response.scenario_cache_hit else ""
+        print(f"\n[{persona_key} | {response.explanation.explanation_type}"
+              f" | {response.elapsed_seconds * 1000:.0f} ms{cached}]")
+        print(f"Q: {response.request.question}")
+        print(f"A: {response.explanation.text}")
+
+    # --- one question, every explanation type ----------------------------
+    print()
+    print("=" * 72)
+    print("One question under all nine explanation types (one shared scenario)")
+    print("=" * 72)
+    request = ExplanationRequest(
+        question="Why should I eat Cauliflower Potato Curry?", persona="paper")
+    for name, response in sorted(service.explain_all_types(request).items()):
+        print(f"\n[{name}]")
+        print(response.explanation.text or "(no supporting evidence)")
+
+    # --- sessions: follow-up questions ride the same profile -------------
+    print()
+    print("=" * 72)
+    print("Session-based follow-ups")
+    print("=" * 72)
+    session = service.open_persona_session("pregnant_user")
+    for question in ("What if I was pregnant?", "Why should I eat Spinach Frittata?"):
+        response = service.ask(question, session_id=session.session_id)
+        print(f"\n[{session.session_id}] Q: {question}")
+        print(f"A: {response.explanation.text}")
+    print(f"\nsession summary: {session.summary()}")
+
+    print()
+    print("=" * 72)
+    print("Service statistics")
+    print("=" * 72)
+    print(service.stats().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,49 @@
-"""Setup shim so that legacy editable installs work offline (no wheel pkg)."""
+"""Packaging metadata for the FEO reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no wheel/pyproject tooling) so that
+``pip install -e .`` works offline with only setuptools, as the README's
+install instructions promise.
+"""
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+_HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def _read_long_description() -> str:
+    readme = os.path.join(_HERE, "README.md")
+    if os.path.exists(readme):
+        with open(readme, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return ""
+
+
+setup(
+    name="feo-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Semantic Modeling for Food Recommendation "
+        "Explanations' (FEO, ICDE 2021): ontology, reasoner, SPARQL engine, "
+        "nine explanation generators and a multi-user explanation service."
+    ),
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    author="FEO reproduction contributors",
+    license="MIT",
+    python_requires=">=3.8",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -12,21 +12,28 @@ The package is organised bottom-up:
   Health Coach substitute;
 * :mod:`repro.core` — scenario assembly, fact/foil semantics, the explanation
   generators and the :class:`~repro.core.engine.ExplanationEngine` facade;
-* :mod:`repro.evaluation` — competency-question and coverage evaluation.
+* :mod:`repro.evaluation` — competency-question and coverage evaluation;
+* :mod:`repro.service` — the multi-user serving layer
+  (:class:`~repro.service.ExplanationService`): prepared queries, cached
+  reasoning, batched requests and session management.
 """
 
 from .core.engine import ExplanationEngine
 from .core.questions import parse_question
 from .foodkg.catalog import build_core_catalog
 from .recommender.health_coach import HealthCoach
+from .service import ExplanationRequest, ExplanationResponse, ExplanationService
 from .users.context import SystemContext
 from .users.personas import paper_context, paper_user
 from .users.profile import UserProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExplanationEngine",
+    "ExplanationRequest",
+    "ExplanationResponse",
+    "ExplanationService",
     "HealthCoach",
     "SystemContext",
     "UserProfile",

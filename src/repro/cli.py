@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro competency --extended
     python -m repro coverage
     python -m repro export --output feo_foodkg.ttl --reasoned
+    python -m repro serve --requests requests.txt --stats
 
 The CLI is a thin layer over :class:`repro.core.engine.ExplanationEngine`
 and the evaluation harness; every command prints plain text so the tool is
@@ -21,6 +22,7 @@ from typing import List, Optional
 
 from .core.competency import CompetencySuite
 from .core.engine import ExplanationEngine
+from .core.questions import QuestionParseError
 from .evaluation import compute_coverage, run_evaluation
 from .users.personas import PERSONAS, persona
 
@@ -67,6 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--format", default="turtle", choices=["turtle", "ntriples"])
     export.add_argument("--reasoned", action="store_true",
                         help="export the materialised (post-reasoning) graph")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a stream of explanation requests through the cached service",
+        description="Answer one request per line, read from --requests or stdin. "
+                    "A line is either a bare question (answered as --persona) or "
+                    "'persona: question' to address another registered persona. "
+                    "Blank lines and lines starting with '#' are skipped.",
+    )
+    serve.add_argument("--requests", default="-",
+                       help="file with one request per line (default: stdin)")
+    serve.add_argument("--persona", default="paper", choices=PERSONAS,
+                       help="persona answering bare-question lines")
+    serve.add_argument("--type", dest="explanation_type", default=None,
+                       help="force an explanation type for every request")
+    serve.add_argument("--stats", action="store_true",
+                       help="print cache/session statistics after the stream ends")
 
     return parser
 
@@ -149,6 +168,70 @@ def _cmd_export(engine: ExplanationEngine, args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_request_line(line: str, default_persona: str):
+    """Split a ``serve`` input line into (persona, question); None to skip."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if ":" in stripped:
+        head, _, tail = stripped.partition(":")
+        if head.strip() in PERSONAS:
+            return head.strip(), tail.strip()
+    return default_persona, stripped
+
+
+def _cmd_serve(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    from .service import ExplanationRequest, ExplanationService
+
+    service = ExplanationService(engine=engine).warm()
+    if args.requests == "-":
+        source, owns_source = sys.stdin, False
+    else:
+        try:
+            source, owns_source = open(args.requests, "r", encoding="utf-8"), True
+        except OSError as exc:
+            print(f"error: cannot read requests file: {exc}", file=sys.stderr)
+            return 2
+
+    failures = 0
+    sessions = {}
+    try:
+        # Stream line-by-line: each request is answered as it arrives, and a
+        # malformed one degrades to an error line instead of aborting.
+        for line in source:
+            parsed = _parse_request_line(line, args.persona)
+            if parsed is None:
+                continue
+            persona_key, question = parsed
+            # One session per persona: follow-up questions share the profile.
+            if persona_key not in sessions:
+                sessions[persona_key] = service.open_persona_session(persona_key)
+            request = ExplanationRequest(
+                question=question,
+                session_id=sessions[persona_key].session_id,
+                explanation_type=args.explanation_type,
+            )
+            try:
+                response = service.explain(request)
+            except (QuestionParseError, KeyError) as exc:
+                # KeyError covers unknown foods, conditions and --type values.
+                failures += 1
+                print(f"[error] {question}")
+                print(f"  {exc.args[0] if exc.args else exc}")
+                continue
+            print(f"[{persona_key} | {response.explanation.explanation_type}"
+                  f"{' | cached' if response.scenario_cache_hit else ''}] "
+                  f"{question}")
+            print(f"  {response.explanation.text}")
+    finally:
+        if owns_source:
+            source.close()
+    if args.stats:
+        print()
+        print(service.stats().to_text())
+    return 0 if failures == 0 else 1
+
+
 _COMMANDS = {
     "ask": _cmd_ask,
     "recommend": _cmd_recommend,
@@ -156,6 +239,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "evaluate": _cmd_evaluate,
     "export": _cmd_export,
+    "serve": _cmd_serve,
 }
 
 

@@ -91,6 +91,10 @@ class ExplanationEngine:
         return sorted(self._generators)
 
     def generator(self, explanation_type: str):
+        """Return the generator registered for ``explanation_type``.
+
+        Raises :class:`KeyError` (listing the supported types) for unknown keys.
+        """
         try:
             return self._generators[explanation_type]
         except KeyError as exc:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..explanation import Explanation, ExplanationItem
-from ..queries import contextual_query
+from ..queries import contextual_query, evaluate_contextual
 from ..scenario import Scenario
 from ..templates import render_contextual
 from .base import ExplanationGenerator, local_name
@@ -31,8 +31,11 @@ class ContextualExplanationGenerator(ExplanationGenerator):
     explanation_type = "contextual"
 
     def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        # Evaluate via the prepared-query cache (parse once per process);
+        # the substituted text is kept for display / --show-query.
         query_text = contextual_query(scenario.question_iri, match_ecosystem=True)
-        result = scenario.query(query_text)
+        result = evaluate_contextual(scenario.inferred, scenario.question_iri,
+                                     match_ecosystem=True)
 
         # Group class bindings per characteristic and keep the most specific.
         classes_by_characteristic: Dict[str, List[str]] = {}

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..explanation import Explanation, ExplanationItem
-from ..queries import contrastive_query
+from ..queries import contrastive_query, evaluate_contrastive
 from ..scenario import Scenario
 from ..templates import render_contrastive
 from .base import ExplanationGenerator, local_name
@@ -26,8 +26,10 @@ class ContrastiveExplanationGenerator(ExplanationGenerator):
     explanation_type = "contrastive"
 
     def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        # Evaluate via the prepared-query cache (parse once per process);
+        # the substituted text is kept for display / --show-query.
         query_text = contrastive_query(scenario.question_iri)
-        result = scenario.query(query_text)
+        result = evaluate_contrastive(scenario.inferred, scenario.question_iri)
 
         facts: Dict[str, str] = {}
         foils: Dict[str, str] = {}

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..explanation import Explanation, ExplanationItem
-from ..queries import counterfactual_query
+from ..queries import counterfactual_query, evaluate_counterfactual
 from ..scenario import Scenario
 from ..templates import render_counterfactual
 from .base import ExplanationGenerator, local_name
@@ -25,8 +25,10 @@ class CounterfactualExplanationGenerator(ExplanationGenerator):
     explanation_type = "counterfactual"
 
     def generate(self, scenario: Scenario, **kwargs) -> Explanation:
+        # Evaluate via the prepared-query cache (parse once per process);
+        # the substituted text is kept for display / --show-query.
         query_text = counterfactual_query(scenario.question_iri)
-        result = scenario.query(query_text)
+        result = evaluate_counterfactual(scenario.inferred, scenario.question_iri)
 
         forbidden: Dict[str, Optional[str]] = {}
         recommended: Dict[str, Optional[str]] = {}

@@ -5,17 +5,36 @@ IRI (the paper hard-codes the IRI; we substitute it).  The prefix
 declarations match the graph's namespace bindings, so the queries also run
 verbatim against an exported Turtle file loaded into another SPARQL
 engine.
+
+Two forms of each listing are provided:
+
+* ``*_query(question_iri)`` — the display form with the IRI substituted
+  into the text, exactly as the paper prints it.  This is what explanation
+  objects carry in their ``query`` field and what ``--show-query`` prints.
+* ``*_template()`` + ``evaluate_*`` — the served form: a constant template
+  with a free ``?question`` variable that is parsed **once** via
+  :func:`repro.sparql.prepare_cached` and evaluated many times with the
+  question IRI supplied as an initial binding.  Every generator routes its
+  evaluation through these, so an explanation service never re-parses a
+  competency query.
 """
 
 from __future__ import annotations
 
 from ..rdf.terms import IRI
+from ..sparql import Result, prepare_cached
 
 __all__ = [
     "PREFIXES",
     "contextual_query",
+    "contextual_template",
     "contrastive_query",
+    "contrastive_template",
     "counterfactual_query",
+    "counterfactual_template",
+    "evaluate_contextual",
+    "evaluate_contrastive",
+    "evaluate_counterfactual",
     "characteristic_hierarchy_query",
     "property_lattice_query",
     "fact_query",
@@ -33,15 +52,7 @@ PREFIX foodkg: <http://idea.rpi.edu/heals/kb/>
 """
 
 
-def contextual_query(question_iri: IRI, match_ecosystem: bool = False) -> str:
-    """Listing 1: external characteristics supporting a 'Why should I eat X?' question.
-
-    With ``match_ecosystem`` the query additionally requires the characteristic
-    to be present in the ecosystem (the paper's prose — "check if they matched
-    any of our environment characteristics" — which the published listing
-    leaves implicit because its ontology only materialises the current
-    season/region as individuals).
-    """
+def _contextual_body(subject: str, match_ecosystem: bool) -> str:
     ecosystem_clause = ""
     if match_ecosystem:
         ecosystem_clause = (
@@ -51,7 +62,7 @@ def contextual_query(question_iri: IRI, match_ecosystem: bool = False) -> str:
     return f"""{PREFIXES}
 SELECT DISTINCT ?characteristic ?classes
 WHERE {{
-  <{question_iri}> feo:hasParameter ?parameter .
+  {subject} feo:hasParameter ?parameter .
   ?parameter feo:hasCharacteristic ?characteristic .
   ?characteristic feo:isInternal false .
 {ecosystem_clause}  ?systemChar a feo:SystemCharacteristic .
@@ -64,42 +75,98 @@ WHERE {{
 """
 
 
-def contrastive_query(question_iri: IRI) -> str:
-    """Listing 2: facts for the primary parameter and foils for the secondary one."""
-    return f"""{PREFIXES}
-SELECT DISTINCT ?factType ?factA ?foilType ?foilB
-WHERE {{
-  BIND (<{question_iri}> AS ?question) .
+def contextual_query(question_iri: IRI, match_ecosystem: bool = False) -> str:
+    """Listing 1: external characteristics supporting a 'Why should I eat X?' question.
+
+    With ``match_ecosystem`` the query additionally requires the characteristic
+    to be present in the ecosystem (the paper's prose — "check if they matched
+    any of our environment characteristics" — which the published listing
+    leaves implicit because its ontology only materialises the current
+    season/region as individuals).
+    """
+    return _contextual_body(f"<{question_iri}>", match_ecosystem)
+
+
+def contextual_template(match_ecosystem: bool = False) -> str:
+    """The Listing 1 template with a free ``?question`` variable (prepared form)."""
+    return _contextual_body("?question", match_ecosystem)
+
+
+def evaluate_contextual(graph, question_iri: IRI, match_ecosystem: bool = False) -> Result:
+    """Run Listing 1 for ``question_iri`` via the prepared-query cache."""
+    prepared = prepare_cached(contextual_template(match_ecosystem))
+    return prepared.evaluate(graph, {"question": question_iri})
+
+
+_CONTRASTIVE_WHERE = """\
   ?question feo:hasPrimaryParameter ?parameterA .
   ?question feo:hasSecondaryParameter ?parameterB .
   ?parameterA feo:hasCharacteristic ?factA .
   ?factA a eo:Fact .
   ?factA a ?factType .
   ?factType rdfs:subClassOf+ feo:Characteristic .
-  FILTER NOT EXISTS {{ ?factType rdfs:subClassOf eo:knowledge }} .
-  FILTER NOT EXISTS {{ ?s rdfs:subClassOf ?factType }} .
+  FILTER NOT EXISTS { ?factType rdfs:subClassOf eo:knowledge } .
+  FILTER NOT EXISTS { ?s rdfs:subClassOf ?factType } .
   ?parameterB feo:hasCharacteristic ?foilB .
   ?foilB a eo:Foil .
   ?foilB a ?foilType .
   ?foilType rdfs:subClassOf+ feo:Characteristic .
-  FILTER NOT EXISTS {{ ?foilType rdfs:subClassOf eo:knowledge }} .
-  FILTER NOT EXISTS {{ ?t rdfs:subClassOf ?foilType }} .
-}}
+  FILTER NOT EXISTS { ?foilType rdfs:subClassOf eo:knowledge } .
+  FILTER NOT EXISTS { ?t rdfs:subClassOf ?foilType } .
+}
 """
 
 
-def counterfactual_query(question_iri: IRI) -> str:
-    """Listing 3: foods forbidden or recommended under a hypothetical characteristic."""
+def contrastive_query(question_iri: IRI) -> str:
+    """Listing 2: facts for the primary parameter and foils for the secondary one."""
+    return (f"{PREFIXES}\nSELECT DISTINCT ?factType ?factA ?foilType ?foilB\nWHERE {{\n"
+            f"  BIND (<{question_iri}> AS ?question) .\n{_CONTRASTIVE_WHERE}")
+
+
+def contrastive_template() -> str:
+    """The Listing 2 template with a free ``?question`` variable (prepared form).
+
+    The display form binds the question IRI with ``BIND``; the prepared form
+    leaves ``?question`` free so it can be supplied as an initial binding
+    (``BIND`` would raise on an already-bound variable).
+    """
+    return (f"{PREFIXES}\nSELECT DISTINCT ?factType ?factA ?foilType ?foilB\nWHERE {{\n"
+            f"{_CONTRASTIVE_WHERE}")
+
+
+def evaluate_contrastive(graph, question_iri: IRI) -> Result:
+    """Run Listing 2 for ``question_iri`` via the prepared-query cache."""
+    prepared = prepare_cached(contrastive_template())
+    return prepared.evaluate(graph, {"question": question_iri})
+
+
+def _counterfactual_body(subject: str) -> str:
     return f"""{PREFIXES}
 SELECT DISTINCT ?property ?baseFood ?inheritedFood
 WHERE {{
-  <{question_iri}> feo:hasParameter ?parameter .
+  {subject} feo:hasParameter ?parameter .
   ?parameter ?property ?baseFood .
   ?property rdfs:subPropertyOf feo:isCharacteristicOf .
   ?baseFood a food:Food .
   OPTIONAL {{ ?baseFood feo:isIngredientOf ?inheritedFood . }}
 }}
 """
+
+
+def counterfactual_query(question_iri: IRI) -> str:
+    """Listing 3: foods forbidden or recommended under a hypothetical characteristic."""
+    return _counterfactual_body(f"<{question_iri}>")
+
+
+def counterfactual_template() -> str:
+    """The Listing 3 template with a free ``?question`` variable (prepared form)."""
+    return _counterfactual_body("?question")
+
+
+def evaluate_counterfactual(graph, question_iri: IRI) -> Result:
+    """Run Listing 3 for ``question_iri`` via the prepared-query cache."""
+    prepared = prepare_cached(counterfactual_template())
+    return prepared.evaluate(graph, {"question": question_iri})
 
 
 def characteristic_hierarchy_query() -> str:

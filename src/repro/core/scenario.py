@@ -8,6 +8,13 @@ the inferred graph.  :class:`ScenarioBuilder` performs that assembly.
 The ontology and the food knowledge graph are loaded once and shared
 between scenarios; each :meth:`ScenarioBuilder.build` call copies them and
 adds the scenario-specific individuals before reasoning.
+
+Reasoning itself goes through a per-builder
+:class:`~repro.owl.closure.MaterializationCache`: an identical request
+(same user, context, question and recommendation) assembles a
+triple-identical graph, whose fingerprint hits the cache and skips the
+reasoner entirely.  This is what makes repeated and batched requests
+served by :class:`repro.service.ExplanationService` cheap.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Dict, List, Optional
 from ..foodkg.loader import FoodKGLoader
 from ..foodkg.schema import FoodCatalog, slugify
 from ..ontology import eo, feo, food
-from ..owl import Reasoner
+from ..owl import MaterializationCache, Reasoner
 from ..rdf.graph import Graph
 from ..rdf.namespace import FEO, FOODKG, RDFS
 from ..rdf.terms import IRI, Literal
@@ -64,7 +71,13 @@ class Scenario:
 class ScenarioBuilder:
     """Builds reasoned scenario graphs for questions."""
 
-    def __init__(self, catalog: FoodCatalog, base_graph: Optional[Graph] = None) -> None:
+    def __init__(
+        self,
+        catalog: FoodCatalog,
+        base_graph: Optional[Graph] = None,
+        closure_cache: Optional[MaterializationCache] = None,
+        use_closure_cache: bool = True,
+    ) -> None:
         self.catalog = catalog
         self.loader = FoodKGLoader()
         if base_graph is not None:
@@ -73,6 +86,10 @@ class ScenarioBuilder:
             self._base = feo.build_combined_ontology()
             self.loader.graph = self._base
             self.loader.load(catalog)
+        if closure_cache is not None:
+            self.closure_cache: Optional[MaterializationCache] = closure_cache
+        else:
+            self.closure_cache = MaterializationCache() if use_closure_cache else None
 
     # ------------------------------------------------------------------
     # IRI minting
@@ -126,8 +143,20 @@ class ScenarioBuilder:
             self._assert_recommendation(graph, recommendation, system_iri, question_iri)
 
         if run_reasoner:
-            inferred = Reasoner(graph).run()
-            annotate_facts_and_foils(inferred, ecosystem_iri)
+            if self.closure_cache is not None:
+                # Identical requests assemble triple-identical graphs, so the
+                # fingerprint-keyed cache skips re-materialisation.  The
+                # fact/foil annotation runs as the cache's post-process: it
+                # lands in the closure before the entry is published, so
+                # cache hits share a fully-annotated, read-only graph.
+                inferred = self.closure_cache.materialize(
+                    graph,
+                    post_process=lambda closure: annotate_facts_and_foils(
+                        closure, ecosystem_iri),
+                )
+            else:
+                inferred = Reasoner(graph).run()
+                annotate_facts_and_foils(inferred, ecosystem_iri)
         else:
             inferred = graph
 

@@ -9,6 +9,7 @@ query).
 """
 
 from .axioms import AxiomIndex, EquivalenceAxiom, SubClassAxiom
+from .closure import MaterializationCache, closure_cache, materialize
 from .expressions import (
     AllValuesFrom,
     ClassExpression,
@@ -36,6 +37,7 @@ __all__ = [
     "HasValue",
     "InconsistentOntologyError",
     "IntersectionOf",
+    "MaterializationCache",
     "MinCardinality",
     "NamedClass",
     "OneOf",
@@ -45,6 +47,8 @@ __all__ = [
     "SomeValuesFrom",
     "SubClassAxiom",
     "UnionOf",
+    "closure_cache",
+    "materialize",
     "parse_class_expression",
     "render_tree",
     "vocabulary",

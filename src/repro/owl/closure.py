@@ -1,0 +1,127 @@
+"""Cached OWL materialisation keyed by graph fingerprint.
+
+Running the :class:`~repro.owl.reasoner.Reasoner` is by far the most
+expensive stage of the explanation pipeline — it iterates rule application
+over the whole ontology + knowledge graph + scenario individuals until a
+fixed point.  An interactive service, however, sees the *same* scenario
+graph over and over: the same user asking the same (or a re-asked)
+question assembles a triple-identical graph, so its deductive closure is
+also identical.
+
+:class:`MaterializationCache` exploits that: it keys the materialised
+closure by :meth:`repro.rdf.graph.Graph.fingerprint` — an O(1),
+incrementally-maintained content hash — so a repeated scenario build skips
+reasoning entirely, and *any* mutation of the input graph changes the
+fingerprint and naturally invalidates the entry.
+
+The cached closure graph is shared between hits and must be treated as
+read-only by callers.  Deterministic post-passes that need to write into
+the closure (e.g. :func:`repro.core.facts_foils.annotate_facts_and_foils`)
+are supplied via ``post_process`` so they run *before* the graph is
+published to the cache — hits never observe a partially-processed graph.
+Callers that need a private copy can pass ``copy=True``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from ..rdf.graph import Graph
+from .reasoner import Reasoner
+
+__all__ = ["MaterializationCache", "materialize", "closure_cache"]
+
+Fingerprint = Tuple[int, int]
+
+
+class MaterializationCache:
+    """A bounded, thread-safe LRU cache of materialised closures.
+
+    ``max_size`` bounds memory: each entry is a full closure graph (tens of
+    thousands of triples for the core FEO knowledge graph), so the default
+    is deliberately small — a service mostly benefits from the temporal
+    locality of repeated and batched requests, not from an unbounded
+    history.
+    """
+
+    def __init__(self, max_size: int = 16) -> None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+        self._entries: "OrderedDict[Fingerprint, Graph]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def materialize(
+        self,
+        graph: Graph,
+        reasoner_factory: Optional[Callable[[Graph], Reasoner]] = None,
+        copy: bool = False,
+        post_process: Optional[Callable[[Graph], object]] = None,
+    ) -> Graph:
+        """Return the deductive closure of ``graph``, reasoning only on a miss.
+
+        ``reasoner_factory`` customises reasoner construction (defaults to
+        ``Reasoner(graph)``).  ``post_process`` is applied to a freshly
+        reasoned closure *before* it is cached, so concurrent hits can
+        never observe a partially-processed graph; it must be
+        deterministic for a given input fingerprint.  With ``copy=True``
+        the caller receives a private copy instead of the shared cached
+        instance.
+        """
+        key = graph.fingerprint()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached.copy() if copy else cached
+        reasoner = reasoner_factory(graph) if reasoner_factory is not None else Reasoner(graph)
+        closure = reasoner.run()
+        if post_process is not None:
+            post_process(closure)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = closure
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+        return closure.copy() if copy else closure
+
+    def invalidate(self, graph: Graph) -> bool:
+        """Drop the entry for ``graph``'s current fingerprint, if present."""
+        with self._lock:
+            return self._entries.pop(graph.fingerprint(), None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Current ``size`` / ``hits`` / ``misses`` counters."""
+        with self._lock:
+            return {"size": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide default cache behind :func:`materialize`.
+_DEFAULT_CACHE = MaterializationCache()
+
+
+def closure_cache() -> MaterializationCache:
+    """The process-wide default :class:`MaterializationCache`."""
+    return _DEFAULT_CACHE
+
+
+def materialize(graph: Graph, copy: bool = False) -> Graph:
+    """Materialise ``graph``'s closure through the process-wide cache."""
+    return _DEFAULT_CACHE.materialize(graph, copy=copy)

@@ -43,6 +43,10 @@ class Graph:
         self._spo: Dict[Node, Dict[IRI, Set[Node]]] = {}
         self._pos: Dict[IRI, Dict[Node, Set[Node]]] = {}
         self._osp: Dict[Node, Dict[Node, Set[IRI]]] = {}
+        # Order-independent content hash, maintained incrementally so that
+        # fingerprint() is O(1).  XOR is its own inverse, so add/remove of
+        # the same triple cancel out exactly.
+        self._content_hash: int = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -59,6 +63,7 @@ class Graph:
         if triple in self._triples:
             return self
         self._triples.add(triple)
+        self._content_hash ^= hash(triple)
         self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
@@ -81,6 +86,7 @@ class Graph:
             return
         s, p, o = triple
         self._triples.discard(triple)
+        self._content_hash ^= hash(triple)
         self._spo[s][p].discard(o)
         if not self._spo[s][p]:
             del self._spo[s][p]
@@ -104,10 +110,24 @@ class Graph:
         return self.add(triple)
 
     def clear(self) -> None:
+        """Remove every triple (namespace bindings are kept)."""
         self._triples.clear()
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._content_hash = 0
+
+    def fingerprint(self) -> Tuple[int, int]:
+        """A cheap ``(size, content-hash)`` key identifying the graph's contents.
+
+        The hash is order-independent and maintained incrementally on every
+        mutation, so this call is O(1).  Two graphs with equal triple sets
+        always produce the same fingerprint within one process; any mutation
+        changes it, which is what the materialisation cache in
+        :mod:`repro.owl.closure` uses for invalidation.  Fingerprints are not
+        stable across processes (Python string hashing is salted).
+        """
+        return (len(self._triples), self._content_hash)
 
     # ------------------------------------------------------------------
     # Matching
@@ -171,6 +191,7 @@ class Graph:
     # Convenience accessors
     # ------------------------------------------------------------------
     def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Node] = None) -> Iterator[Node]:
+        """Yield distinct subjects of triples matching ``(?, predicate, obj)``."""
         seen: Set[Node] = set()
         for s, _, _ in self.triples((None, predicate, obj)):
             if s not in seen:
@@ -178,6 +199,7 @@ class Graph:
                 yield s
 
     def predicates(self, subject: Optional[Node] = None, obj: Optional[Node] = None) -> Iterator[IRI]:
+        """Yield distinct predicates of triples matching ``(subject, ?, obj)``."""
         seen: Set[IRI] = set()
         for _, p, _ in self.triples((subject, None, obj)):
             if p not in seen:
@@ -185,6 +207,7 @@ class Graph:
                 yield p
 
     def objects(self, subject: Optional[Node] = None, predicate: Optional[IRI] = None) -> Iterator[Node]:
+        """Yield distinct objects of triples matching ``(subject, predicate, ?)``."""
         seen: Set[Node] = set()
         for _, _, o in self.triples((subject, predicate, None)):
             if o not in seen:
@@ -192,14 +215,17 @@ class Graph:
                 yield o
 
     def subject_objects(self, predicate: Optional[IRI] = None) -> Iterator[Tuple[Node, Node]]:
+        """Yield ``(subject, object)`` pairs for every triple with ``predicate``."""
         for s, _, o in self.triples((None, predicate, None)):
             yield s, o
 
     def subject_predicates(self, obj: Optional[Node] = None) -> Iterator[Tuple[Node, IRI]]:
+        """Yield ``(subject, predicate)`` pairs for every triple with object ``obj``."""
         for s, p, _ in self.triples((None, None, obj)):
             yield s, p
 
     def predicate_objects(self, subject: Optional[Node] = None) -> Iterator[Tuple[IRI, Node]]:
+        """Yield ``(predicate, object)`` pairs for every triple with ``subject``."""
         for _, p, o in self.triples((subject, None, None)):
             yield p, o
 
@@ -234,12 +260,15 @@ class Graph:
     # Namespaces
     # ------------------------------------------------------------------
     def bind(self, prefix: str, namespace: str, replace: bool = True) -> None:
+        """Bind ``prefix`` to ``namespace`` for serialisation and qnames."""
         self.namespace_manager.bind(prefix, namespace, replace=replace)
 
     def namespaces(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over the bound ``(prefix, namespace)`` pairs."""
         return self.namespace_manager.namespaces()
 
     def qname(self, iri: IRI) -> str:
+        """Compact ``iri`` to ``prefix:local`` form, or its N3 form if unbound."""
         compact = self.namespace_manager.qname(iri)
         return compact if compact is not None else iri.n3()
 
@@ -247,6 +276,7 @@ class Graph:
     # Set operations
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
+        """Return an independent graph with the same triples and namespaces."""
         clone = Graph(identifier=self.identifier)
         clone.namespace_manager = self.namespace_manager.copy()
         clone.addN(self._triples)
@@ -321,6 +351,7 @@ class Graph:
     # Misc
     # ------------------------------------------------------------------
     def all_nodes(self) -> Set[Node]:
+        """Every subject and object appearing in the graph."""
         nodes: Set[Node] = set()
         for s, _, o in self._triples:
             nodes.add(s)

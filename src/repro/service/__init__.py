@@ -1,0 +1,18 @@
+"""Serving layer: prepared queries, cached reasoning, batched multi-user APIs.
+
+This package turns the single-request :class:`repro.core.engine.ExplanationEngine`
+into a service suitable for heavy interactive traffic.  See
+:class:`ExplanationService` for the entry point and
+``docs/architecture.md`` for where its cache layers sit in the request
+data flow.
+"""
+
+from .api import ExplanationRequest, ExplanationResponse, ServiceStats
+from .service import ExplanationService
+
+__all__ = [
+    "ExplanationRequest",
+    "ExplanationResponse",
+    "ExplanationService",
+    "ServiceStats",
+]

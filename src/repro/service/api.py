@@ -1,0 +1,97 @@
+"""Request / response / statistics types for the explanation service.
+
+These are plain dataclasses so that any transport (CLI, HTTP framework,
+message queue) can construct requests and serialise responses without
+importing engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.explanation import Explanation
+from ..users.context import SystemContext
+from ..users.profile import UserProfile
+
+__all__ = ["ExplanationRequest", "ExplanationResponse", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ExplanationRequest:
+    """One explanation request, addressed by session, persona or explicit user.
+
+    Exactly one addressing mode is needed: a ``session_id`` (for a session
+    previously opened on the service), a ``persona`` key (one of
+    :data:`repro.users.personas.PERSONAS`), or an explicit ``user`` +
+    ``context`` pair.  ``explanation_type`` optionally overrides the
+    engine's default question-type mapping.
+    """
+
+    question: str
+    session_id: Optional[str] = None
+    persona: Optional[str] = None
+    user: Optional[UserProfile] = None
+    context: Optional[SystemContext] = None
+    explanation_type: Optional[str] = None
+
+
+@dataclass
+class ExplanationResponse:
+    """The service's answer to one :class:`ExplanationRequest`."""
+
+    request: ExplanationRequest
+    explanation: Explanation
+    session_id: Optional[str] = None
+    scenario_cache_hit: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def text(self) -> str:
+        """The natural-language rendering of the explanation."""
+        return self.explanation.text
+
+    def summary(self) -> Dict[str, Any]:
+        """A transport-friendly dictionary view of the response."""
+        return {
+            "question": self.request.question,
+            "explanation_type": self.explanation.explanation_type,
+            "text": self.explanation.text,
+            "items": [item.describe() for item in self.explanation.items],
+            "session_id": self.session_id,
+            "scenario_cache_hit": self.scenario_cache_hit,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters describing one service instance's lifetime.
+
+    ``prepared_query_cache`` is the exception to "one instance": prepared
+    queries are cached process-wide (see :func:`repro.sparql.prepare_cached`),
+    so those counters include traffic from every service in the process.
+    """
+
+    requests_served: int = 0
+    scenario_cache_hits: int = 0
+    scenario_cache_misses: int = 0
+    closure_cache: Dict[str, int] = field(default_factory=dict)
+    prepared_query_cache: Dict[str, int] = field(default_factory=dict)
+    active_sessions: int = 0
+
+    def to_text(self) -> str:
+        """Render the counters as the ``serve --stats`` footer."""
+        lines = [
+            f"requests served:        {self.requests_served}",
+            f"scenario cache:         {self.scenario_cache_hits} hits / "
+            f"{self.scenario_cache_misses} misses",
+            f"closure cache:          {self.closure_cache.get('hits', 0)} hits / "
+            f"{self.closure_cache.get('misses', 0)} misses "
+            f"({self.closure_cache.get('size', 0)} entries)",
+            f"prepared-query cache:   {self.prepared_query_cache.get('hits', 0)} hits / "
+            f"{self.prepared_query_cache.get('misses', 0)} misses "
+            f"({self.prepared_query_cache.get('size', 0)} entries, process-wide)",
+            f"active sessions:        {self.active_sessions}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""The explanation service: a high-throughput, multi-user engine facade.
+
+:class:`ExplanationService` is the serving layer the paper's interactive
+health-coach scenario implies: one ontology + knowledge graph, many users,
+many questions.  It wraps one :class:`~repro.core.engine.ExplanationEngine`
+and layers the caches that make repeated traffic cheap:
+
+* the **prepared-query cache** (:func:`repro.sparql.prepare_cached`):
+  competency SPARQL templates are parsed once per process;
+* the **closure cache** (:class:`repro.owl.MaterializationCache`, held by
+  the engine's scenario builder): a repeated request skips OWL
+  re-materialisation because its assembled graph has the same fingerprint;
+* a **scenario cache** (this module): a repeated ``(user, context,
+  question)`` skips assembly *and* annotation entirely, and a batch that
+  asks several explanation types about one question builds its scenario
+  once.
+
+Sessions (:class:`repro.users.SessionRegistry`) give concurrent users
+stable identifiers so follow-up questions ride the same profile/context
+without re-sending them.
+
+Typical use::
+
+    service = ExplanationService()
+    session = service.open_session(*persona("paper"))
+    response = service.ask("Why should I eat Sushi?", session_id=session.session_id)
+    responses = service.explain_batch([ExplanationRequest(question=q, persona="paper")
+                                       for q in questions])
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import ExplanationEngine
+from ..core.questions import Question, parse_question
+from ..core.scenario import Scenario
+from ..foodkg.schema import FoodCatalog
+from ..sparql import prepared_cache
+from ..users.context import SystemContext
+from ..users.personas import persona as persona_lookup
+from ..users.profile import UserProfile
+from ..users.sessions import SessionRegistry, UserSession
+from .api import ExplanationRequest, ExplanationResponse, ServiceStats
+
+__all__ = ["ExplanationService"]
+
+#: Cache key identifying a scenario: all components are frozen dataclasses.
+ScenarioKey = Tuple[Question, UserProfile, SystemContext]
+
+
+class ExplanationService:
+    """Serves explanation requests for many users against one shared engine."""
+
+    def __init__(
+        self,
+        engine: Optional[ExplanationEngine] = None,
+        catalog: Optional[FoodCatalog] = None,
+        max_cached_scenarios: int = 64,
+        registry: Optional[SessionRegistry] = None,
+        default_persona: str = "paper",
+    ) -> None:
+        if max_cached_scenarios <= 0:
+            raise ValueError("max_cached_scenarios must be positive")
+        self._engine = engine
+        self._catalog = catalog
+        self._engine_lock = threading.Lock()
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.default_persona = default_persona
+        self._scenarios: "OrderedDict[ScenarioKey, Scenario]" = OrderedDict()
+        self._scenario_lock = threading.Lock()
+        self.max_cached_scenarios = max_cached_scenarios
+        self.requests_served = 0
+        self.scenario_cache_hits = 0
+        self.scenario_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Engine access / warm-up
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> ExplanationEngine:
+        """The shared engine, built lazily on first use."""
+        if self._engine is None:
+            with self._engine_lock:
+                if self._engine is None:
+                    self._engine = ExplanationEngine(catalog=self._catalog)
+        return self._engine
+
+    def warm(self) -> "ExplanationService":
+        """Eagerly build the engine and pre-parse the competency templates.
+
+        Calling this before accepting traffic moves the one-off costs
+        (ontology build, knowledge-graph load, query parsing) out of the
+        first request's latency.
+        """
+        from ..core.queries import (
+            contextual_template,
+            contrastive_template,
+            counterfactual_template,
+        )
+        from ..sparql import prepare_cached
+
+        _ = self.engine
+        prepare_cached(contextual_template(match_ecosystem=True))
+        prepare_cached(contrastive_template())
+        prepare_cached(counterfactual_template())
+        return self
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, user: UserProfile, context: SystemContext,
+                     session_id: Optional[str] = None) -> UserSession:
+        """Register a user session and return it."""
+        return self.registry.open(user, context, session_id=session_id)
+
+    def open_persona_session(self, persona_key: str,
+                             session_id: Optional[str] = None) -> UserSession:
+        """Open a session for a registered persona key."""
+        user, context = persona_lookup(persona_key)
+        return self.registry.open(user, context, session_id=session_id)
+
+    def close_session(self, session_id: str) -> Optional[UserSession]:
+        """End a session; returns it (or ``None`` if unknown)."""
+        return self.registry.close(session_id)
+
+    # ------------------------------------------------------------------
+    # Request resolution and the scenario cache
+    # ------------------------------------------------------------------
+    def _resolve(self, request: ExplanationRequest) -> Tuple[UserProfile, SystemContext,
+                                                             Optional[UserSession]]:
+        """Map a request to its (user, context, session) triple."""
+        if request.session_id is not None:
+            session = self.registry.get(request.session_id)
+            return session.user, session.context, session
+        if request.user is not None or request.context is not None:
+            if request.user is None or request.context is None:
+                raise ValueError(
+                    "ExplanationRequest needs both user and context (or neither); "
+                    "got only one — refusing to silently answer for the default persona"
+                )
+            return request.user, request.context, None
+        user, context = persona_lookup(request.persona or self.default_persona)
+        return user, context, None
+
+    def _scenario(self, question: Question, user: UserProfile,
+                  context: SystemContext) -> Tuple[Scenario, bool]:
+        """Return the (possibly cached) scenario and whether it was a hit."""
+        key: ScenarioKey = (question, user, context)
+        with self._scenario_lock:
+            cached = self._scenarios.get(key)
+            if cached is not None:
+                self.scenario_cache_hits += 1
+                self._scenarios.move_to_end(key)
+                return cached, True
+        scenario = self.engine.build_scenario(question, user, context)
+        with self._scenario_lock:
+            self.scenario_cache_misses += 1
+            self._scenarios[key] = scenario
+            self._scenarios.move_to_end(key)
+            while len(self._scenarios) > self.max_cached_scenarios:
+                self._scenarios.popitem(last=False)
+        return scenario, False
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def explain(self, request: ExplanationRequest) -> ExplanationResponse:
+        """Serve one request through every cache layer."""
+        start = time.perf_counter()
+        user, context, session = self._resolve(request)
+        question = parse_question(request.question)
+        scenario, hit = self._scenario(question, user, context)
+        explanation = self.engine.explain(
+            question, user, context,
+            explanation_type=request.explanation_type,
+            scenario=scenario,
+        )
+        if session is not None:
+            session.record_question(request.question)
+        with self._scenario_lock:
+            self.requests_served += 1
+        return ExplanationResponse(
+            request=request,
+            explanation=explanation,
+            session_id=session.session_id if session is not None else None,
+            scenario_cache_hit=hit,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def ask(
+        self,
+        question: str,
+        session_id: Optional[str] = None,
+        persona: Optional[str] = None,
+        user: Optional[UserProfile] = None,
+        context: Optional[SystemContext] = None,
+        explanation_type: Optional[str] = None,
+    ) -> ExplanationResponse:
+        """Convenience wrapper building the :class:`ExplanationRequest` inline."""
+        return self.explain(ExplanationRequest(
+            question=question, session_id=session_id, persona=persona,
+            user=user, context=context, explanation_type=explanation_type,
+        ))
+
+    def explain_batch(self, requests: Sequence[ExplanationRequest]) -> List[ExplanationResponse]:
+        """Serve a batch, amortising scenario construction across requests.
+
+        Requests that share a ``(user, context, question)`` triple — the
+        same question asked under several explanation types, or by several
+        sessions of the same persona — reuse one assembled-and-reasoned
+        scenario; distinct triples still benefit from the closure and
+        prepared-query caches underneath.
+        """
+        return [self.explain(request) for request in requests]
+
+    def ask_batch(self, items: Sequence[Tuple[str, str]]) -> List[ExplanationResponse]:
+        """Answer ``(persona_key, question)`` pairs as one batch."""
+        return self.explain_batch([
+            ExplanationRequest(question=question, persona=persona_key)
+            for persona_key, question in items
+        ])
+
+    def explain_all_types(self, request: ExplanationRequest) -> Dict[str, ExplanationResponse]:
+        """Answer one question under every supported explanation type.
+
+        The scenario is built (or fetched) once; the nine generators then
+        run against the shared reasoned graph.  A session-addressed
+        request is recorded in the session history once, not once per
+        type.
+        """
+        user, context, session = self._resolve(request)
+        responses: Dict[str, ExplanationResponse] = {}
+        for explanation_type in self.engine.supported_explanation_types:
+            typed = ExplanationRequest(
+                question=request.question, user=user, context=context,
+                explanation_type=explanation_type,
+            )
+            response = self.explain(typed)
+            if session is not None:
+                response.session_id = session.session_id
+            responses[explanation_type] = response
+        if session is not None:
+            session.record_question(request.question)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop the scenario cache and the engine's closure cache."""
+        with self._scenario_lock:
+            self._scenarios.clear()
+        # Don't force a lazy engine build just to clear a cache it has not
+        # populated yet.
+        closure = self._engine.builder.closure_cache if self._engine is not None else None
+        if closure is not None:
+            closure.clear()
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of every cache layer's counters.
+
+        Safe on an idle service: reading stats never triggers the lazy
+        engine build.
+        """
+        closure = self._engine.builder.closure_cache if self._engine is not None else None
+        return ServiceStats(
+            requests_served=self.requests_served,
+            scenario_cache_hits=self.scenario_cache_hits,
+            scenario_cache_misses=self.scenario_cache_misses,
+            closure_cache=closure.stats() if closure is not None else {},
+            prepared_query_cache=prepared_cache().stats(),
+            active_sessions=len(self.registry),
+        )

@@ -4,9 +4,18 @@ The public entry points are :func:`query` (parse + evaluate in one call,
 also reachable as ``Graph.query``) and :func:`prepare` for queries that are
 evaluated repeatedly (the benchmark harness uses this to separate parse
 time from evaluation time).
+
+For server-style workloads where the *same* query text is prepared over
+and over (e.g. the competency-question templates behind every explanation
+request), :func:`prepare_cached` adds a process-wide LRU cache of prepared
+queries: the first call parses, every later call with the same text is a
+dictionary lookup.  Per-request parameters (the question IRI, a user IRI)
+are supplied at evaluation time through ``init_bindings``.
 """
 
-from typing import Any, Mapping, Optional
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from .algebra import Query
 from .evaluator import QueryEvaluator, evaluate_query
@@ -16,6 +25,7 @@ from .tokenizer import SparqlSyntaxError
 
 __all__ = [
     "PreparedQuery",
+    "PreparedQueryCache",
     "Query",
     "QueryEvaluator",
     "Result",
@@ -23,18 +33,27 @@ __all__ = [
     "SparqlSyntaxError",
     "parse_query",
     "prepare",
+    "prepare_cached",
+    "prepared_cache",
     "query",
 ]
 
 
 class PreparedQuery:
-    """A parsed query that can be evaluated against many graphs."""
+    """A parsed query that can be evaluated against many graphs.
+
+    Parsing happens once, in the constructor; :meth:`evaluate` can then be
+    called any number of times, optionally with per-call ``init_bindings``
+    that pre-bind variables (the prepared-statement idiom: one template,
+    many parameterisations).
+    """
 
     def __init__(self, text: str, namespaces=None) -> None:
         self.text = text
         self.algebra = parse_query(text, namespaces)
 
     def evaluate(self, graph, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
+        """Evaluate against ``graph``; ``init_bindings`` maps variable names to terms."""
         from ..rdf.terms import Variable
 
         evaluator = QueryEvaluator(graph)
@@ -42,6 +61,70 @@ class PreparedQuery:
         if init_bindings:
             bindings = {Variable(str(k).lstrip("?$")): v for k, v in init_bindings.items()}
         return evaluator.evaluate(self.algebra, bindings)
+
+
+class PreparedQueryCache:
+    """A bounded, thread-safe LRU cache of :class:`PreparedQuery` objects.
+
+    Keyed by ``(query text, id(namespace_manager))``; the namespace manager
+    is retained in the entry so its identity key stays valid for the life
+    of the entry.  A module-level instance backs :func:`prepare_cached`;
+    services that want isolation can hold their own.
+    """
+
+    def __init__(self, max_size: int = 128) -> None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+        self._entries: "OrderedDict[Tuple[str, int], Tuple[PreparedQuery, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, text: str, namespaces=None) -> PreparedQuery:
+        """Return the prepared form of ``text``, parsing only on a cache miss."""
+        key = (text, id(namespaces) if namespaces is not None else 0)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry[0]
+        # Parse outside the lock: parsing is the expensive part and is safe
+        # to race (worst case two threads parse the same text once each).
+        prepared = PreparedQuery(text, namespaces)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (prepared, namespaces)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+        return prepared
+
+    def clear(self) -> None:
+        """Drop every cached query and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Current ``size`` / ``hits`` / ``misses`` counters."""
+        with self._lock:
+            return {"size": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide default cache behind :func:`prepare_cached`.
+_DEFAULT_CACHE = PreparedQueryCache()
+
+
+def prepared_cache() -> PreparedQueryCache:
+    """The process-wide default :class:`PreparedQueryCache`."""
+    return _DEFAULT_CACHE
 
 
 def query(graph, query_text: str, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
@@ -52,3 +135,8 @@ def query(graph, query_text: str, init_bindings: Optional[Mapping[str, Any]] = N
 def prepare(query_text: str, namespaces=None) -> PreparedQuery:
     """Parse ``query_text`` once and return a reusable :class:`PreparedQuery`."""
     return PreparedQuery(query_text, namespaces)
+
+
+def prepare_cached(query_text: str, namespaces=None) -> PreparedQuery:
+    """Like :func:`prepare`, but served from the process-wide LRU cache."""
+    return _DEFAULT_CACHE.get(query_text, namespaces)

@@ -96,6 +96,7 @@ class QueryEvaluator:
     # Pattern evaluation
     # ------------------------------------------------------------------
     def evaluate_pattern(self, pattern: Pattern, solutions: List[Solution]) -> List[Solution]:
+        """Extend each incoming solution with every match of ``pattern``."""
         if isinstance(pattern, GroupPattern):
             return self._evaluate_group(pattern, solutions)
         if isinstance(pattern, BGP):
@@ -246,6 +247,8 @@ class QueryEvaluator:
     # Query forms
     # ------------------------------------------------------------------
     def evaluate(self, query: Query, init_bindings: Optional[Solution] = None) -> Result:
+        """Evaluate a parsed query; ``init_bindings`` pre-binds variables
+        (the prepared-statement parameter mechanism)."""
         initial: List[Solution] = [dict(init_bindings) if init_bindings else {}]
         if isinstance(query, SelectQuery):
             return self._evaluate_select(query, initial)

@@ -3,11 +3,14 @@
 from .context import SystemContext
 from .personas import PERSONAS, all_personas, paper_context, paper_user, persona
 from .profile import UserProfile
+from .sessions import SessionRegistry, UserSession
 
 __all__ = [
     "PERSONAS",
+    "SessionRegistry",
     "SystemContext",
     "UserProfile",
+    "UserSession",
     "all_personas",
     "paper_context",
     "paper_user",

@@ -1,0 +1,119 @@
+"""Multi-user session tracking for the explanation service.
+
+The paper's health-coach scenario is interactive: one user asks a stream
+of follow-up questions against the same ontology.  A :class:`UserSession`
+pins a ``(profile, context)`` pair under a stable identifier so a service
+can answer many questions for the same user without re-shipping the
+profile on every request, and keeps a small interaction history for
+conversational features (e.g. "explain that differently").
+
+:class:`SessionRegistry` is the thread-safe container the
+:class:`repro.service.ExplanationService` uses to serve concurrent
+sessions; it evicts the least-recently-active session beyond
+``max_sessions``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .context import SystemContext
+from .profile import UserProfile
+
+__all__ = ["UserSession", "SessionRegistry"]
+
+_session_counter = itertools.count(1)
+
+
+@dataclass
+class UserSession:
+    """One user's live interaction with the explanation service."""
+
+    session_id: str
+    user: UserProfile
+    context: SystemContext
+    created_at: float = field(default_factory=time.time)
+    last_active: float = field(default_factory=time.time)
+    questions_asked: int = 0
+    history: List[str] = field(default_factory=list)
+
+    def record_question(self, question_text: str, keep_last: int = 50) -> None:
+        """Note that the session asked ``question_text`` (bounded history)."""
+        self.questions_asked += 1
+        self.last_active = time.time()
+        self.history.append(question_text)
+        if len(self.history) > keep_last:
+            del self.history[: len(self.history) - keep_last]
+
+    def summary(self) -> Dict[str, object]:
+        """A dictionary view for logs and the ``serve`` CLI."""
+        return {
+            "session_id": self.session_id,
+            "user": self.user.identifier,
+            "questions_asked": self.questions_asked,
+            "last_active": self.last_active,
+        }
+
+
+class SessionRegistry:
+    """Thread-safe registry of live :class:`UserSession` objects.
+
+    Sessions are kept in least-recently-active order; opening a session
+    beyond ``max_sessions`` evicts the stalest one (a service holding a
+    scenario cache does not want an unbounded session population either).
+    """
+
+    def __init__(self, max_sessions: int = 1024) -> None:
+        if max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[str, UserSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def open(self, user: UserProfile, context: SystemContext,
+             session_id: Optional[str] = None) -> UserSession:
+        """Create (or replace) a session for ``user`` and return it."""
+        if session_id is None:
+            session_id = f"session-{next(_session_counter)}"
+        session = UserSession(session_id=session_id, user=user, context=context)
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            self._sessions[session_id] = session
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+        return session
+
+    def get(self, session_id: str) -> UserSession:
+        """Return the live session, marking it most-recently-active.
+
+        Raises :class:`KeyError` for unknown (or already evicted) ids.
+        """
+        with self._lock:
+            session = self._sessions[session_id]
+            self._sessions.move_to_end(session_id)
+            return session
+
+    def close(self, session_id: str) -> Optional[UserSession]:
+        """Remove and return the session, or ``None`` if it was not live."""
+        with self._lock:
+            return self._sessions.pop(session_id, None)
+
+    def active(self) -> List[UserSession]:
+        """All live sessions, least-recently-active first."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, session_id: object) -> bool:
+        with self._lock:
+            return session_id in self._sessions

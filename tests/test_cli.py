@@ -66,6 +66,56 @@ class TestCommands:
         assert code == 0
         assert "feo:Characteristic" in out
 
+    def test_serve_answers_request_stream(self, shared_engine, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text(
+            "# two repeats then another persona\n"
+            "Why should I eat Cauliflower Potato Curry?\n"
+            "Why should I eat Cauliflower Potato Curry?\n"
+            "pregnant_user: What if I was pregnant?\n"
+        )
+        code = main(["serve", "--requests", str(requests), "--stats"],
+                    engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("Cauliflower Potato Curry?") == 2
+        assert "| cached]" in out            # the repeat hit the scenario cache
+        assert "[pregnant_user | counterfactual]" in out
+        assert "requests served:        3" in out
+        assert "active sessions:        2" in out
+
+    def test_serve_missing_requests_file_fails_cleanly(self, shared_engine, capsys):
+        code = main(["serve", "--requests", "/no/such/file.txt"], engine=shared_engine)
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read requests file" in err
+
+    def test_serve_continues_past_unparseable_lines(self, shared_engine, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("gibberish not a question\nWhy should I eat Sushi?\n")
+        code = main(["serve", "--requests", str(requests)], engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[error] gibberish not a question" in out
+        assert "[paper | contextual] Why should I eat Sushi?" in out
+
+    def test_serve_continues_past_unknown_foods_and_types(self, shared_engine, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("Why should I eat Completely Unknown Dish?\n"
+                            "Why should I eat Sushi?\n")
+        code = main(["serve", "--requests", str(requests)], engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[error] Why should I eat Completely Unknown Dish?" in out
+        assert "[paper | contextual] Why should I eat Sushi?" in out
+
+        requests.write_text("Why should I eat Sushi?\n")
+        code = main(["serve", "--requests", str(requests), "--type", "bogus"],
+                    engine=shared_engine)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[error] Why should I eat Sushi?" in out
+
     def test_export_to_file(self, shared_engine, tmp_path, capsys):
         target = tmp_path / "kg.nt"
         code = main(["export", "--output", str(target), "--format", "ntriples"],

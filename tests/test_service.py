@@ -1,0 +1,329 @@
+"""Tests for the serving layer: caches, sessions and the ExplanationService."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import contextual_template, contrastive_template
+from repro.owl import MaterializationCache, Reasoner
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import FEO
+from repro.rdf.terms import IRI
+from repro.service import ExplanationRequest, ExplanationService
+from repro.sparql import PreparedQueryCache, prepare_cached, prepared_cache
+from repro.users.personas import paper_context, paper_user, persona
+from repro.users.sessions import SessionRegistry
+
+
+def _triple(n: int):
+    return (IRI(f"urn:s{n}"), IRI("urn:p"), IRI(f"urn:o{n}"))
+
+
+class TestGraphFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a, b = Graph(), Graph()
+        for graph in (a, b):
+            graph.add(_triple(1))
+            graph.add(_triple(2))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_insertion_order_is_irrelevant(self):
+        a, b = Graph(), Graph()
+        a.add(_triple(1)).add(_triple(2))
+        b.add(_triple(2)).add(_triple(1))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_mutation_changes_and_reverting_restores(self):
+        graph = Graph().add(_triple(1))
+        before = graph.fingerprint()
+        graph.add(_triple(2))
+        assert graph.fingerprint() != before
+        graph.remove(_triple(2))
+        assert graph.fingerprint() == before
+
+    def test_duplicate_add_is_a_noop(self):
+        graph = Graph().add(_triple(1))
+        before = graph.fingerprint()
+        graph.add(_triple(1))
+        assert graph.fingerprint() == before
+
+    def test_copy_preserves_fingerprint(self):
+        graph = Graph().add(_triple(1)).add(_triple(2))
+        assert graph.copy().fingerprint() == graph.fingerprint()
+
+    def test_clear_resets(self):
+        graph = Graph().add(_triple(1))
+        graph.clear()
+        assert graph.fingerprint() == Graph().fingerprint()
+
+
+class TestPreparedQueryCache:
+    def test_hit_returns_same_prepared_object(self):
+        cache = PreparedQueryCache()
+        text = contextual_template()
+        first = cache.get(text)
+        second = cache.get(text)
+        assert first is second
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_distinct_texts_are_distinct_entries(self):
+        cache = PreparedQueryCache()
+        assert cache.get(contextual_template()) is not cache.get(contrastive_template())
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = PreparedQueryCache(max_size=2)
+        q1 = "SELECT ?s WHERE { ?s ?p1 ?o . }"
+        q2 = "SELECT ?s WHERE { ?s ?p2 ?o . }"
+        q3 = "SELECT ?s WHERE { ?s ?p3 ?o . }"
+        first = cache.get(q1)
+        cache.get(q2)
+        cache.get(q3)  # evicts q1
+        assert len(cache) == 2
+        assert cache.get(q1) is not first  # re-parsed after eviction
+
+    def test_module_level_cache_is_shared(self):
+        text = "SELECT ?s WHERE { ?s a ?cls . }"
+        assert prepare_cached(text) is prepare_cached(text)
+        assert prepared_cache().stats()["size"] >= 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            PreparedQueryCache(max_size=0)
+
+
+class TestMaterializationCache:
+    def _graph(self):
+        graph = Graph()
+        subclassof = IRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        graph.add((IRI("urn:Dog"), subclassof, IRI("urn:Animal")))
+        graph.add((IRI("urn:rex"), rdf_type, IRI("urn:Dog")))
+        return graph
+
+    def test_hit_skips_reasoning_and_shares_the_closure(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        first = cache.materialize(graph)
+        second = cache.materialize(graph)
+        assert first is second
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+        # The closure is a real materialisation.
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        assert (IRI("urn:rex"), rdf_type, IRI("urn:Animal")) in first
+
+    def test_matches_uncached_reasoner_output(self):
+        graph = self._graph()
+        assert set(MaterializationCache().materialize(graph)) == set(Reasoner(graph).run())
+
+    def test_mutation_invalidates_via_fingerprint(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        cache.materialize(graph)
+        graph.add(_triple(9))
+        cache.materialize(graph)
+        assert cache.stats()["misses"] == 2
+
+    def test_copy_mode_returns_private_graph(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        shared = cache.materialize(graph)
+        private = cache.materialize(graph, copy=True)
+        assert private is not shared and set(private) == set(shared)
+
+    def test_lru_bound(self):
+        cache = MaterializationCache(max_size=1)
+        g1, g2 = self._graph(), self._graph().add(_triple(5))
+        cache.materialize(g1)
+        cache.materialize(g2)
+        assert len(cache) == 1
+        cache.materialize(g1)  # evicted above -> re-reasons
+        assert cache.stats()["misses"] == 3
+
+    def test_post_process_runs_once_before_publication(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        marker = (IRI("urn:marker"), IRI("urn:p"), IRI("urn:done"))
+        calls = []
+
+        def post(closure):
+            calls.append(1)
+            closure.add(marker)
+
+        first = cache.materialize(graph, post_process=post)
+        second = cache.materialize(graph, post_process=post)
+        assert first is second
+        assert marker in first
+        assert calls == [1]  # a hit never re-runs (or observes partial) post-processing
+
+    def test_explicit_invalidate(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        cache.materialize(graph)
+        assert cache.invalidate(graph) is True
+        assert cache.invalidate(graph) is False
+
+
+class TestSessionRegistry:
+    def test_open_get_close_roundtrip(self):
+        registry = SessionRegistry()
+        session = registry.open(paper_user(), paper_context())
+        assert registry.get(session.session_id) is session
+        assert session.session_id in registry
+        assert registry.close(session.session_id) is session
+        assert session.session_id not in registry
+
+    def test_unknown_session_raises(self):
+        with pytest.raises(KeyError):
+            SessionRegistry().get("no-such-session")
+
+    def test_eviction_drops_least_recently_active(self):
+        registry = SessionRegistry(max_sessions=2)
+        first = registry.open(paper_user(), paper_context())
+        second = registry.open(paper_user(), paper_context())
+        registry.get(first.session_id)  # refresh first
+        registry.open(paper_user(), paper_context())  # evicts second
+        assert first.session_id in registry
+        assert second.session_id not in registry
+        assert registry.evictions == 1
+
+    def test_history_is_recorded_and_bounded(self):
+        session = SessionRegistry().open(paper_user(), paper_context())
+        for n in range(7):
+            session.record_question(f"question {n}", keep_last=5)
+        assert session.questions_asked == 7
+        assert session.history == [f"question {n}" for n in range(2, 7)]
+
+
+class TestExplanationService:
+    @pytest.fixture()
+    def service(self, engine):
+        # Reuses the session-scoped engine: only service-layer state is fresh.
+        return ExplanationService(engine=engine)
+
+    def test_ask_with_persona(self, service):
+        response = service.ask("Why should I eat Cauliflower Potato Curry?",
+                               persona="paper")
+        assert response.explanation.explanation_type == "contextual"
+        assert "Autumn" in [item.subject for item in response.explanation.items]
+        assert response.session_id is None
+
+    def test_repeat_hits_scenario_cache_with_identical_answer(self, service):
+        question = "Why should I eat Cauliflower Potato Curry?"
+        first = service.ask(question, persona="paper")
+        second = service.ask(question, persona="paper")
+        assert not first.scenario_cache_hit
+        assert second.scenario_cache_hit
+        assert first.explanation.text == second.explanation.text
+
+    def test_batch_amortises_scenarios(self, service):
+        requests = [ExplanationRequest(question="What if I was pregnant?",
+                                       persona="pregnant_user")] * 3
+        responses = service.explain_batch(requests)
+        assert [r.scenario_cache_hit for r in responses] == [False, True, True]
+        assert service.stats().scenario_cache_misses == 1
+
+    def test_explanation_type_override_reuses_scenario(self, service):
+        question = "Why should I eat Cauliflower Potato Curry?"
+        contextual = service.ask(question, persona="paper")
+        scientific = service.ask(question, persona="paper",
+                                 explanation_type="scientific")
+        assert scientific.explanation.explanation_type == "scientific"
+        assert scientific.scenario_cache_hit  # same scenario, different generator
+
+    def test_session_flow_records_history(self, service):
+        session = service.open_persona_session("pregnant_user")
+        response = service.ask("What if I was pregnant?",
+                               session_id=session.session_id)
+        assert response.session_id == session.session_id
+        assert session.questions_asked == 1
+        assert session.history == ["What if I was pregnant?"]
+        assert service.close_session(session.session_id) is session
+
+    def test_unknown_session_raises(self, service):
+        with pytest.raises(KeyError):
+            service.ask("Why should I eat Sushi?", session_id="missing")
+
+    def test_explicit_user_and_context(self, service):
+        user, context = persona("paper")
+        response = service.ask("Why should I eat Cauliflower Potato Curry?",
+                               user=user, context=context)
+        assert not response.explanation.is_empty
+
+    def test_partial_user_context_is_rejected(self, service):
+        user, context = persona("paper")
+        with pytest.raises(ValueError):
+            service.ask("Why should I eat Sushi?", user=user)  # context missing
+        with pytest.raises(ValueError):
+            service.ask("Why should I eat Sushi?", context=context)  # user missing
+
+    def test_explain_all_types_builds_one_scenario(self, service):
+        request = ExplanationRequest(question="Why should I eat Cauliflower Potato Curry?",
+                                     persona="paper")
+        responses = service.explain_all_types(request)
+        assert set(responses) == set(service.engine.supported_explanation_types)
+        assert service.stats().scenario_cache_misses == 1
+
+    def test_explain_all_types_records_session_question_once(self, service):
+        session = service.open_persona_session("paper")
+        request = ExplanationRequest(question="Why should I eat Cauliflower Potato Curry?",
+                                     session_id=session.session_id)
+        responses = service.explain_all_types(request)
+        assert session.questions_asked == 1
+        assert all(r.session_id == session.session_id for r in responses.values())
+
+    def test_stats_snapshot(self, service):
+        service.ask("Why should I eat Cauliflower Potato Curry?", persona="paper")
+        stats = service.stats()
+        assert stats.requests_served == 1
+        assert stats.scenario_cache_misses == 1
+        assert "hits" in stats.prepared_query_cache
+        text = stats.to_text()
+        assert "requests served" in text and "closure cache" in text
+
+    def test_scenario_cache_lru_bound(self, engine):
+        service = ExplanationService(engine=engine, max_cached_scenarios=1)
+        service.ask("Why should I eat Cauliflower Potato Curry?", persona="paper")
+        service.ask("What if I was pregnant?", persona="pregnant_user")
+        repeat = service.ask("Why should I eat Cauliflower Potato Curry?",
+                             persona="paper")
+        assert not repeat.scenario_cache_hit  # evicted by the second question
+
+    def test_stats_on_idle_service_does_not_build_the_engine(self):
+        service = ExplanationService()  # no engine injected
+        stats = service.stats()
+        assert stats.requests_served == 0 and stats.closure_cache == {}
+        assert service._engine is None  # still lazy after reading stats
+        service.clear_caches()
+        assert service._engine is None
+
+    def test_warm_prepares_competency_templates(self, engine):
+        baseline = prepared_cache().stats()["size"]
+        ExplanationService(engine=engine).warm()
+        assert prepared_cache().stats()["size"] >= max(baseline, 3)
+
+
+class TestServeRequestLineParsing:
+    def test_bare_question_uses_default_persona(self):
+        from repro.cli import _parse_request_line
+
+        assert _parse_request_line("Why should I eat Sushi?\n", "paper") == \
+            ("paper", "Why should I eat Sushi?")
+
+    def test_persona_prefix(self):
+        from repro.cli import _parse_request_line
+
+        assert _parse_request_line("pregnant_user: What if I was pregnant?", "paper") == \
+            ("pregnant_user", "What if I was pregnant?")
+
+    def test_unknown_prefix_is_part_of_the_question(self):
+        from repro.cli import _parse_request_line
+
+        persona_key, question = _parse_request_line("note: odd question", "paper")
+        assert persona_key == "paper" and question == "note: odd question"
+
+    def test_blank_and_comment_lines_are_skipped(self):
+        from repro.cli import _parse_request_line
+
+        assert _parse_request_line("   \n", "paper") is None
+        assert _parse_request_line("# comment", "paper") is None
