@@ -1,0 +1,133 @@
+"""Experiment E11: incremental closure maintenance vs. full re-materialisation.
+
+A multi-user service mutates live scenarios constantly — one more dietary
+restriction, one more liked recipe — and before the semi-naive rework every
+single-fact change forced a full re-materialisation (the fingerprint cache
+can only hit on byte-identical graphs).  These benchmarks gate the payoff
+of the delta-driven path: a single-fact update through
+:meth:`repro.owl.reasoner.Reasoner.extend` must be **at least 5x faster**
+than re-running the reasoner over the whole graph (the ISSUE acceptance
+criterion; measured headroom grows with catalogue size because the update
+cost tracks the delta's consequences, not the graph).
+
+Every timed comparison also asserts closure equality, so the speed gate can
+never pass on wrong answers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.owl import AxiomIndex, Reasoner
+from repro.rdf.namespace import FEO, FOOD, FOODKG
+from repro.rdf.terms import IRI
+from repro.service import ExplanationService
+
+from conftest import best_of as _best_of, build_kg, scaled
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+def test_single_fact_update_is_5x_faster_than_rematerialisation():
+    """Acceptance criterion: >= 5x speedup for a single-fact scenario update."""
+    _, graph = build_kg(extra_recipes=scaled(160), extra_ingredients=scaled(80))
+    axioms = AxiomIndex.from_graph(graph)
+    closure = Reasoner(graph, axioms=axioms).run()
+
+    user = IRI(FOODKG["user/bench-user"])
+    recipe = sorted(graph.subjects(_RDF_TYPE, IRI(FOOD["Recipe"])))[0]
+    delta = [(user, IRI(FEO["likes"]), recipe)]
+    updated = graph.copy()
+    updated.addN(delta)
+
+    full_seconds, full = _best_of(
+        3, lambda: Reasoner(updated, axioms=axioms).run())
+
+    def incremental():
+        extended = closure.copy()  # what the cache does to protect the shared entry
+        return Reasoner(updated, axioms=axioms).extend(extended, delta)
+
+    incremental_seconds, extended = _best_of(3, incremental)
+
+    assert set(extended) == set(full), "incremental closure diverged from full re-run"
+    speedup = full_seconds / incremental_seconds
+    print(f"\nsingle-fact update: full={full_seconds * 1000:.1f}ms "
+          f"incremental={incremental_seconds * 1000:.1f}ms -> {speedup:.1f}x "
+          f"(asserted={len(graph)}, closed={len(closure)})")
+    assert speedup >= 5.0, (
+        f"single-fact update must be >=5x faster than re-materialisation, "
+        f"got {speedup:.1f}x"
+    )
+
+
+def test_update_cost_tracks_the_delta_not_the_graph():
+    """Incremental cost stays near-flat while full-run cost grows with scale."""
+    timings = []
+    for extra_recipes, extra_ingredients in [(scaled(40), scaled(20)),
+                                             (scaled(160), scaled(80))]:
+        _, graph = build_kg(extra_recipes=extra_recipes,
+                            extra_ingredients=extra_ingredients)
+        axioms = AxiomIndex.from_graph(graph)
+        closure = Reasoner(graph, axioms=axioms).run()
+        user = IRI(FOODKG["user/bench-user"])
+        recipe = sorted(graph.subjects(_RDF_TYPE, IRI(FOOD["Recipe"])))[0]
+        delta = [(user, IRI(FEO["likes"]), recipe)]
+        updated = graph.copy()
+        updated.addN(delta)
+        full_seconds, _ = _best_of(3, lambda: Reasoner(updated, axioms=axioms).run())
+        incremental_seconds, _ = _best_of(
+            3, lambda: Reasoner(updated, axioms=axioms).extend(closure.copy(), delta))
+        timings.append((len(graph), full_seconds, incremental_seconds))
+        print(f"\nscale asserted={len(graph)}: full={full_seconds * 1000:.1f}ms "
+              f"incremental={incremental_seconds * 1000:.1f}ms")
+    (_, small_full, small_inc), (_, large_full, large_inc) = timings
+    # Full re-materialisation pays the growth; the incremental path's growth
+    # (closure copy + index upkeep) must stay well below it.
+    assert large_inc < large_full / 5.0
+    # And updating the LARGE graph incrementally beats even the SMALL full run.
+    assert large_inc < small_full
+
+
+def test_service_scenario_update_beats_rebuild():
+    """End-to-end: ExplanationService.update_scenario vs a cold rebuild."""
+    service = ExplanationService().warm()
+    session = service.open_persona_session("paper")
+    question = "Why should I eat Cauliflower Potato Curry?"
+    service.ask(question, session_id=session.session_id)  # prime the caches
+
+    # Session-addressed updates are cumulative: each one extends the closure
+    # published by the previous one (a chain of incremental extensions).
+    updates = [
+        {"allergies": ("dairy",)},
+        {"conditions": ("diabetes",)},
+        {"likes": ("Butternut Squash Soup",)},
+        {"goals": ("high_fiber",)},
+    ]
+    update_timings = []
+    for update in updates:
+        start = time.perf_counter()
+        updated = service.update_scenario(
+            question, session_id=session.session_id, **update)
+        update_timings.append(time.perf_counter() - start)
+    # Each update is a distinct delta, so they cannot be repeated for a
+    # best-of measurement; the minimum over the four is the steady-state
+    # cost (matching the best-of-3 rebuild measurement below).
+    incremental_seconds = min(update_timings)
+
+    # The pre-rework cost of the same edit: closure cache cold for the new
+    # fingerprint, full re-materialisation of the grown scenario graph.
+    builder = service.engine.builder
+    rebuild_seconds, rebuilt = _best_of(3, lambda: (
+        builder.closure_cache.invalidate(updated.asserted),
+        builder.build(updated.question, updated.user, updated.context,
+                      recommendation=updated.recommendation),
+    )[1])
+
+    assert set(rebuilt.inferred) == set(updated.inferred)
+    speedup = rebuild_seconds / incremental_seconds
+    print(f"\nscenario update: rebuild={rebuild_seconds * 1000:.1f}ms "
+          f"incremental={incremental_seconds * 1000:.1f}ms -> {speedup:.1f}x")
+    assert speedup >= 2.0, (
+        f"live scenario edits must be >=2x faster than rebuilds, got {speedup:.1f}x"
+    )
+    assert service.stats().closure_cache["extensions"] == len(updates)

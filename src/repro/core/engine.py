@@ -114,6 +114,15 @@ class ExplanationEngine:
         """Assemble and reason over the scenario graph for ``question``."""
         return self.builder.build(question, user, context, recommendation)
 
+    def update_scenario(self, scenario: Scenario, **additions) -> Scenario:
+        """Incrementally grow a live scenario (new preferences, restrictions,
+        recommendation) without re-materialising its closure.
+
+        Keyword arguments are those of
+        :meth:`repro.core.scenario.ScenarioBuilder.update_scenario`.
+        """
+        return self.builder.update_scenario(scenario, **additions)
+
     def explain(
         self,
         question: Question,

@@ -15,18 +15,25 @@ Reasoning itself goes through a per-builder
 triple-identical graph, whose fingerprint hits the cache and skips the
 reasoner entirely.  This is what makes repeated and batched requests
 served by :class:`repro.service.ExplanationService` cheap.
+
+Live scenarios can also be **mutated incrementally**:
+:meth:`ScenarioBuilder.update_scenario` adds restrictions, preferences or a
+recommendation to an existing scenario, captures the delta with a
+:class:`~repro.rdf.graph.ChangeJournal`, and grows the cached closure via
+the cache's incremental :meth:`~repro.owl.closure.MaterializationCache.extend`
+path instead of re-materialising the whole graph.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..foodkg.loader import FoodKGLoader
 from ..foodkg.schema import FoodCatalog, slugify
 from ..ontology import eo, feo, food
-from ..owl import MaterializationCache, Reasoner
-from ..rdf.graph import Graph
+from ..owl import AxiomIndex, MaterializationCache, Reasoner
+from ..rdf.graph import Graph, Triple
 from ..rdf.namespace import FEO, FOODKG, RDFS
 from ..rdf.terms import IRI, Literal
 from ..recommender.health_coach import Recommendation
@@ -62,6 +69,10 @@ class Scenario:
     context: SystemContext
     recommendation: Optional[Recommendation] = None
     parameter_iris: List[IRI] = field(default_factory=list)
+    #: Custom data triples accumulated via update_scenario(extra_triples=...);
+    #: carried so a later rebuild (e.g. a recommendation swap) can re-apply
+    #: them instead of silently dropping facts the builder cannot re-derive.
+    extra_triples: Tuple[Triple, ...] = ()
 
     def query(self, sparql_text: str):
         """Run SPARQL over the inferred (post-reasoning) graph."""
@@ -86,10 +97,18 @@ class ScenarioBuilder:
             self._base = feo.build_combined_ontology()
             self.loader.graph = self._base
             self.loader.load(catalog)
+        # Scenario individuals never add schema triples, so one AxiomIndex
+        # extracted from the shared base serves every scenario graph —
+        # reasoner construction skips the per-build axiom extraction.
+        self._axioms = AxiomIndex.from_graph(self._base)
         if closure_cache is not None:
             self.closure_cache: Optional[MaterializationCache] = closure_cache
         else:
             self.closure_cache = MaterializationCache() if use_closure_cache else None
+
+    def _reasoner(self, graph: Graph) -> Reasoner:
+        """A reasoner over ``graph`` sharing the base graph's axiom index."""
+        return Reasoner(graph, axioms=self._axioms)
 
     # ------------------------------------------------------------------
     # IRI minting
@@ -151,11 +170,12 @@ class ScenarioBuilder:
                 # cache hits share a fully-annotated, read-only graph.
                 inferred = self.closure_cache.materialize(
                     graph,
+                    reasoner_factory=self._reasoner,
                     post_process=lambda closure: annotate_facts_and_foils(
                         closure, ecosystem_iri),
                 )
             else:
-                inferred = Reasoner(graph).run()
+                inferred = self._reasoner(graph).run()
                 annotate_facts_and_foils(inferred, ecosystem_iri)
         else:
             inferred = graph
@@ -175,27 +195,165 @@ class ScenarioBuilder:
         )
 
     # ------------------------------------------------------------------
+    # Incremental mutation
+    # ------------------------------------------------------------------
+    def update_scenario(
+        self,
+        scenario: Scenario,
+        *,
+        likes: Sequence[str] = (),
+        dislikes: Sequence[str] = (),
+        allergies: Sequence[str] = (),
+        diets: Sequence[str] = (),
+        conditions: Sequence[str] = (),
+        goals: Sequence[str] = (),
+        recommendation: Optional[Recommendation] = None,
+        extra_triples: Iterable[Triple] = (),
+    ) -> Scenario:
+        """Return a new scenario with the additions applied incrementally.
+
+        The input ``scenario`` (its graphs included) is left untouched: the
+        asserted graph is copied, the new facts are asserted under a
+        :class:`~repro.rdf.graph.ChangeJournal`, and the captured delta is
+        folded into the existing closure through the cache's incremental
+        :meth:`~repro.owl.closure.MaterializationCache.extend` path — the
+        result is triple-identical to a from-scratch rebuild with the grown
+        profile, at a cost proportional to the delta's consequences.
+
+        ``extra_triples`` admits arbitrary additional *data* triples; schema
+        axioms are rejected because they would invalidate the builder's
+        shared axiom index for every later scenario (rebuild instead).
+        """
+        user = self._grow_profile(
+            scenario.user, likes=likes, dislikes=dislikes, allergies=allergies,
+            diets=diets, conditions=conditions, goals=goals)
+        if recommendation is not None and scenario.recommendation is not None \
+                and recommendation != scenario.recommendation:
+            # Replacing a recommendation is a retraction, which the
+            # monotone incremental path cannot express: rebuild instead so
+            # the old recommendation's triples actually disappear, then fold
+            # the scenario's accumulated extra triples (plus any new ones)
+            # back in incrementally.
+            rebuilt = self.build(scenario.question, user, scenario.context,
+                                 recommendation=recommendation)
+            carried = scenario.extra_triples + tuple(extra_triples)
+            if carried:
+                return self.update_scenario(rebuilt, extra_triples=carried)
+            return rebuilt
+        base_fingerprint = scenario.asserted.fingerprint()
+        graph = scenario.asserted.copy()
+        with graph.start_journal() as journal:
+            self._assert_profile_facts(
+                graph, scenario.user_iri, likes=likes, dislikes=dislikes,
+                allergies=allergies, diets=diets, conditions=conditions,
+                goals=goals)
+            if recommendation is not None:
+                self._assert_recommendation(
+                    graph, recommendation, scenario.system_iri, scenario.question_iri)
+            graph.addN(extra_triples)
+            added = journal.added()
+        schema = [triple for triple in added if Reasoner._is_schema_triple(triple)]
+        if schema:
+            raise ValueError(
+                f"update_scenario only accepts data triples; {schema[0]} is a "
+                "schema axiom — build a new scenario (and builder) instead"
+            )
+
+        ecosystem_iri = scenario.ecosystem_iri
+        if self.closure_cache is not None:
+            inferred = self.closure_cache.extend(
+                graph, base_fingerprint, added,
+                reasoner_factory=self._reasoner,
+                post_process=lambda closure: annotate_facts_and_foils(
+                    closure, ecosystem_iri),
+            )
+        else:
+            # Without a cache there is no record of which closure triples are
+            # closed-world annotations, so rebuild from scratch.
+            inferred = self._reasoner(graph).run()
+            annotate_facts_and_foils(inferred, ecosystem_iri)
+
+        return Scenario(
+            question=scenario.question,
+            question_iri=scenario.question_iri,
+            user_iri=scenario.user_iri,
+            system_iri=scenario.system_iri,
+            ecosystem_iri=ecosystem_iri,
+            asserted=graph,
+            inferred=inferred,
+            user=user,
+            context=scenario.context,
+            recommendation=recommendation if recommendation is not None else scenario.recommendation,
+            parameter_iris=list(scenario.parameter_iris),
+            extra_triples=scenario.extra_triples + tuple(extra_triples),
+        )
+
+    @staticmethod
+    def _grow_profile(
+        user: UserProfile,
+        *,
+        likes: Sequence[str],
+        dislikes: Sequence[str],
+        allergies: Sequence[str],
+        diets: Sequence[str],
+        conditions: Sequence[str],
+        goals: Sequence[str],
+    ) -> UserProfile:
+        """The profile after the additions (validated by UserProfile itself)."""
+
+        def merge(existing: Tuple[str, ...], new: Sequence[str]) -> Tuple[str, ...]:
+            return existing + tuple(n for n in new if n not in existing)
+
+        return replace(
+            user,
+            likes=merge(user.likes, likes),
+            dislikes=merge(user.dislikes, dislikes),
+            allergies=merge(user.allergies, allergies),
+            diets=merge(user.diets, diets),
+            conditions=merge(user.conditions, conditions),
+            goals=merge(user.goals, goals),
+        )
+
+    # ------------------------------------------------------------------
     def _assert_user(self, graph: Graph, user_iri: IRI, user: UserProfile) -> None:
         graph.add((user_iri, _RDF_TYPE, food.User))
         graph.add((user_iri, _RDFS_LABEL, Literal(user.name or user.identifier, language="en")))
-        for name in user.likes:
+        self._assert_profile_facts(
+            graph, user_iri, likes=user.likes, dislikes=user.dislikes,
+            allergies=user.allergies, diets=user.diets,
+            conditions=user.conditions, goals=user.goals)
+        if user.budget:
+            graph.add((user_iri, feo.hasBudget, feo.BUDGET_LEVELS[user.budget]))
+
+    def _assert_profile_facts(
+        self,
+        graph: Graph,
+        user_iri: IRI,
+        *,
+        likes: Sequence[str] = (),
+        dislikes: Sequence[str] = (),
+        allergies: Sequence[str] = (),
+        diets: Sequence[str] = (),
+        conditions: Sequence[str] = (),
+        goals: Sequence[str] = (),
+    ) -> None:
+        """Assert one slice of profile facts (shared by build and update)."""
+        for name in likes:
             graph.add((user_iri, feo.likes, self._food_or_label_iri(name)))
-        for name in user.dislikes:
+        for name in dislikes:
             graph.add((user_iri, feo.dislikes, self._food_or_label_iri(name)))
-        for name in user.allergies:
+        for name in allergies:
             graph.add((user_iri, feo.allergicTo, self._food_or_label_iri(name)))
-        for diet in user.diets:
+        for diet in diets:
             graph.add((user_iri, feo.followsDiet, self.loader.diet_iri(diet)))
-        for condition in user.conditions:
+        for condition in conditions:
             condition_iri = feo.HEALTH_CONDITIONS.get(condition)
             if condition_iri is not None:
                 graph.add((user_iri, feo.hasCondition, condition_iri))
-        for goal in user.goals:
+        for goal in goals:
             goal_iri = feo.NUTRITIONAL_GOALS.get(goal)
             if goal_iri is not None:
                 graph.add((user_iri, feo.hasGoal, goal_iri))
-        if user.budget:
-            graph.add((user_iri, feo.hasBudget, feo.BUDGET_LEVELS[user.budget]))
 
     def _assert_system(self, graph: Graph, system_iri: IRI, context: SystemContext) -> None:
         graph.add((system_iri, _RDF_TYPE, feo.RecommenderSystem))

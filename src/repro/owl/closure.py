@@ -14,26 +14,52 @@ incrementally-maintained content hash — so a repeated scenario build skips
 reasoning entirely, and *any* mutation of the input graph changes the
 fingerprint and naturally invalidates the entry.
 
+Beyond exact repeats, the cache has an **incremental path**
+(:meth:`MaterializationCache.extend`): when a scenario graph is a strict
+superset of a graph whose closure is cached — a live scenario gained a
+restriction, preference or recommendation — the cached closure is copied
+and grown via :meth:`repro.owl.reasoner.Reasoner.extend` with just the
+added triples, instead of re-materialising from scratch.  Each entry
+remembers which triples its ``post_process`` pass appended so the
+extension starts from the *pure* deductive closure (the closed-world
+fact/foil annotations are stripped, the delta is reasoned in, and the
+post-pass is re-run on the result).
+
 The cached closure graph is shared between hits and must be treated as
-read-only by callers.  Deterministic post-passes that need to write into
-the closure (e.g. :func:`repro.core.facts_foils.annotate_facts_and_foils`)
-are supplied via ``post_process`` so they run *before* the graph is
-published to the cache — hits never observe a partially-processed graph.
-Callers that need a private copy can pass ``copy=True``.
+read-only by callers; the incremental path never mutates a published
+entry.  Deterministic post-passes that need to write into the closure
+(e.g. :func:`repro.core.facts_foils.annotate_facts_and_foils`) are
+supplied via ``post_process`` so they run *before* the graph is published
+to the cache — hits never observe a partially-processed graph.  Callers
+that need a private copy can pass ``copy=True``.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
-from ..rdf.graph import Graph
+from ..rdf.graph import Graph, Triple
 from .reasoner import Reasoner
 
 __all__ = ["MaterializationCache", "materialize", "closure_cache"]
 
 Fingerprint = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """One published closure plus the triples its post-process pass added.
+
+    ``post_added`` lets :meth:`MaterializationCache.extend` recover the pure
+    reasoner output from the published (annotated) graph without storing a
+    second copy of the closure.
+    """
+
+    closure: Graph
+    post_added: Tuple[Triple, ...] = ()
 
 
 class MaterializationCache:
@@ -50,10 +76,11 @@ class MaterializationCache:
         if max_size <= 0:
             raise ValueError("max_size must be positive")
         self.max_size = max_size
-        self._entries: "OrderedDict[Fingerprint, Graph]" = OrderedDict()
+        self._entries: "OrderedDict[Fingerprint, _CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.extensions = 0
 
     def materialize(
         self,
@@ -78,19 +105,87 @@ class MaterializationCache:
             if cached is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
-                return cached.copy() if copy else cached
+                return cached.closure.copy() if copy else cached.closure
         reasoner = reasoner_factory(graph) if reasoner_factory is not None else Reasoner(graph)
         closure = reasoner.run()
-        if post_process is not None:
-            post_process(closure)
+        post_added = self._post_process(closure, post_process)
         with self._lock:
             self.misses += 1
-            self._entries[key] = closure
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_size:
-                self._entries.popitem(last=False)
+            self._publish(key, _CacheEntry(closure, post_added))
         return closure.copy() if copy else closure
 
+    def extend(
+        self,
+        graph: Graph,
+        base_fingerprint: Fingerprint,
+        added_triples: Iterable[Triple],
+        reasoner_factory: Optional[Callable[[Graph], Reasoner]] = None,
+        copy: bool = False,
+        post_process: Optional[Callable[[Graph], object]] = None,
+    ) -> Graph:
+        """Closure of ``graph`` by incremental extension of a cached base.
+
+        ``graph`` is the already-mutated asserted graph, ``base_fingerprint``
+        the fingerprint it had when the cached closure was materialised, and
+        ``added_triples`` the delta between the two (e.g. a
+        :class:`~repro.rdf.graph.ChangeJournal`'s additions).  If the target
+        fingerprint is already cached this is a plain hit; if the base entry
+        is gone (evicted or never built) it falls back to a full
+        :meth:`materialize`.  Otherwise the base closure is copied, its
+        post-process annotations stripped, the delta reasoned in with
+        :meth:`Reasoner.extend`, and ``post_process`` re-applied — so the
+        result is indistinguishable from a from-scratch materialisation of
+        ``graph``.  The shared base entry itself is never mutated.
+        """
+        key = graph.fingerprint()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached.closure.copy() if copy else cached.closure
+            base = self._entries.get(base_fingerprint)
+        if base is None:
+            return self.materialize(
+                graph, reasoner_factory=reasoner_factory, copy=copy,
+                post_process=post_process)
+        reasoner = reasoner_factory(graph) if reasoner_factory is not None else Reasoner(graph)
+        if not reasoner.supports_incremental_extension:
+            # Closed-world classification axioms make in-place extension
+            # unsound (additions can invalidate matches); reason from the
+            # asserted graph instead.
+            return self.materialize(
+                graph, reasoner_factory=reasoner_factory, copy=copy,
+                post_process=post_process)
+        extended = base.closure.copy()
+        for triple in base.post_added:
+            extended.remove(triple)
+        reasoner.extend(extended, added_triples)
+        post_added = self._post_process(extended, post_process)
+        with self._lock:
+            self.extensions += 1
+            self._publish(key, _CacheEntry(extended, post_added))
+        return extended.copy() if copy else extended
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _post_process(closure: Graph,
+                      post_process: Optional[Callable[[Graph], object]]) -> Tuple[Triple, ...]:
+        """Run the post-pass, journalling what it adds for later stripping."""
+        if post_process is None:
+            return ()
+        with closure.start_journal() as journal:
+            post_process(closure)
+            return journal.added()
+
+    def _publish(self, key: Fingerprint, entry: _CacheEntry) -> None:
+        """Insert under the lock, enforcing the LRU bound."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
     def invalidate(self, graph: Graph) -> bool:
         """Drop the entry for ``graph``'s current fingerprint, if present."""
         with self._lock:
@@ -102,11 +197,17 @@ class MaterializationCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.extensions = 0
 
     def stats(self) -> Dict[str, int]:
-        """Current ``size`` / ``hits`` / ``misses`` counters."""
+        """Current ``size`` / ``hits`` / ``misses`` / ``extensions`` counters."""
         with self._lock:
-            return {"size": len(self._entries), "hits": self.hits, "misses": self.misses}
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "extensions": self.extensions,
+            }
 
     def __len__(self) -> int:
         with self._lock:

@@ -23,13 +23,30 @@ Supported inference (the fragment FEO exercises, see DESIGN.md):
   that are equivalent to (or subclasses of) a named class are typed with
   that class, and the usual consequences flow the other way
   (``hasValue`` value assertion, ``allValuesFrom`` filler typing).
+
+Evaluation strategy
+-------------------
+
+:meth:`Reasoner.run` uses **semi-naive (delta-driven) evaluation**: after an
+initial round over the whole graph, each rule family consumes only the
+triples derived in the previous round and joins them against the full graph
+through the SPO/POS/OSP indexes, instead of rescanning every triple per
+iteration.  The historical fixed-point loop is kept as
+:meth:`Reasoner.run_naive` — it is the reference oracle the differential
+test suite compares against.
+
+Because each round's work is proportional to its delta, the same machinery
+supports **incremental closure maintenance**: :meth:`Reasoner.extend` grows
+an already-materialised closure by seeding the delta queue with freshly
+asserted triples, which is what the scenario-update path of the explanation
+service rides on (see :mod:`repro.owl.closure`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.graph import Graph, Triple
 from ..rdf.terms import BNode, IRI, Literal
@@ -37,6 +54,7 @@ from .axioms import AxiomIndex
 from .expressions import (
     AllValuesFrom,
     ClassExpression,
+    ComplementOf,
     HasValue,
     IntersectionOf,
     NamedClass,
@@ -44,10 +62,40 @@ from .expressions import (
     UnionOf,
 )
 from .vocabulary import (
+    OWL_ALL_VALUES_FROM,
+    OWL_CARDINALITY,
+    OWL_CLASS,
+    OWL_COMPLEMENT_OF,
+    OWL_DATATYPE_PROPERTY,
+    OWL_DISJOINT_WITH,
+    OWL_EQUIVALENT_CLASS,
+    OWL_EQUIVALENT_PROPERTY,
+    OWL_FUNCTIONAL_PROPERTY,
+    OWL_HAS_VALUE,
+    OWL_INTERSECTION_OF,
+    OWL_INVERSE_FUNCTIONAL_PROPERTY,
+    OWL_INVERSE_OF,
+    OWL_MAX_CARDINALITY,
+    OWL_MIN_CARDINALITY,
     OWL_NOTHING,
+    OWL_OBJECT_PROPERTY,
+    OWL_ONE_OF,
+    OWL_ON_PROPERTY,
+    OWL_PROPERTY_CHAIN_AXIOM,
+    OWL_RESTRICTION,
     OWL_SAME_AS,
+    OWL_SOME_VALUES_FROM,
+    OWL_SYMMETRIC_PROPERTY,
     OWL_THING,
+    OWL_TRANSITIVE_PROPERTY,
+    OWL_UNION_OF,
+    RDF_FIRST,
+    RDF_PROPERTY,
+    RDF_REST,
     RDF_TYPE,
+    RDFS_CLASS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
     RDFS_SUBCLASSOF,
     RDFS_SUBPROPERTYOF,
 )
@@ -57,6 +105,66 @@ __all__ = ["Reasoner", "ReasoningReport", "InconsistentOntologyError"]
 
 class InconsistentOntologyError(Exception):
     """Raised when a consistency check fails (e.g. disjointness violation)."""
+
+
+#: Predicates whose triples define the axiom schema.  A delta containing one
+#: of these invalidates the :class:`AxiomIndex`, so :meth:`Reasoner.extend`
+#: falls back to a full re-closure instead of a delta-proportional update.
+_SCHEMA_PREDICATES = frozenset({
+    RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE,
+    OWL_EQUIVALENT_CLASS, OWL_EQUIVALENT_PROPERTY, OWL_INVERSE_OF,
+    OWL_PROPERTY_CHAIN_AXIOM, OWL_DISJOINT_WITH, OWL_ON_PROPERTY,
+    OWL_SOME_VALUES_FROM, OWL_ALL_VALUES_FROM, OWL_HAS_VALUE,
+    OWL_MIN_CARDINALITY, OWL_MAX_CARDINALITY, OWL_CARDINALITY,
+    OWL_INTERSECTION_OF, OWL_UNION_OF, OWL_COMPLEMENT_OF, OWL_ONE_OF,
+    RDF_FIRST, RDF_REST,
+})
+
+#: ``rdf:type`` objects that turn a type assertion into a schema statement
+#: (declaring a property characteristic or a class/restriction).
+_SCHEMA_TYPES = frozenset({
+    OWL_CLASS, OWL_RESTRICTION, OWL_TRANSITIVE_PROPERTY,
+    OWL_SYMMETRIC_PROPERTY, OWL_FUNCTIONAL_PROPERTY,
+    OWL_INVERSE_FUNCTIONAL_PROPERTY, OWL_OBJECT_PROPERTY,
+    OWL_DATATYPE_PROPERTY, RDF_PROPERTY, RDFS_CLASS,
+})
+
+#: Predicates whose subjects/objects never count as individuals.
+_SCHEMA_ONLY_PREDICATES = frozenset({RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF})
+
+
+def _expression_is_monotone(expression: ClassExpression) -> bool:
+    """Whether adding triples can only ever turn ``matches`` False -> True.
+
+    ``AllValuesFrom`` and ``ComplementOf`` are closed-world: a new triple can
+    *invalidate* a previously satisfied match, so classifications derived
+    from them cannot be incrementally maintained by a monotone delta pass
+    (a stale type in the base closure would need retraction).
+    """
+    if isinstance(expression, (AllValuesFrom, ComplementOf)):
+        return False
+    if isinstance(expression, (IntersectionOf, UnionOf)):
+        return all(_expression_is_monotone(op) for op in expression.operands)
+    if isinstance(expression, SomeValuesFrom):
+        return _expression_is_monotone(expression.filler)
+    return True
+
+
+def _expression_levels(expression: ClassExpression) -> int:
+    """How many property edges separate an individual from the deepest node
+    whose triples the expression's ``matches`` inspects.
+
+    This bounds the reverse-reachability expansion needed to find every
+    individual whose membership in the expression may have changed after a
+    delta (see :meth:`Reasoner._restriction_candidates`).
+    """
+    if isinstance(expression, (SomeValuesFrom, AllValuesFrom)):
+        return 1 + _expression_levels(expression.filler)
+    if isinstance(expression, (IntersectionOf, UnionOf)):
+        return max((_expression_levels(op) for op in expression.operands), default=0)
+    if isinstance(expression, ComplementOf):
+        return _expression_levels(expression.operand)
+    return 0
 
 
 @dataclass
@@ -89,13 +197,173 @@ class Reasoner:
         self.max_iterations = max_iterations
         self.check_consistency = check_consistency
         self.report = ReasoningReport()
+        # Live type index shared by the rule families during a fixpoint run;
+        # None outside of one (the naive oracle path rebuilds its own).
+        self._active_type_index: Optional[Dict[object, Set[IRI]]] = None
+        self._prepare_axiom_state()
+
+    def _prepare_axiom_state(self) -> None:
+        """Precompute the lookup structures the delta-driven rules join on.
+
+        Everything here depends only on :attr:`axioms`, so it is rebuilt
+        exactly when the axiom index is (construction, or a schema-bearing
+        :meth:`extend`).
+        """
+        axioms = self.axioms
+        self._superproperties: Dict[IRI, Set[IRI]] = {
+            prop: axioms.superproperty_closure(prop) - {prop}
+            for prop in axioms.subproperty_of
+        }
+        # Map each property to every (head, chain, position) it appears in,
+        # so a delta triple can be joined into the chain at its position.
+        chain_steps: Dict[IRI, List[Tuple[IRI, List[IRI], int]]] = {}
+        for head, chains in axioms.property_chains.items():
+            for chain in chains:
+                for position, step in enumerate(chain):
+                    chain_steps.setdefault(step, []).append((head, chain, position))
+        self._chain_steps = chain_steps
+        # Restriction bookkeeping: the union of properties any class
+        # expression inspects, and the deepest nesting level, bound the
+        # reverse expansion that finds re-classification candidates.
+        expressions = [axiom.expression for axiom in axioms.equivalences]
+        expressions.extend(expr for expr, _ in axioms.complex_subclasses)
+        expressions.extend(axiom.super_expression for axiom in axioms.complex_superclasses)
+        properties: Set[IRI] = set()
+        depth = 0
+        for expression in expressions:
+            properties |= expression.properties()
+            depth = max(depth, _expression_levels(expression))
+        properties -= _SCHEMA_ONLY_PREDICATES
+        self._restriction_properties = properties
+        self._restriction_depth = depth
+        self._has_restrictions = bool(expressions)
+        # Only the classification direction matters for monotonicity: the
+        # consequence direction (complex_superclasses) derives triples from
+        # established named-class membership, which additions never revoke.
+        self._monotone_classification = all(
+            _expression_is_monotone(axiom.expression) for axiom in axioms.equivalences
+        ) and all(
+            _expression_is_monotone(expr) for expr, _ in axioms.complex_subclasses
+        )
 
     # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
     def run(self) -> Graph:
-        """Return a new graph containing the input plus all inferred triples."""
+        """Return a new graph containing the input plus all inferred triples.
+
+        Semi-naive evaluation: the first round treats every input triple as
+        the delta; later rounds only process what the previous round derived.
+        """
         start = time.perf_counter()
         working = self.base_graph.copy()
-        self.report.input_triples = len(self.base_graph)
+        self.report = ReasoningReport(input_triples=len(self.base_graph))
+
+        self._materialise_schema(working)
+        self.report.iterations = self._fixpoint(working, list(working), initial=True)
+        self.report.inferred_triples = len(working) - self.report.input_triples
+        self.report.elapsed_seconds = time.perf_counter() - start
+
+        if self.check_consistency:
+            self._check_consistency(working)
+        return working
+
+    def extend(self, closure: Graph, added_triples: Iterable[Triple]) -> Graph:
+        """Incrementally grow an existing materialised ``closure`` in place.
+
+        ``closure`` must be a fixed point under this reasoner's axioms (a
+        previous :meth:`run` / :meth:`extend` result) and ``added_triples``
+        the newly asserted base triples; afterwards ``closure`` equals a
+        full :meth:`run` over *base + added*.  Work is proportional to the
+        consequences of the delta — plus, when the delta reaches restriction
+        machinery, one type-index pass over the closure — unless the delta
+        carries schema triples (new axioms), in which case the axiom index
+        is rebuilt from the extended graph and everything is re-closed.
+
+        Incremental extension requires every classification axiom to be
+        monotone (see :attr:`supports_incremental_extension`): closed-world
+        expressions like ``allValuesFrom`` / ``complementOf`` can be
+        *invalidated* by additions, which a forward pass cannot retract.
+        A :class:`ValueError` is raised otherwise — including when the delta
+        itself introduces such an axiom, in which case ``closure`` has
+        already been partially mutated and must be discarded.  (The cache
+        layer checks the flag up front and falls back to a full
+        materialisation from the asserted graph instead.)
+
+        The caller owns ``closure``: pass a private copy when the original
+        (e.g. a shared cache entry) must stay untouched.
+        """
+        if not self._monotone_classification:
+            raise ValueError(
+                "incremental extension is unsound for closed-world "
+                "(allValuesFrom/complementOf) classification axioms; "
+                "re-run the reasoner over the asserted graph instead"
+            )
+        start = time.perf_counter()
+        self.report = ReasoningReport(input_triples=len(closure))
+        schema_changed = False
+        journal = closure.start_journal()
+        try:
+            fresh: List[Triple] = []
+            for triple in added_triples:
+                before = len(closure)
+                closure.add(triple)
+                if len(closure) > before:
+                    fresh.append(triple)
+            if fresh:
+                if any(self._is_schema_triple(triple) for triple in fresh):
+                    # New axioms can re-fire any rule against any old triple, so
+                    # a delta-proportional update is unsound here: rebuild the
+                    # index and re-close everything.
+                    schema_changed = True
+                    self.axioms = AxiomIndex.from_graph(closure)
+                    self._prepare_axiom_state()
+                    if not self._monotone_classification:
+                        raise ValueError(
+                            "the delta introduces closed-world classification "
+                            "axioms; the closure cannot be extended in place — "
+                            "re-run the reasoner over the asserted graph"
+                        )
+                    self._materialise_schema(closure)
+                    self.report.iterations = self._fixpoint(closure, list(closure), initial=True)
+                else:
+                    self.report.iterations = self._fixpoint(closure, fresh)
+            all_added = journal.added()
+        finally:
+            journal.close()
+        self.report.inferred_triples = len(closure) - self.report.input_triples
+        self.report.elapsed_seconds = time.perf_counter() - start
+        if self.check_consistency:
+            if schema_changed:
+                self._check_consistency(closure)
+            else:
+                # New violations need a newly added type, so only re-check
+                # individuals the extension typed.
+                self._check_consistency(
+                    closure, {s for s, p, _ in all_added if p == RDF_TYPE})
+        return closure
+
+    @property
+    def supports_incremental_extension(self) -> bool:
+        """``True`` when :meth:`extend` is sound under the current axioms
+        (every classification axiom is monotone)."""
+        return self._monotone_classification
+
+    @staticmethod
+    def _is_schema_triple(triple: Triple) -> bool:
+        _, p, o = triple
+        return p in _SCHEMA_PREDICATES or (p == RDF_TYPE and o in _SCHEMA_TYPES)
+
+    def run_naive(self) -> Graph:
+        """The original naive fixed-point loop (re-applies every rule family
+        over the entire graph each iteration).
+
+        Kept as the reference oracle for the differential test suite and the
+        scaling benchmarks; :meth:`run` must produce the identical closure.
+        """
+        start = time.perf_counter()
+        working = self.base_graph.copy()
+        self.report = ReasoningReport(input_triples=len(self.base_graph))
 
         self._materialise_schema(working)
 
@@ -104,9 +372,9 @@ class Reasoner:
         while changed and iteration < self.max_iterations:
             iteration += 1
             before = len(working)
-            self._apply_property_rules(working)
-            self._apply_type_rules(working)
-            self._apply_restriction_rules(working)
+            self._naive_property_rules(working)
+            self._naive_type_rules(working)
+            self._naive_restriction_rules(working)
             changed = len(working) > before
         self.report.iterations = iteration
         self.report.inferred_triples = len(working) - self.report.input_triples
@@ -115,6 +383,39 @@ class Reasoner:
         if self.check_consistency:
             self._check_consistency(working)
         return working
+
+    # ------------------------------------------------------------------
+    # Semi-naive fixpoint
+    # ------------------------------------------------------------------
+    def _fixpoint(self, graph: Graph, delta: Sequence[Triple], initial: bool = False) -> int:
+        """Drive rule rounds until no rule derives a new triple.
+
+        Each round hands the previous round's additions to every rule family;
+        triples a family adds are seen by the other families next round (the
+        round granularity only affects how firings are batched, not the fixed
+        point).  ``initial`` marks a round whose delta is the whole graph, so
+        restriction classification can skip candidate discovery and check
+        every individual, exactly like the naive first iteration.
+        """
+        iteration = 0
+        ancestor_cache: Dict[IRI, Set[IRI]] = {}
+        # The shared type index is built lazily — only once restriction rules
+        # actually have candidates — and _add_all keeps it fresh as rules
+        # fire, so restriction rounds never rescan the graph and deltas that
+        # touch no restriction machinery skip the build entirely.
+        self._active_type_index = None
+        try:
+            while delta and iteration < self.max_iterations:
+                iteration += 1
+                out: List[Triple] = []
+                self._apply_property_rules(graph, delta, out)
+                self._apply_type_rules(graph, delta, out, ancestor_cache)
+                self._apply_restriction_rules(
+                    graph, delta, out, check_everything=initial and iteration == 1)
+                delta = out
+        finally:
+            self._active_type_index = None
+        return iteration
 
     # ------------------------------------------------------------------
     # Schema closure
@@ -137,9 +438,242 @@ class Reasoner:
         self.report.record("schema-closure", added)
 
     # ------------------------------------------------------------------
-    # Property-centric rules
+    # Property-centric rules (delta-driven)
     # ------------------------------------------------------------------
-    def _apply_property_rules(self, graph: Graph) -> None:
+    def _apply_property_rules(self, graph: Graph, delta: Sequence[Triple],
+                              out: List[Triple]) -> None:
+        """Fire the property rules for the delta, joining it against ``graph``."""
+        axioms = self.axioms
+        sub_adds: List[Triple] = []
+        inv_adds: List[Triple] = []
+        sym_adds: List[Triple] = []
+        trans_adds: List[Triple] = []
+        chain_adds: List[Triple] = []
+
+        for s, p, o in delta:
+            # Sub-property propagation: (x p y), p ⊑ q  =>  (x q y)
+            supers = self._superproperties.get(p)
+            if supers:
+                for sup in supers:
+                    sub_adds.append((s, sup, o))
+            if isinstance(o, Literal):
+                continue
+            # Inverse properties: (x p y), p inverseOf q  =>  (y q x)
+            for inverse in axioms.inverse_of.get(p, ()):
+                inv_adds.append((o, inverse, s))
+            # Symmetric properties.
+            if p in axioms.symmetric:
+                sym_adds.append((o, p, s))
+            # Transitive properties: join the new edge with the closure on
+            # both sides; multi-hop paths cascade through later rounds.
+            if p in axioms.transitive:
+                for nxt in graph.objects(o, p):
+                    if not isinstance(nxt, Literal):
+                        trans_adds.append((s, p, nxt))
+                for prev in graph.subjects(p, s):
+                    trans_adds.append((prev, p, o))
+            # Property chains: p1 o p2 ⊑ q — plug the new edge into every
+            # position it can occupy and walk the rest of the chain in the graph.
+            for head, chain, position in self._chain_steps.get(p, ()):
+                for left, right in self._chain_matches(graph, chain, position, s, o):
+                    chain_adds.append((left, head, right))
+
+        self._add_all(graph, sub_adds, "subPropertyOf", out)
+        self._add_all(graph, inv_adds, "inverseOf", out)
+        self._add_all(graph, sym_adds, "symmetric", out)
+        self._add_all(graph, trans_adds, "transitive", out)
+        self._add_all(graph, chain_adds, "propertyChain", out)
+
+    def _chain_matches(self, graph: Graph, chain: List[IRI], position: int,
+                       s, o) -> List[Tuple[object, object]]:
+        """(start, end) pairs completed by the edge ``(s, chain[position], o)``."""
+        lefts: Set[object] = {s}
+        for step in reversed(chain[:position]):
+            previous: Set[object] = set()
+            for node in lefts:
+                previous.update(graph.subjects(step, node))
+            lefts = previous
+            if not lefts:
+                return []
+        rights: Set[object] = {o}
+        for step in chain[position + 1:]:
+            following: Set[object] = set()
+            for node in rights:
+                for value in graph.objects(node, step):
+                    if not isinstance(value, Literal):
+                        following.add(value)
+            rights = following
+            if not rights:
+                return []
+        return [(left, right) for left in lefts for right in rights]
+
+    # ------------------------------------------------------------------
+    # Type-centric rules (delta-driven)
+    # ------------------------------------------------------------------
+    def _apply_type_rules(self, graph: Graph, delta: Sequence[Triple],
+                          out: List[Triple],
+                          ancestor_cache: Dict[IRI, Set[IRI]]) -> None:
+        axioms = self.axioms
+        dr_adds: List[Triple] = []
+        type_adds: List[Triple] = []
+        for s, p, o in delta:
+            # Domain / range typing.
+            for domain in axioms.domains.get(p, ()):
+                dr_adds.append((s, RDF_TYPE, domain))
+            if not isinstance(o, Literal):
+                for range_ in axioms.ranges.get(p, ()):
+                    dr_adds.append((o, RDF_TYPE, range_))
+            # Type propagation along the class hierarchy (static per fixpoint:
+            # no rule derives subClassOf, so the ancestor cache stays valid).
+            if p == RDF_TYPE and isinstance(o, IRI):
+                ancestors = ancestor_cache.get(o)
+                if ancestors is None:
+                    ancestors = {
+                        ancestor
+                        for ancestor in graph.objects(o, RDFS_SUBCLASSOF)
+                        if isinstance(ancestor, IRI)
+                    }
+                    ancestors |= axioms.superclass_closure(o) - {o}
+                    ancestor_cache[o] = ancestors
+                for ancestor in ancestors:
+                    type_adds.append((s, RDF_TYPE, ancestor))
+        self._add_all(graph, dr_adds, "domain-range", out)
+        self._add_all(graph, type_adds, "subClassOf-types", out)
+
+    # ------------------------------------------------------------------
+    # Restriction / expression classification (delta-driven)
+    # ------------------------------------------------------------------
+    def _type_index(self, graph: Graph) -> Dict[object, Set[IRI]]:
+        index: Dict[object, Set[IRI]] = {}
+        for s, _, o in graph.triples((None, RDF_TYPE, None)):
+            if isinstance(o, IRI):
+                index.setdefault(s, set()).add(o)
+        return index
+
+    def _individuals(self, graph: Graph) -> Set[object]:
+        individuals: Set[object] = set()
+        for s, p, o in graph:
+            if p in _SCHEMA_ONLY_PREDICATES:
+                continue
+            if isinstance(s, (IRI, BNode)):
+                individuals.add(s)
+            if p == RDF_TYPE:
+                continue
+            if isinstance(o, (IRI, BNode)):
+                individuals.add(o)
+        return individuals
+
+    def _restriction_candidates(self, graph: Graph, delta: Sequence[Triple]) -> Set[object]:
+        """Individuals whose class-expression membership may have changed.
+
+        Every expression's verdict for an individual depends only on triples
+        of nodes within :func:`_expression_levels` property hops of it, so
+        the touched nodes of the delta, expanded that many hops backwards
+        through the restriction properties, form a sound candidate set.
+        Candidate collection mirrors :meth:`_individuals` so no node that the
+        naive pass would skip (e.g. a class appearing only as a type object)
+        can be classified here.
+        """
+        nodes: Set[object] = set()
+        for s, p, o in delta:
+            if p in _SCHEMA_ONLY_PREDICATES:
+                continue
+            if isinstance(s, (IRI, BNode)):
+                nodes.add(s)
+            if p != RDF_TYPE and isinstance(o, (IRI, BNode)):
+                nodes.add(o)
+        properties = self._restriction_properties
+        frontier = set(nodes)
+        for _ in range(self._restriction_depth):
+            if not frontier:
+                break
+            reached: Set[object] = set()
+            for node in frontier:
+                for subject, predicate in graph.subject_predicates(node):
+                    if predicate in properties and subject not in nodes:
+                        nodes.add(subject)
+                        reached.add(subject)
+            frontier = reached
+        return nodes
+
+    def _apply_restriction_rules(self, graph: Graph, delta: Sequence[Triple],
+                                 out: List[Triple],
+                                 check_everything: bool = False) -> None:
+        if not self._has_restrictions:
+            return
+        if check_everything:
+            candidates = self._individuals(graph)
+        else:
+            candidates = self._restriction_candidates(graph, delta)
+            if not candidates:
+                return
+        type_index = self._active_type_index
+        if type_index is None:
+            # First round with candidates: build once (additions since the
+            # fixpoint started are already in the graph, so they're covered);
+            # _add_all maintains it from here on.
+            type_index = self._active_type_index = self._type_index(graph)
+
+        # (a) classification: expression ≡/⊒ named class — if an individual
+        # satisfies the expression it gains the named type.
+        additions: List[Triple] = []
+        for axiom in self.axioms.equivalences:
+            for individual in candidates:
+                if axiom.named in type_index.get(individual, set()):
+                    continue
+                if axiom.expression.matches(graph, individual, type_index):
+                    additions.append((individual, RDF_TYPE, axiom.named))
+        for expression, named in self.axioms.complex_subclasses:
+            for individual in candidates:
+                if named in type_index.get(individual, set()):
+                    continue
+                if expression.matches(graph, individual, type_index):
+                    additions.append((individual, RDF_TYPE, named))
+        self._add_all(graph, additions, "classification", out)
+
+        # (b) consequence direction: named class ⊑ expression.  _add_all has
+        # already folded the (a) classifications into the shared type index.
+        additions = []
+        for axiom in self.axioms.complex_superclasses:
+            for member in candidates:
+                if axiom.sub in type_index.get(member, ()):
+                    additions.extend(self._expression_consequences(
+                        graph, member, axiom.super_expression, type_index))
+        self._add_all(graph, additions, "restriction-consequences", out)
+
+    def _expression_consequences(
+        self,
+        graph: Graph,
+        individual,
+        expression: ClassExpression,
+        type_index,
+    ) -> List[Triple]:
+        """Triples entailed by ``individual`` being an instance of ``expression``."""
+        out: List[Triple] = []
+        if isinstance(expression, HasValue):
+            out.append((individual, expression.property, expression.value))
+        elif isinstance(expression, AllValuesFrom):
+            filler = expression.filler
+            if isinstance(filler, NamedClass):
+                for _, _, value in graph.triples((individual, expression.property, None)):
+                    if not isinstance(value, Literal):
+                        out.append((value, RDF_TYPE, filler.iri))
+        elif isinstance(expression, IntersectionOf):
+            for operand in expression.operands:
+                if isinstance(operand, NamedClass):
+                    out.append((individual, RDF_TYPE, operand.iri))
+                else:
+                    out.extend(self._expression_consequences(graph, individual, operand, type_index))
+        elif isinstance(expression, NamedClass):
+            out.append((individual, RDF_TYPE, expression.iri))
+        # SomeValuesFrom / UnionOf have no deterministic consequences without
+        # introducing fresh individuals (beyond OWL-RL), so they are skipped.
+        return out
+
+    # ------------------------------------------------------------------
+    # Naive rule families (reference oracle for run_naive)
+    # ------------------------------------------------------------------
+    def _naive_property_rules(self, graph: Graph) -> None:
         additions: List[Triple] = []
 
         # Sub-property propagation: (x p y), p ⊑ q  =>  (x q y)
@@ -179,8 +713,7 @@ class Reasoner:
                 successors.setdefault(s, set()).add(o)
             for s, o in pairs:
                 for nxt in successors.get(o, ()):
-                    if nxt != s or True:  # keep reflexive results out of loops below
-                        additions.append((s, prop, nxt))
+                    additions.append((s, prop, nxt))
         self._add_all(graph, additions, "transitive")
 
         # Property chains: p1 o p2 ⊑ q.
@@ -211,10 +744,7 @@ class Reasoner:
             current = joined
         return current or set()
 
-    # ------------------------------------------------------------------
-    # Type-centric rules
-    # ------------------------------------------------------------------
-    def _apply_type_rules(self, graph: Graph) -> None:
+    def _naive_type_rules(self, graph: Graph) -> None:
         additions: List[Triple] = []
 
         # Domain / range typing.
@@ -249,36 +779,10 @@ class Reasoner:
                 additions.append((individual, RDF_TYPE, ancestor))
         self._add_all(graph, additions, "subClassOf-types")
 
-    # ------------------------------------------------------------------
-    # Restriction / expression classification
-    # ------------------------------------------------------------------
-    def _type_index(self, graph: Graph) -> Dict[object, Set[IRI]]:
-        index: Dict[object, Set[IRI]] = {}
-        for s, _, o in graph.triples((None, RDF_TYPE, None)):
-            if isinstance(o, IRI):
-                index.setdefault(s, set()).add(o)
-        return index
-
-    def _individuals(self, graph: Graph) -> Set[object]:
-        individuals: Set[object] = set()
-        schema_preds = {RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF}
-        for s, p, o in graph:
-            if p in schema_preds:
-                continue
-            if isinstance(s, (IRI, BNode)):
-                individuals.add(s)
-            if p == RDF_TYPE:
-                continue
-            if isinstance(o, (IRI, BNode)):
-                individuals.add(o)
-        return individuals
-
-    def _apply_restriction_rules(self, graph: Graph) -> None:
+    def _naive_restriction_rules(self, graph: Graph) -> None:
         type_index = self._type_index(graph)
         individuals = self._individuals(graph)
 
-        # (a) classification: expression ≡/⊒ named class — if an individual
-        # satisfies the expression it gains the named type.
         additions: List[Triple] = []
         for axiom in self.axioms.equivalences:
             for individual in individuals:
@@ -294,7 +798,6 @@ class Reasoner:
                     additions.append((individual, RDF_TYPE, named))
         self._add_all(graph, additions, "classification")
 
-        # (b) consequence direction: named class ⊑ expression.
         type_index = self._type_index(graph)
         additions = []
         for axiom in self.axioms.complex_superclasses:
@@ -305,38 +808,20 @@ class Reasoner:
                 additions.extend(self._expression_consequences(graph, member, axiom.super_expression, type_index))
         self._add_all(graph, additions, "restriction-consequences")
 
-    def _expression_consequences(
-        self,
-        graph: Graph,
-        individual,
-        expression: ClassExpression,
-        type_index,
-    ) -> List[Triple]:
-        """Triples entailed by ``individual`` being an instance of ``expression``."""
-        out: List[Triple] = []
-        if isinstance(expression, HasValue):
-            out.append((individual, expression.property, expression.value))
-        elif isinstance(expression, AllValuesFrom):
-            filler = expression.filler
-            if isinstance(filler, NamedClass):
-                for _, _, value in graph.triples((individual, expression.property, None)):
-                    if not isinstance(value, Literal):
-                        out.append((value, RDF_TYPE, filler.iri))
-        elif isinstance(expression, IntersectionOf):
-            for operand in expression.operands:
-                if isinstance(operand, NamedClass):
-                    out.append((individual, RDF_TYPE, operand.iri))
-                else:
-                    out.extend(self._expression_consequences(graph, individual, operand, type_index))
-        elif isinstance(expression, NamedClass):
-            out.append((individual, RDF_TYPE, expression.iri))
-        # SomeValuesFrom / UnionOf have no deterministic consequences without
-        # introducing fresh individuals (beyond OWL-RL), so they are skipped.
-        return out
-
     # ------------------------------------------------------------------
-    def _check_consistency(self, graph: Graph) -> None:
-        type_index = self._type_index(graph)
+    def _check_consistency(self, graph: Graph,
+                           individuals: Optional[Set[object]] = None) -> None:
+        """Raise on disjointness violations; ``individuals`` scopes the check."""
+        if individuals is None:
+            type_index = self._type_index(graph)
+        else:
+            if not individuals:
+                return
+            type_index = {
+                individual: {o for o in graph.objects(individual, RDF_TYPE)
+                             if isinstance(o, IRI)}
+                for individual in individuals
+            }
         for left, right in self.axioms.disjoint_classes:
             for individual, types in type_index.items():
                 if left in types and right in types:
@@ -348,13 +833,25 @@ class Reasoner:
                 raise InconsistentOntologyError(f"{individual} is typed owl:Nothing")
 
     # ------------------------------------------------------------------
-    def _add_all(self, graph: Graph, triples: Iterable[Triple], rule: str) -> None:
-        before = len(graph)
-        for s, p, o in triples:
+    def _add_all(self, graph: Graph, triples: Iterable[Triple], rule: str,
+                 out: Optional[List[Triple]] = None) -> None:
+        """Add ``triples``, counting effective firings; ``out`` collects the
+        genuinely new triples as the next round's delta."""
+        added = 0
+        type_index = self._active_type_index
+        for triple in triples:
+            s, p, o = triple
             if s == o and p in (OWL_SAME_AS,):
                 continue
-            graph.add((s, p, o))
-        self.report.record(rule, len(graph) - before)
+            before = len(graph)
+            graph.add(triple)
+            if len(graph) > before:
+                added += 1
+                if out is not None:
+                    out.append(triple)
+                if type_index is not None and p == RDF_TYPE and isinstance(o, IRI):
+                    type_index.setdefault(s, set()).add(o)
+        self.report.record(rule, added)
 
     # ------------------------------------------------------------------
     def inferred_only(self) -> Graph:

@@ -9,7 +9,7 @@ namespace management and blank-node-aware graph comparison).
 
 from .collection import make_collection, read_collection
 from .compare import graph_diff, isomorphic
-from .graph import Graph, ReadOnlyGraphUnion, Triple
+from .graph import ChangeJournal, Graph, ReadOnlyGraphUnion, Triple
 from .namespace import (
     DC,
     DEFAULT_PREFIXES,
@@ -48,6 +48,7 @@ from .terms import (
 
 __all__ = [
     "BNode",
+    "ChangeJournal",
     "DC",
     "DEFAULT_PREFIXES",
     "EO",

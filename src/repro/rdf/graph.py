@@ -5,6 +5,11 @@ any triple pattern with at least one bound position is answered by a
 dictionary lookup rather than a scan.  This is the store that the OWL
 reasoner materialises into and the SPARQL engine evaluates against, so
 pattern-matching performance matters for the scaling benchmarks.
+
+Mutations can be observed through a :class:`ChangeJournal`
+(:meth:`Graph.start_journal`): callers capture "what was added since the
+closure was built" and hand that delta to the incremental reasoning path
+(:meth:`repro.owl.reasoner.Reasoner.extend`) instead of re-materialising.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Un
 from .namespace import RDF, NamespaceManager
 from .terms import BNode, IRI, Literal, Term
 
-__all__ = ["Triple", "Graph", "ReadOnlyGraphUnion"]
+__all__ = ["Triple", "Graph", "ChangeJournal", "ReadOnlyGraphUnion"]
 
 Node = Union[IRI, BNode, Literal]
 Triple = Tuple[Node, IRI, Node]
@@ -33,6 +38,74 @@ def _check_term(term: Any, position: str, allow_literal: bool) -> Node:
     )
 
 
+class ChangeJournal:
+    """The net triple changes made to one :class:`Graph` since a point in time.
+
+    Obtained from :meth:`Graph.start_journal`.  Only *effective* mutations
+    are recorded (adding a triple the graph already holds, or removing an
+    absent one, is invisible), and an add followed by a remove of the same
+    triple cancels out — :meth:`added` and :meth:`removed` always describe
+    the net difference from the graph state at journal start, in first-change
+    order.  Journals are cheap; the graph pays one list walk per effective
+    mutation only while at least one journal is attached.
+
+    Usable as a context manager::
+
+        with graph.start_journal() as journal:
+            graph.add(...)
+        delta = journal.added()
+    """
+
+    def __init__(self, graph: "Graph") -> None:
+        self._graph: Optional["Graph"] = graph
+        self._added: Dict[Triple, None] = {}
+        self._removed: Dict[Triple, None] = {}
+
+    # Called by Graph on effective mutations only.
+    def _record_add(self, triple: Triple) -> None:
+        if triple in self._removed:
+            del self._removed[triple]
+        else:
+            self._added[triple] = None
+
+    def _record_remove(self, triple: Triple) -> None:
+        if triple in self._added:
+            del self._added[triple]
+        else:
+            self._removed[triple] = None
+
+    # ------------------------------------------------------------------
+    def added(self) -> Tuple[Triple, ...]:
+        """Triples present now but not at journal start."""
+        return tuple(self._added)
+
+    def removed(self) -> Tuple[Triple, ...]:
+        """Triples present at journal start but not now."""
+        return tuple(self._removed)
+
+    @property
+    def clean(self) -> bool:
+        """``True`` when the graph is (net) unchanged since journal start."""
+        return not self._added and not self._removed
+
+    @property
+    def active(self) -> bool:
+        """``True`` until :meth:`close` detaches the journal from its graph."""
+        return self._graph is not None
+
+    def close(self) -> None:
+        """Stop recording; the captured delta stays readable."""
+        if self._graph is not None:
+            self._graph._journals.remove(self)
+            self._graph = None
+
+    def __enter__(self) -> "ChangeJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 class Graph:
     """A set of RDF triples with SPO/POS/OSP indexes and namespace bindings."""
 
@@ -47,6 +120,7 @@ class Graph:
         # fingerprint() is O(1).  XOR is its own inverse, so add/remove of
         # the same triple cancel out exactly.
         self._content_hash: int = 0
+        self._journals: List[ChangeJournal] = []
 
     # ------------------------------------------------------------------
     # Mutation
@@ -67,6 +141,9 @@ class Graph:
         self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        if self._journals:
+            for journal in self._journals:
+                journal._record_add(triple)
         return self
 
     def addN(self, triples: Iterable[Triple]) -> "Graph":
@@ -102,6 +179,9 @@ class Graph:
             del self._osp[o][s]
             if not self._osp[o]:
                 del self._osp[o]
+        if self._journals:
+            for journal in self._journals:
+                journal._record_remove(triple)
 
     def set(self, triple: Triple) -> "Graph":
         """Replace any existing ``(s, p, *)`` triples with the given one."""
@@ -111,11 +191,26 @@ class Graph:
 
     def clear(self) -> None:
         """Remove every triple (namespace bindings are kept)."""
+        if self._journals:
+            for triple in self._triples:
+                for journal in self._journals:
+                    journal._record_remove(triple)
         self._triples.clear()
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._content_hash = 0
+
+    def start_journal(self) -> ChangeJournal:
+        """Attach and return a :class:`ChangeJournal` recording net mutations.
+
+        Several journals can be active at once; :meth:`copy` does not carry
+        journals over to the clone.  Close the journal when done so the
+        graph stops paying the per-mutation recording cost.
+        """
+        journal = ChangeJournal(self)
+        self._journals.append(journal)
+        return journal
 
     def fingerprint(self) -> Tuple[int, int]:
         """A cheap ``(size, content-hash)`` key identifying the graph's contents.
@@ -276,10 +371,22 @@ class Graph:
     # Set operations
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        """Return an independent graph with the same triples and namespaces."""
+        """Return an independent graph with the same triples and namespaces.
+
+        The permutation indexes are copied structurally (no per-triple
+        validation or re-hashing), so copying is much cheaper than
+        re-adding; journals are not carried over to the clone.
+        """
         clone = Graph(identifier=self.identifier)
         clone.namespace_manager = self.namespace_manager.copy()
-        clone.addN(self._triples)
+        clone._triples = set(self._triples)
+        clone._content_hash = self._content_hash
+        clone._spo = {s: {p: set(objs) for p, objs in by_pred.items()}
+                      for s, by_pred in self._spo.items()}
+        clone._pos = {p: {o: set(subjs) for o, subjs in by_obj.items()}
+                      for p, by_obj in self._pos.items()}
+        clone._osp = {o: {s: set(preds) for s, preds in by_subj.items()}
+                      for o, by_subj in self._osp.items()}
         return clone
 
     def __add__(self, other: "Graph") -> "Graph":

@@ -76,6 +76,7 @@ class ServiceStats:
     requests_served: int = 0
     scenario_cache_hits: int = 0
     scenario_cache_misses: int = 0
+    scenario_updates: int = 0
     closure_cache: Dict[str, int] = field(default_factory=dict)
     prepared_query_cache: Dict[str, int] = field(default_factory=dict)
     active_sessions: int = 0
@@ -86,9 +87,11 @@ class ServiceStats:
             f"requests served:        {self.requests_served}",
             f"scenario cache:         {self.scenario_cache_hits} hits / "
             f"{self.scenario_cache_misses} misses",
+            f"scenario updates:       {self.scenario_updates}",
             f"closure cache:          {self.closure_cache.get('hits', 0)} hits / "
             f"{self.closure_cache.get('misses', 0)} misses "
-            f"({self.closure_cache.get('size', 0)} entries)",
+            f"({self.closure_cache.get('size', 0)} entries, "
+            f"{self.closure_cache.get('extensions', 0)} incremental extensions)",
             f"prepared-query cache:   {self.prepared_query_cache.get('hits', 0)} hits / "
             f"{self.prepared_query_cache.get('misses', 0)} misses "
             f"({self.prepared_query_cache.get('size', 0)} entries, process-wide)",

@@ -72,10 +72,15 @@ class ExplanationService:
         self.default_persona = default_persona
         self._scenarios: "OrderedDict[ScenarioKey, Scenario]" = OrderedDict()
         self._scenario_lock = threading.Lock()
+        # Serialises update_scenario's fetch-grow-publish sequence so two
+        # concurrent updates to one session cannot drop each other's facts;
+        # plain serving never takes this lock.
+        self._update_lock = threading.Lock()
         self.max_cached_scenarios = max_cached_scenarios
         self.requests_served = 0
         self.scenario_cache_hits = 0
         self.scenario_cache_misses = 0
+        self.scenario_updates = 0
 
     # ------------------------------------------------------------------
     # Engine access / warm-up
@@ -206,6 +211,63 @@ class ExplanationService:
             user=user, context=context, explanation_type=explanation_type,
         ))
 
+    def update_scenario(
+        self,
+        question: str,
+        session_id: Optional[str] = None,
+        persona: Optional[str] = None,
+        user: Optional[UserProfile] = None,
+        context: Optional[SystemContext] = None,
+        *,
+        likes: Sequence[str] = (),
+        dislikes: Sequence[str] = (),
+        allergies: Sequence[str] = (),
+        diets: Sequence[str] = (),
+        conditions: Sequence[str] = (),
+        goals: Sequence[str] = (),
+        recommendation=None,
+    ) -> Scenario:
+        """Mutate a live scenario (new restriction/preference/recommendation)
+        without rebuilding it.
+
+        The scenario for ``question`` under the addressed user is fetched
+        from (or, on a first ask, built into) the scenario cache, grown
+        incrementally through the engine's delta-driven closure path, and
+        re-cached under the updated profile.  **Durability depends on the
+        addressing mode**: a session-addressed update advances the session's
+        profile, so follow-up asks on that session resolve to the grown
+        profile and hit the updated entry; persona- or explicit-user
+        addressed updates cannot rewrite their (immutable) source profile —
+        later asks under the same persona still serve the original scenario,
+        and the caller should keep using the returned updated
+        :class:`Scenario` (or ask with ``user=updated.user``) to see the new
+        facts.  Returns the updated scenario.
+        """
+        request = ExplanationRequest(
+            question=question, session_id=session_id, persona=persona,
+            user=user, context=context,
+        )
+        with self._update_lock:
+            resolved_user, resolved_context, session = self._resolve(request)
+            parsed = parse_question(question)
+            scenario, _ = self._scenario(parsed, resolved_user, resolved_context)
+            updated = self.engine.update_scenario(
+                scenario,
+                likes=likes, dislikes=dislikes, allergies=allergies,
+                diets=diets, conditions=conditions, goals=goals,
+                recommendation=recommendation,
+            )
+            with self._scenario_lock:
+                self.scenario_updates += 1
+                key: ScenarioKey = (parsed, updated.user, resolved_context)
+                self._scenarios[key] = updated
+                self._scenarios.move_to_end(key)
+                while len(self._scenarios) > self.max_cached_scenarios:
+                    self._scenarios.popitem(last=False)
+            if session is not None:
+                session.user = updated.user
+        return updated
+
     def explain_batch(self, requests: Sequence[ExplanationRequest]) -> List[ExplanationResponse]:
         """Serve a batch, amortising scenario construction across requests.
 
@@ -271,6 +333,7 @@ class ExplanationService:
             requests_served=self.requests_served,
             scenario_cache_hits=self.scenario_cache_hits,
             scenario_cache_misses=self.scenario_cache_misses,
+            scenario_updates=self.scenario_updates,
             closure_cache=closure.stats() if closure is not None else {},
             prepared_query_cache=prepared_cache().stats(),
             active_sessions=len(self.registry),

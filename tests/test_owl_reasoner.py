@@ -206,6 +206,143 @@ class TestClassification:
         assert (ex("ann"), RDF_TYPE, ex("Person")) in inferred
 
 
+class TestPerRuleRegression:
+    """Minimal graphs per rule family, pinning the exact inferred triple set
+    and the :class:`ReasoningReport` rule-firing counts.
+
+    These fixtures freeze the semi-naive engine's per-rule behaviour: any
+    change to what a rule derives *or* to how its firings are attributed
+    shows up here before it can hide inside a large closure.
+    """
+
+    @staticmethod
+    def infer(ttl: str):
+        graph = Graph()
+        graph.bind("ex", EX)
+        graph.parse(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n" + ttl
+        )
+        reasoner = Reasoner(graph)
+        closed = reasoner.run()
+        return set(closed) - set(graph), reasoner.report
+
+    def test_subclass_transitivity_and_type_propagation(self):
+        inferred, report = self.infer("""
+        ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C .
+        ex:x a ex:A .
+        """)
+        assert inferred == {
+            (ex("A"), RDFS_SUBCLASSOF, ex("C")),
+            (ex("x"), RDF_TYPE, ex("B")),
+            (ex("x"), RDF_TYPE, ex("C")),
+        }
+        assert report.rule_firings == {"schema-closure": 1, "subClassOf-types": 2}
+
+    def test_subproperty_closure_and_propagation(self):
+        inferred, report = self.infer("""
+        ex:hasMother rdfs:subPropertyOf ex:hasParent .
+        ex:hasParent rdfs:subPropertyOf ex:hasAncestor .
+        ex:amy ex:hasMother ex:beth .
+        """)
+        assert inferred == {
+            (ex("hasMother"), RDFS_SUBPROPERTYOF, ex("hasAncestor")),
+            (ex("amy"), ex("hasParent"), ex("beth")),
+            (ex("amy"), ex("hasAncestor"), ex("beth")),
+        }
+        assert report.rule_firings == {"schema-closure": 1, "subPropertyOf": 2}
+
+    def test_inverse_property(self):
+        inferred, report = self.infer("""
+        ex:hasChild owl:inverseOf ex:hasParent .
+        ex:ann ex:hasChild ex:bo .
+        """)
+        assert inferred == {(ex("bo"), ex("hasParent"), ex("ann"))}
+        assert report.rule_firings == {"inverseOf": 1}
+
+    def test_symmetric_property(self):
+        inferred, report = self.infer("""
+        ex:marriedTo a owl:SymmetricProperty .
+        ex:ann ex:marriedTo ex:bo .
+        """)
+        assert inferred == {(ex("bo"), ex("marriedTo"), ex("ann"))}
+        assert report.rule_firings == {"symmetric": 1}
+
+    def test_transitive_property_closure(self):
+        inferred, report = self.infer("""
+        ex:partOf a owl:TransitiveProperty .
+        ex:a ex:partOf ex:b . ex:b ex:partOf ex:c . ex:c ex:partOf ex:d .
+        """)
+        assert inferred == {
+            (ex("a"), ex("partOf"), ex("c")),
+            (ex("a"), ex("partOf"), ex("d")),
+            (ex("b"), ex("partOf"), ex("d")),
+        }
+        assert report.rule_firings == {"transitive": 3}
+
+    def test_property_chain(self):
+        inferred, report = self.infer("""
+        ex:hasUncle owl:propertyChainAxiom ( ex:hasParent ex:hasBrother ) .
+        ex:kid ex:hasParent ex:mum . ex:mum ex:hasBrother ex:uncle .
+        """)
+        assert inferred == {(ex("kid"), ex("hasUncle"), ex("uncle"))}
+        assert report.rule_firings == {"propertyChain": 1}
+
+    def test_domain_and_range(self):
+        inferred, report = self.infer("""
+        ex:teaches rdfs:domain ex:Teacher . ex:teaches rdfs:range ex:Course .
+        ex:ann ex:teaches ex:math101 .
+        """)
+        assert inferred == {
+            (ex("ann"), RDF_TYPE, ex("Teacher")),
+            (ex("math101"), RDF_TYPE, ex("Course")),
+        }
+        assert report.rule_firings == {"domain-range": 2}
+
+    def test_has_value_classification(self):
+        inferred, report = self.infer("""
+        ex:RedThing owl:equivalentClass [ a owl:Restriction ;
+            owl:onProperty ex:color ; owl:hasValue ex:red ] .
+        ex:apple ex:color ex:red .
+        """)
+        assert inferred == {(ex("apple"), RDF_TYPE, ex("RedThing"))}
+        assert report.rule_firings == {"classification": 1}
+
+    def test_some_values_from_classification(self):
+        inferred, report = self.infer("""
+        ex:Parent owl:equivalentClass [ a owl:Restriction ;
+            owl:onProperty ex:hasChild ; owl:someValuesFrom ex:Person ] .
+        ex:kid a ex:Person .
+        ex:ann ex:hasChild ex:kid .
+        """)
+        assert inferred == {(ex("ann"), RDF_TYPE, ex("Parent"))}
+        assert report.rule_firings == {"classification": 1}
+
+    def test_all_values_from_consequence(self):
+        inferred, report = self.infer("""
+        ex:DogOwner rdfs:subClassOf [ a owl:Restriction ;
+            owl:onProperty ex:hasPet ; owl:allValuesFrom ex:Dog ] .
+        ex:ann a ex:DogOwner . ex:ann ex:hasPet ex:rex .
+        """)
+        assert inferred == {(ex("rex"), RDF_TYPE, ex("Dog"))}
+        assert report.rule_firings == {"restriction-consequences": 1}
+
+    def test_rule_interplay_chain_through_inverse(self):
+        """A derived (inverse) edge must feed the chain rule in a later round."""
+        inferred, report = self.infer("""
+        ex:childOf owl:inverseOf ex:hasChild .
+        ex:hasGrandparent owl:propertyChainAxiom ( ex:childOf ex:childOf ) .
+        ex:gran ex:hasChild ex:mum . ex:mum ex:hasChild ex:kid .
+        """)
+        assert inferred == {
+            (ex("mum"), ex("childOf"), ex("gran")),
+            (ex("kid"), ex("childOf"), ex("mum")),
+            (ex("kid"), ex("hasGrandparent"), ex("gran")),
+        }
+        assert report.rule_firings == {"inverseOf": 2, "propertyChain": 1}
+
+
 class TestReasonerBehaviour:
     def test_report_statistics(self):
         graph = Graph()

@@ -70,6 +70,127 @@ class TestGraphProperties:
         assert list(graph.triples((None, None, None))) == []
 
 
+#: A deliberately small term pool so random sequences collide: the same
+#: triple gets added, removed and re-added, which is exactly what stresses
+#: the index/journal bookkeeping.
+_small_iris = st.sampled_from([IRI(f"http://example.org/n{i}") for i in range(6)])
+_small_triples = st.tuples(_small_iris, _small_iris, st.one_of(_small_iris, st.sampled_from([Literal("v1"), Literal(2)])))
+_mutations = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), _small_triples),
+    max_size=80,
+)
+
+
+def _apply_mutations(graph, mutations):
+    """Mirror a mutation sequence into the graph and a reference set."""
+    reference = set()
+    for op, triple in mutations:
+        if op == "add":
+            graph.add(triple)
+            reference.add(triple)
+        else:
+            graph.remove(triple)
+            reference.discard(triple)
+    return reference
+
+
+class TestGraphIndexConsistency:
+    """Random add/remove sequences keep every index and derived view aligned.
+
+    These guard the invariants the incremental reasoning path leans on:
+    the SPO/POS/OSP permutation indexes, ``len``, ``fingerprint()`` and the
+    change journal must all tell the same story after any mutation history.
+    """
+
+    @given(_mutations)
+    @settings(max_examples=80, deadline=None)
+    def test_len_iteration_and_membership_match_reference(self, mutations):
+        graph = Graph()
+        reference = _apply_mutations(graph, mutations)
+        assert len(graph) == len(reference)
+        assert set(graph) == reference
+        for triple in reference:
+            assert triple in graph
+
+    @given(_mutations)
+    @settings(max_examples=80, deadline=None)
+    def test_permutation_indexes_stay_mutually_consistent(self, mutations):
+        graph = Graph()
+        reference = _apply_mutations(graph, mutations)
+        from_spo = {(s, p, o) for s, by_pred in graph._spo.items()
+                    for p, objs in by_pred.items() for o in objs}
+        from_pos = {(s, p, o) for p, by_obj in graph._pos.items()
+                    for o, subjs in by_obj.items() for s in subjs}
+        from_osp = {(s, p, o) for o, by_subj in graph._osp.items()
+                    for s, preds in by_subj.items() for p in preds}
+        assert from_spo == reference
+        assert from_pos == reference
+        assert from_osp == reference
+        # No empty husks left behind by removals.
+        assert all(objs for by_pred in graph._spo.values() for objs in by_pred.values())
+        assert all(subjs for by_obj in graph._pos.values() for subjs in by_obj.values())
+        assert all(preds for by_subj in graph._osp.values() for preds in by_subj.values())
+
+    @given(_mutations)
+    @settings(max_examples=80, deadline=None)
+    def test_every_pattern_shape_agrees_with_the_triple_set(self, mutations):
+        graph = Graph()
+        reference = _apply_mutations(graph, mutations)
+        for s, p, o in reference:
+            assert (s, p, o) in set(graph.triples((s, None, None)))
+            assert (s, p, o) in set(graph.triples((None, p, None)))
+            assert (s, p, o) in set(graph.triples((None, None, o)))
+            assert (s, p, o) in set(graph.triples((s, p, None)))
+            assert (s, p, o) in set(graph.triples((None, p, o)))
+        assert set(graph.triples((None, None, None))) == reference
+
+    @given(_mutations)
+    @settings(max_examples=80, deadline=None)
+    def test_fingerprint_depends_only_on_final_content(self, mutations):
+        graph = Graph()
+        reference = _apply_mutations(graph, mutations)
+        rebuilt = Graph()
+        rebuilt.addN(reference)
+        assert graph.fingerprint() == rebuilt.fingerprint()
+        assert graph.fingerprint()[0] == len(reference)
+
+    @given(_mutations, _mutations)
+    @settings(max_examples=60, deadline=None)
+    def test_journal_captures_the_net_delta(self, history, tracked):
+        graph = Graph()
+        _apply_mutations(graph, history)
+        before = set(graph)
+        journal = graph.start_journal()
+        _apply_mutations(graph, tracked)
+        after = set(graph)
+        assert set(journal.added()) == after - before
+        assert set(journal.removed()) == before - after
+        assert journal.clean == (after == before)
+        journal.close()
+        assert not journal.active
+        # Closed journals stop recording but keep their delta readable.
+        graph.add((IRI("http://example.org/post"), IRI("http://example.org/p"),
+                   IRI("http://example.org/o")))
+        assert set(journal.added()) == after - before
+
+    @given(_mutations)
+    @settings(max_examples=40, deadline=None)
+    def test_copy_is_independent_and_journal_free(self, mutations):
+        graph = Graph()
+        reference = _apply_mutations(graph, mutations)
+        journal = graph.start_journal()
+        clone = graph.copy()
+        assert set(clone) == reference
+        assert clone.fingerprint() == graph.fingerprint()
+        assert clone._journals == []
+        probe = (IRI("http://example.org/probe"), IRI("http://example.org/p"),
+                 IRI("http://example.org/o"))
+        clone.add(probe)
+        assert probe not in graph
+        assert journal.clean  # mutating the clone never reaches the original's journal
+        journal.close()
+
+
 class TestSerialisationProperties:
     @given(st.lists(st.tuples(_iris, _iris, st.one_of(_iris, _literals)), max_size=40))
     @settings(max_examples=50, deadline=None)

@@ -107,7 +107,7 @@ class TestMaterializationCache:
         first = cache.materialize(graph)
         second = cache.materialize(graph)
         assert first is second
-        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1, "extensions": 0}
         # The closure is a real materialisation.
         rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
         assert (IRI("urn:rex"), rdf_type, IRI("urn:Animal")) in first
@@ -162,6 +162,232 @@ class TestMaterializationCache:
         cache.materialize(graph)
         assert cache.invalidate(graph) is True
         assert cache.invalidate(graph) is False
+
+
+class TestMaterializationCacheExtension:
+    """The incremental (extend) path of the closure cache."""
+
+    def _graph(self):
+        graph = Graph()
+        subclassof = IRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        graph.add((IRI("urn:Dog"), subclassof, IRI("urn:Animal")))
+        graph.add((IRI("urn:rex"), rdf_type, IRI("urn:Dog")))
+        return graph
+
+    def _delta(self):
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        return [(IRI("urn:bella"), rdf_type, IRI("urn:Dog"))]
+
+    def test_extend_matches_full_materialisation(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        base_fingerprint = graph.fingerprint()
+        cache.materialize(graph)
+        delta = self._delta()
+        graph.addN(delta)
+        extended = cache.extend(graph, base_fingerprint, delta)
+        assert set(extended) == set(Reasoner(graph).run())
+        assert cache.stats()["extensions"] == 1
+
+    def test_extend_does_not_mutate_the_shared_base_closure(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        base_fingerprint = graph.fingerprint()
+        base_closure = cache.materialize(graph)
+        snapshot = set(base_closure)
+        fingerprint = base_closure.fingerprint()
+        graph.addN(self._delta())
+        extended = cache.extend(graph, base_fingerprint, self._delta())
+        assert extended is not base_closure
+        assert set(base_closure) == snapshot
+        assert base_closure.fingerprint() == fingerprint
+
+    def test_extend_falls_back_to_full_materialisation_without_base(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        missing_fingerprint = (0, 0)
+        delta = self._delta()
+        graph.addN(delta)
+        closure = cache.extend(graph, missing_fingerprint, delta)
+        assert set(closure) == set(Reasoner(graph).run())
+        assert cache.stats()["misses"] == 1 and cache.stats()["extensions"] == 0
+
+    def test_extend_on_cached_target_is_a_plain_hit(self):
+        cache = MaterializationCache()
+        graph = self._graph()
+        base_fingerprint = graph.fingerprint()
+        cache.materialize(graph)
+        delta = self._delta()
+        graph.addN(delta)
+        first = cache.extend(graph, base_fingerprint, delta)
+        second = cache.extend(graph, base_fingerprint, delta)
+        assert first is second
+        assert cache.stats()["hits"] == 1 and cache.stats()["extensions"] == 1
+
+    def test_extend_reruns_post_process_on_the_extended_closure(self):
+        """Annotations are stripped, the delta reasoned in, the pass re-run."""
+        cache = MaterializationCache()
+        graph = self._graph()
+        base_fingerprint = graph.fingerprint()
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        annotation_class = IRI("urn:Seen")
+
+        def post(closure):
+            # Closed-world pass: tag every Dog instance (not OWL-derivable).
+            for dog in list(closure.subjects(rdf_type, IRI("urn:Dog"))):
+                closure.add((dog, rdf_type, annotation_class))
+
+        cache.materialize(graph, post_process=post)
+        delta = self._delta()
+        graph.addN(delta)
+        extended = cache.extend(graph, base_fingerprint, delta, post_process=post)
+        assert (IRI("urn:rex"), rdf_type, annotation_class) in extended
+        assert (IRI("urn:bella"), rdf_type, annotation_class) in extended
+        # The extension result must be exactly full-reason + fresh post-pass.
+        expected = Reasoner(graph).run()
+        post(expected)
+        assert set(extended) == set(expected)
+
+
+class TestServiceScenarioUpdates:
+    """End-to-end: closure-cache hits stay annotated, updates stay incremental."""
+
+    @pytest.fixture()
+    def service(self, engine):
+        return ExplanationService(engine=engine)
+
+    def test_closure_cache_hit_serves_annotated_facts_and_foils(self, service):
+        from repro.ontology import eo
+
+        question = "Why should I eat Cauliflower Potato Curry?"
+        first = service.ask(question, persona="paper")
+        hits_before = service.stats().closure_cache.get("hits", 0)
+        # A second session of the same persona assembles a triple-identical
+        # graph: the closure cache hit must still expose the fact/foil types
+        # the post-process pass wrote before publication.
+        second = service.ask(question, persona="paper")
+        assert service.stats().closure_cache.get("hits", 0) >= hits_before
+        assert first.explanation.text == second.explanation.text
+        key = next(iter(service._scenarios))
+        scenario = service._scenarios[key]
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        assert list(scenario.inferred.triples((None, rdf_type, eo.Fact)))
+
+    def test_update_scenario_is_differentially_correct(self, service):
+        from repro.core.facts_foils import annotate_facts_and_foils
+        from repro.owl import Reasoner as FreshReasoner
+
+        question = "Why should I eat Cauliflower Potato Curry?"
+        service.ask(question, persona="paper")
+        updated = service.update_scenario(
+            question, persona="paper", allergies=("dairy",), conditions=("diabetes",))
+        assert "dairy" in updated.user.allergies
+        assert "diabetes" in updated.user.conditions
+        # The incremental closure must be triple-identical to reasoning the
+        # grown asserted graph from scratch and re-annotating.
+        fresh = FreshReasoner(updated.asserted).run()
+        annotate_facts_and_foils(fresh, updated.ecosystem_iri)
+        assert set(updated.inferred) == set(fresh)
+        assert service.stats().scenario_updates == 1
+        assert service.stats().closure_cache.get("extensions", 0) == 1
+
+    def test_update_scenario_leaves_the_shared_closure_untouched(self, service):
+        question = "Why should I eat Cauliflower Potato Curry?"
+        response = service.ask(question, persona="paper")
+        original = next(iter(service._scenarios.values()))
+        inferred_before = original.inferred.fingerprint()
+        asserted_before = original.asserted.fingerprint()
+        service.update_scenario(question, persona="paper", likes=("Sushi",))
+        # Another session still sharing the original cached closure must not
+        # observe the mutation.
+        assert original.inferred.fingerprint() == inferred_before
+        assert original.asserted.fingerprint() == asserted_before
+        repeat = service.ask(question, persona="paper")
+        assert repeat.explanation.text == response.explanation.text
+
+    def test_update_scenario_advances_the_session_profile(self, service):
+        session = service.open_persona_session("paper")
+        question = "Why should I eat Cauliflower Potato Curry?"
+        service.ask(question, session_id=session.session_id)
+        service.update_scenario(question, session_id=session.session_id,
+                                goals=("high_fiber",))
+        assert "high_fiber" in session.user.goals
+        # The follow-up ask under the grown profile hits the updated entry.
+        follow_up = service.ask(question, session_id=session.session_id)
+        assert follow_up.scenario_cache_hit
+
+    def test_update_scenario_rejects_unknown_restrictions(self, service):
+        question = "Why should I eat Cauliflower Potato Curry?"
+        service.ask(question, persona="paper")
+        with pytest.raises(ValueError):
+            service.update_scenario(question, persona="paper",
+                                    conditions=("square_wheels",))
+
+    def test_update_scenario_rejects_schema_extra_triples(self, service):
+        """Schema axioms would invalidate the builder's shared axiom index."""
+        from repro.core.questions import parse_question
+        from repro.owl.vocabulary import RDFS_SUBCLASSOF
+
+        question = parse_question("Why should I eat Cauliflower Potato Curry?")
+        user, context = persona("paper")
+        scenario = service.engine.build_scenario(question, user, context)
+        with pytest.raises(ValueError, match="schema axiom"):
+            service.engine.update_scenario(
+                scenario,
+                extra_triples=[(IRI("urn:A"), RDFS_SUBCLASSOF, IRI("urn:B"))])
+
+    def test_update_scenario_replacing_recommendation_rebuilds(self, service):
+        """Swapping recommendations is a retraction: the old one must vanish."""
+        from repro.core.questions import parse_question
+        from repro.foodkg.schema import slugify
+        from repro.rdf.namespace import FOODKG
+
+        user, context = persona("paper")
+        first, second = service.engine.recommender.recommend(user, context, top_k=2)
+        question = parse_question("Why should I eat Cauliflower Potato Curry?")
+        scenario = service.engine.build_scenario(question, user, context,
+                                                 recommendation=first)
+        updated = service.engine.update_scenario(scenario, recommendation=second)
+        fresh = service.engine.build_scenario(question, user, context,
+                                              recommendation=second)
+        assert updated.recommendation == second
+        assert set(updated.asserted) == set(fresh.asserted)
+        assert set(updated.inferred) == set(fresh.inferred)
+        old_rec_iri = IRI(FOODKG["recommendation/" + slugify(first.recipe)])
+        assert not list(updated.asserted.triples((old_rec_iri, None, None)))
+
+    def test_update_scenario_replacement_keeps_extra_triples(self, service):
+        """The rebuild taken for a recommendation swap must not drop extras."""
+        from repro.core.questions import parse_question
+
+        user, context = persona("paper")
+        first, second = service.engine.recommender.recommend(user, context, top_k=2)
+        question = parse_question("Why should I eat Cauliflower Potato Curry?")
+        scenario = service.engine.build_scenario(question, user, context,
+                                                 recommendation=first)
+        extra = (IRI("urn:note"), IRI("urn:about"), IRI("urn:lunch"))
+        updated = service.engine.update_scenario(
+            scenario, recommendation=second, extra_triples=[extra])
+        assert updated.recommendation == second
+        assert extra in updated.asserted
+        assert extra in updated.inferred
+
+    def test_update_scenario_swap_carries_earlier_extra_triples(self, service):
+        """Extras from earlier updates survive a later recommendation swap."""
+        from repro.core.questions import parse_question
+
+        user, context = persona("paper")
+        first, second = service.engine.recommender.recommend(user, context, top_k=2)
+        question = parse_question("Why should I eat Cauliflower Potato Curry?")
+        scenario = service.engine.build_scenario(question, user, context,
+                                                 recommendation=first)
+        extra = (IRI("urn:note"), IRI("urn:about"), IRI("urn:dinner"))
+        grown = service.engine.update_scenario(scenario, extra_triples=[extra])
+        swapped = service.engine.update_scenario(grown, recommendation=second)
+        assert swapped.recommendation == second
+        assert extra in swapped.asserted
+        assert extra in swapped.inferred
 
 
 class TestSessionRegistry:
