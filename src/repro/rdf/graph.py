@@ -116,6 +116,9 @@ class Graph:
         self._spo: Dict[Node, Dict[IRI, Set[Node]]] = {}
         self._pos: Dict[IRI, Dict[Node, Set[Node]]] = {}
         self._osp: Dict[Node, Dict[Node, Set[IRI]]] = {}
+        # Total triple count per predicate, maintained incrementally so the
+        # query planner's cardinality estimates stay O(1).
+        self._pred_counts: Dict[IRI, int] = {}
         # Order-independent content hash, maintained incrementally so that
         # fingerprint() is O(1).  XOR is its own inverse, so add/remove of
         # the same triple cancel out exactly.
@@ -138,6 +141,7 @@ class Graph:
             return self
         self._triples.add(triple)
         self._content_hash ^= hash(triple)
+        self._pred_counts[p] = self._pred_counts.get(p, 0) + 1
         self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
@@ -164,6 +168,11 @@ class Graph:
         s, p, o = triple
         self._triples.discard(triple)
         self._content_hash ^= hash(triple)
+        remaining = self._pred_counts.get(p, 0) - 1
+        if remaining > 0:
+            self._pred_counts[p] = remaining
+        else:
+            self._pred_counts.pop(p, None)
         self._spo[s][p].discard(o)
         if not self._spo[s][p]:
             del self._spo[s][p]
@@ -199,6 +208,7 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._pred_counts.clear()
         self._content_hash = 0
 
     def start_journal(self) -> ChangeJournal:
@@ -269,6 +279,60 @@ class Graph:
                     yield (subj, pred, o)
             return
         yield from self._triples
+
+    def cardinality(self, pattern: TriplePattern = (None, None, None)) -> int:
+        """The exact number of triples matching ``pattern``, without scanning.
+
+        Every answer comes from the permutation indexes (dictionary and set
+        sizes) or the per-predicate counters, so the cost is O(1) for the
+        common shapes and at worst O(distinct predicates of one node) for
+        ``(s, ?, ?)`` / ``(?, ?, o)``.  This is the statistic the SPARQL
+        query planner (:mod:`repro.sparql.planner`) uses to order joins.
+        """
+        s, p, o = pattern
+        if s is None and p is None and o is None:
+            return len(self._triples)
+        if s is not None and p is not None and o is not None:
+            return 1 if (s, p, o) in self._triples else 0
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if not by_pred:
+                return 0
+            if p is not None:
+                return len(by_pred.get(p, ()))
+            if o is not None:
+                by_subj = self._osp.get(o)
+                return len(by_subj.get(s, ())) if by_subj else 0
+            return sum(len(objs) for objs in by_pred.values())
+        if p is not None:
+            if o is not None:
+                by_obj = self._pos.get(p)
+                return len(by_obj.get(o, ())) if by_obj else 0
+            return self._pred_counts.get(p, 0)
+        by_subj = self._osp.get(o)
+        if not by_subj:
+            return 0
+        return sum(len(preds) for preds in by_subj.values())
+
+    def index_stats(self) -> Dict[str, int]:
+        """O(1) whole-graph statistics: distinct subjects/predicates/objects.
+
+        Used by the query planner to approximate how much a bound join
+        variable shrinks a pattern's result.
+        """
+        return {
+            "triples": len(self._triples),
+            "subjects": len(self._spo),
+            "predicates": len(self._pos),
+            "objects": len(self._osp),
+        }
+
+    def predicate_stats(self, predicate: IRI) -> Dict[str, int]:
+        """Per-predicate statistics: total triples and distinct objects."""
+        return {
+            "count": self._pred_counts.get(predicate, 0),
+            "distinct_objects": len(self._pos.get(predicate, ())),
+        }
 
     def __contains__(self, pattern: TriplePattern) -> bool:
         return next(self.triples(pattern), None) is not None
@@ -387,6 +451,7 @@ class Graph:
                       for p, by_obj in self._pos.items()}
         clone._osp = {o: {s: set(preds) for s, preds in by_subj.items()}
                       for o, by_subj in self._osp.items()}
+        clone._pred_counts = dict(self._pred_counts)
         return clone
 
     def __add__(self, other: "Graph") -> "Graph":
@@ -492,6 +557,28 @@ class ReadOnlyGraphUnion:
 
     def __contains__(self, pattern: TriplePattern) -> bool:
         return any(pattern in graph for graph in self.graphs)
+
+    def cardinality(self, pattern: TriplePattern = (None, None, None)) -> int:
+        """Upper-bound cardinality: the member sums (overlap counted twice).
+
+        An over-estimate is fine for the query planner's join ordering, and
+        summing keeps the call as cheap as the members' O(1) lookups.
+        """
+        return sum(graph.cardinality(pattern) for graph in self.graphs)
+
+    def index_stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {"triples": 0, "subjects": 0, "predicates": 0, "objects": 0}
+        for graph in self.graphs:
+            for key, value in graph.index_stats().items():
+                totals[key] += value
+        return totals
+
+    def predicate_stats(self, predicate: IRI) -> Dict[str, int]:
+        totals: Dict[str, int] = {"count": 0, "distinct_objects": 0}
+        for graph in self.graphs:
+            for key, value in graph.predicate_stats(predicate).items():
+                totals[key] += value
+        return totals
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()

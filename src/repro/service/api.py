@@ -79,6 +79,7 @@ class ServiceStats:
     scenario_updates: int = 0
     closure_cache: Dict[str, int] = field(default_factory=dict)
     prepared_query_cache: Dict[str, int] = field(default_factory=dict)
+    query_planner: Dict[str, int] = field(default_factory=dict)
     active_sessions: int = 0
 
     def to_text(self) -> str:
@@ -95,6 +96,10 @@ class ServiceStats:
             f"prepared-query cache:   {self.prepared_query_cache.get('hits', 0)} hits / "
             f"{self.prepared_query_cache.get('misses', 0)} misses "
             f"({self.prepared_query_cache.get('size', 0)} entries, process-wide)",
+            f"query planner:          {self.query_planner.get('plan_cache_hits', 0)} plan-cache hits / "
+            f"{self.query_planner.get('plans_compiled', 0)} compiled "
+            f"({self.query_planner.get('reorderings_applied', 0)} join reorders, "
+            f"{self.query_planner.get('filters_pushed', 0)} filters pushed, process-wide)",
             f"active sessions:        {self.active_sessions}",
         ]
         return "\n".join(lines)

@@ -6,7 +6,8 @@ many questions.  It wraps one :class:`~repro.core.engine.ExplanationEngine`
 and layers the caches that make repeated traffic cheap:
 
 * the **prepared-query cache** (:func:`repro.sparql.prepare_cached`):
-  competency SPARQL templates are parsed once per process;
+  competency SPARQL templates are parsed — and their cost-based execution
+  plans compiled (:mod:`repro.sparql.planner`) — once per process;
 * the **closure cache** (:class:`repro.owl.MaterializationCache`, held by
   the engine's scenario builder): a repeated request skips OWL
   re-materialisation because its assembled graph has the same fingerprint;
@@ -39,7 +40,7 @@ from ..core.engine import ExplanationEngine
 from ..core.questions import Question, parse_question
 from ..core.scenario import Scenario
 from ..foodkg.schema import FoodCatalog
-from ..sparql import prepared_cache
+from ..sparql import planner_stats, prepared_cache
 from ..users.context import SystemContext
 from ..users.personas import persona as persona_lookup
 from ..users.profile import UserProfile
@@ -336,5 +337,6 @@ class ExplanationService:
             scenario_updates=self.scenario_updates,
             closure_cache=closure.stats() if closure is not None else {},
             prepared_query_cache=prepared_cache().stats(),
+            query_planner=planner_stats(),
             active_sessions=len(self.registry),
         )

@@ -11,6 +11,15 @@ request), :func:`prepare_cached` adds a process-wide LRU cache of prepared
 queries: the first call parses, every later call with the same text is a
 dictionary lookup.  Per-request parameters (the question IRI, a user IRI)
 are supplied at evaluation time through ``init_bindings``.
+
+Evaluation is **planned** by default: a :class:`PreparedQuery` lazily
+compiles its algebra into a cost-based execution plan
+(:mod:`repro.sparql.planner` — index-aware join reordering, filter
+pushdown, hash-join probe reuse) and caches the plan for every later
+evaluation, so the prepared-query cache doubles as a compiled-plan cache.
+The original left-to-right strategy remains available as
+:meth:`PreparedQuery.evaluate_naive` / :func:`evaluate_query`, serving as
+the differential-testing oracle.
 """
 
 import threading
@@ -20,10 +29,19 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from .algebra import Query
 from .evaluator import QueryEvaluator, evaluate_query
 from .parser import parse_query
+from .planner import (
+    CompiledPlan,
+    PlanEvaluator,
+    compile_plan,
+    planner_stats,
+    reset_planner_stats,
+)
 from .results import Result, ResultRow
 from .tokenizer import SparqlSyntaxError
 
 __all__ = [
+    "CompiledPlan",
+    "PlanEvaluator",
     "PreparedQuery",
     "PreparedQueryCache",
     "Query",
@@ -31,11 +49,15 @@ __all__ = [
     "Result",
     "ResultRow",
     "SparqlSyntaxError",
+    "compile_plan",
+    "evaluate_query",
     "parse_query",
+    "planner_stats",
     "prepare",
     "prepare_cached",
     "prepared_cache",
     "query",
+    "reset_planner_stats",
 ]
 
 
@@ -46,21 +68,52 @@ class PreparedQuery:
     called any number of times, optionally with per-call ``init_bindings``
     that pre-bind variables (the prepared-statement idiom: one template,
     many parameterisations).
+
+    The first :meth:`evaluate` compiles a cost-based execution plan
+    (:func:`repro.sparql.planner.compile_plan`); later evaluations reuse
+    it — plan compilation is structural, so one plan serves every graph
+    and every parameterisation.  :meth:`evaluate_naive` runs the original
+    left-to-right strategy, the oracle the differential suite compares
+    planned results against.
     """
 
     def __init__(self, text: str, namespaces=None) -> None:
         self.text = text
         self.algebra = parse_query(text, namespaces)
+        self._plan: Optional[CompiledPlan] = None
+
+    @property
+    def plan(self) -> CompiledPlan:
+        """The compiled plan, built on first access and cached for reuse."""
+        plan = self._plan
+        if plan is None:
+            # Benign race: two threads may compile the same (deterministic)
+            # plan once each; last write wins.
+            plan = compile_plan(self.algebra)
+            self._plan = plan
+        return plan
+
+    @staticmethod
+    def _bindings(init_bindings: Optional[Mapping[str, Any]]):
+        from ..rdf.terms import Variable
+
+        if not init_bindings:
+            return None
+        return {Variable(str(k).lstrip("?$")): v for k, v in init_bindings.items()}
 
     def evaluate(self, graph, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
         """Evaluate against ``graph``; ``init_bindings`` maps variable names to terms."""
-        from ..rdf.terms import Variable
+        hit = self._plan is not None
+        plan = self.plan
+        evaluator = PlanEvaluator(graph)
+        if hit:
+            evaluator.note_plan_hit()
+        return evaluator.evaluate(plan.algebra, self._bindings(init_bindings))
 
+    def evaluate_naive(self, graph, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
+        """Evaluate with the unplanned left-to-right strategy (the oracle)."""
         evaluator = QueryEvaluator(graph)
-        bindings = None
-        if init_bindings:
-            bindings = {Variable(str(k).lstrip("?$")): v for k, v in init_bindings.items()}
-        return evaluator.evaluate(self.algebra, bindings)
+        return evaluator.evaluate(self.algebra, self._bindings(init_bindings))
 
 
 class PreparedQueryCache:
@@ -128,8 +181,14 @@ def prepared_cache() -> PreparedQueryCache:
 
 
 def query(graph, query_text: str, init_bindings: Optional[Mapping[str, Any]] = None) -> Result:
-    """Evaluate ``query_text`` against ``graph`` and return a :class:`Result`."""
-    return evaluate_query(graph, query_text, init_bindings)
+    """Evaluate ``query_text`` against ``graph`` and return a :class:`Result`.
+
+    One-shot queries also run through the planner: compilation is a cheap
+    structural rewrite, and a badly-ordered ad-hoc query gains far more
+    from join reordering than it pays for planning.
+    """
+    namespaces = getattr(graph, "namespace_manager", None)
+    return PreparedQuery(query_text, namespaces).evaluate(graph, init_bindings)
 
 
 def prepare(query_text: str, namespaces=None) -> PreparedQuery:

@@ -5,6 +5,13 @@ The evaluator works on *solution mappings* (dicts from
 evaluated left to right, joining each element into the running solution
 sequence; ``FILTER`` constraints are collected and applied over the whole
 group, matching the scoping rules of the SPARQL algebra.
+
+This strict left-to-right strategy is the **naive** path.  Production
+evaluation goes through the cost-based planner
+(:mod:`repro.sparql.planner`), which reorders joins and pushes filters;
+:class:`QueryEvaluator` / :func:`evaluate_query` survive as the
+differential-testing oracle (``PreparedQuery.evaluate_naive``) that the
+planned path must match row for row.
 """
 
 from __future__ import annotations
@@ -200,12 +207,32 @@ class QueryEvaluator:
         return results
 
     def _evaluate_minus(self, pattern: MinusPattern, solutions: List[Solution]) -> List[Solution]:
+        if not solutions:
+            return []
+        # The inner pattern is loop-invariant: evaluate it once and index the
+        # candidates by their variable domain, then answer each outer
+        # solution with set lookups instead of rescanning every candidate.
+        candidates = self.evaluate_pattern(pattern.pattern, [{}])
+        if not candidates:
+            return list(solutions)
+        by_domain: Dict[frozenset, List[Solution]] = {}
+        for candidate in candidates:
+            by_domain.setdefault(frozenset(candidate), []).append(candidate)
+        lookups: Dict[Tuple[frozenset, Tuple[Variable, ...]], set] = {}
         kept: List[Solution] = []
         for solution in solutions:
+            solution_vars = set(solution)
             removed = False
-            for candidate in self.evaluate_pattern(pattern.pattern, [{}]):
-                shared = set(solution) & set(candidate)
-                if shared and all(solution[v] == candidate[v] for v in shared):
+            for domain, members in by_domain.items():
+                shared = domain & solution_vars
+                if not shared:
+                    continue
+                shared_key = tuple(sorted(shared, key=str))
+                table = lookups.get((domain, shared_key))
+                if table is None:
+                    table = {tuple(member[v] for v in shared_key) for member in members}
+                    lookups[(domain, shared_key)] = table
+                if tuple(solution[v] for v in shared_key) in table:
                     removed = True
                     break
             if not removed:
@@ -404,10 +431,19 @@ class QueryEvaluator:
                 if value is not None:
                     values.append(value)
         if aggregate.distinct:
-            unique = []
+            # Hash-based dedup (terms hash consistently with their equality);
+            # unhashable values fall back to the linear membership scan.
+            unique: List[Any] = []
+            seen = set()
             for value in values:
-                if value not in unique:
-                    unique.append(value)
+                try:
+                    if value in seen:
+                        continue
+                    seen.add(value)
+                except TypeError:
+                    if value in unique:
+                        continue
+                unique.append(value)
             values = unique
         name = aggregate.name
         if name == "COUNT":
@@ -436,27 +472,27 @@ class QueryEvaluator:
         raise ExpressionError(f"unsupported aggregate {name}")
 
     def _order(self, query: SelectQuery, solutions: List[Solution]) -> List[Solution]:
-        def key(solution: Solution):
-            parts = []
-            for condition in query.order_by:
+        # Decorate-sort-undecorate: each sort key is evaluated once per
+        # solution, then the (stable) per-condition sorts run over the
+        # precomputed keys so mixed ASC/DESC conditions compose without
+        # re-evaluating expressions on every comparison pass.
+        conditions = query.order_by
+        decorated = []
+        for solution in solutions:
+            keys = []
+            for condition in conditions:
                 try:
                     value = evaluate_expression(condition.expression, solution, self._exists)
                 except ExpressionError:
                     value = None
-                parts.append(_term_sort_key(value))
-            return tuple(parts)
-
-        ordered = solutions
-        for condition in reversed(query.order_by):
-            def single_key(solution: Solution, condition=condition):
-                try:
-                    value = evaluate_expression(condition.expression, solution, self._exists)
-                except ExpressionError:
-                    value = None
-                return _term_sort_key(value)
-
-            ordered = sorted(ordered, key=single_key, reverse=condition.descending)
-        return ordered
+                keys.append(_term_sort_key(value))
+            decorated.append((keys, solution))
+        for position in range(len(conditions) - 1, -1, -1):
+            decorated.sort(
+                key=lambda item, position=position: item[0][position],
+                reverse=conditions[position].descending,
+            )
+        return [solution for _, solution in decorated]
 
     # -- CONSTRUCT ---------------------------------------------------------
     def _evaluate_construct(self, query: ConstructQuery, initial: List[Solution]) -> Result:

@@ -195,3 +195,66 @@ class TestReadOnlyUnion:
     def test_union_requires_at_least_one_graph(self):
         with pytest.raises(ValueError):
             ReadOnlyGraphUnion()
+
+
+class TestCardinality:
+    """The O(1) statistics API feeding the SPARQL query planner."""
+
+    ALL_PATTERNS = [
+        (None, None, None),
+        ("alice", None, None),
+        (None, "knows", None),
+        (None, None, "carol"),
+        ("alice", "knows", None),
+        ("alice", None, "carol"),
+        (None, "knows", "carol"),
+        ("alice", "knows", "bob"),
+        ("alice", "knows", "dave"),
+        ("nobody", None, None),
+        (None, "unknown", None),
+        (None, None, "nothing"),
+    ]
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_cardinality_matches_scan(self, small_graph, pattern):
+        resolved = tuple(ex(part) if part else None for part in pattern)
+        assert small_graph.cardinality(resolved) == len(list(small_graph.triples(resolved)))
+
+    def test_cardinality_tracks_mutations(self, small_graph):
+        before = small_graph.cardinality((None, ex("knows"), None))
+        small_graph.add((ex("carol"), ex("knows"), ex("alice")))
+        assert small_graph.cardinality((None, ex("knows"), None)) == before + 1
+        small_graph.remove((None, ex("knows"), None))
+        assert small_graph.cardinality((None, ex("knows"), None)) == 0
+        assert small_graph.cardinality((None, None, None)) == len(small_graph)
+
+    def test_cardinality_survives_copy_and_clear(self, small_graph):
+        clone = small_graph.copy()
+        assert clone.cardinality((None, ex("knows"), None)) == 3
+        clone.clear()
+        assert clone.cardinality((None, ex("knows"), None)) == 0
+        assert clone.cardinality((None, None, None)) == 0
+        # The original keeps its counters.
+        assert small_graph.cardinality((None, ex("knows"), None)) == 3
+
+    def test_index_stats(self, small_graph):
+        stats = small_graph.index_stats()
+        assert stats["triples"] == 5
+        assert stats["subjects"] == 2  # alice, bob
+        assert stats["predicates"] == 3  # knows, name, rdf:type
+        assert stats["objects"] == 4  # bob, carol, "Alice", Person
+
+    def test_predicate_stats(self, small_graph):
+        stats = small_graph.predicate_stats(ex("knows"))
+        assert stats == {"count": 3, "distinct_objects": 2}
+        assert small_graph.predicate_stats(ex("unknown")) == {
+            "count": 0, "distinct_objects": 0,
+        }
+
+    def test_union_cardinality_sums_members(self, small_graph):
+        other = Graph()
+        other.add((ex("dave"), ex("knows"), ex("alice")))
+        view = ReadOnlyGraphUnion(small_graph, other)
+        assert view.cardinality((None, ex("knows"), None)) == 4
+        assert view.index_stats()["triples"] == 6
+        assert view.predicate_stats(ex("knows"))["count"] == 4

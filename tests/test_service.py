@@ -506,6 +506,22 @@ class TestExplanationService:
         assert "hits" in stats.prepared_query_cache
         text = stats.to_text()
         assert "requests served" in text and "closure cache" in text
+        assert "query planner" in text
+
+    def test_stats_report_plan_cache_reuse_across_requests(self, service):
+        from repro.sparql import reset_planner_stats
+
+        reset_planner_stats()
+        question = "Why should I eat Cauliflower Potato Curry?"
+        service.ask(question, persona="paper")
+        first = service.stats().query_planner
+        # A fresh user defeats the scenario cache, so the competency query
+        # re-evaluates — through the already-compiled plan.
+        user, context = persona("pregnant_user")
+        service.ask(question, user=user, context=context)
+        second = service.stats().query_planner
+        assert second["plan_cache_hits"] > first["plan_cache_hits"]
+        assert second["plans_compiled"] == first["plans_compiled"]
 
     def test_scenario_cache_lru_bound(self, engine):
         service = ExplanationService(engine=engine, max_cached_scenarios=1)

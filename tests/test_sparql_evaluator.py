@@ -245,3 +245,79 @@ class TestAggregatesAndForms:
         result = family_graph.query("SELECT ?p ?a WHERE { ?p ex:age ?a }")
         assert len(result.bindings) == 4
         assert len(result.values("a")) == 4
+
+
+class TestEvaluatorHotPathRegressions:
+    """Pin the behaviour of the MINUS / ORDER BY / DISTINCT-aggregate rework."""
+
+    def test_minus_inner_pattern_evaluated_once(self, family_graph, monkeypatch):
+        from repro.rdf.terms import Variable
+        from repro.sparql.algebra import BGP, GroupPattern, MinusPattern, TriplePattern
+        from repro.sparql.evaluator import QueryEvaluator
+
+        inner = GroupPattern([BGP([TriplePattern(Variable("p"), ex("city"), ex("Troy"))])])
+        minus = MinusPattern(inner)
+        evaluator = QueryEvaluator(family_graph)
+        calls = []
+        original = QueryEvaluator.evaluate_pattern
+
+        def counting(self, pattern, solutions):
+            if pattern is inner:
+                calls.append(solutions)
+            return original(self, pattern, solutions)
+
+        monkeypatch.setattr(QueryEvaluator, "evaluate_pattern", counting)
+        outer = [{Variable("p"): ex(name)} for name in ("alice", "bob", "carol", "dave")]
+        kept = evaluator._evaluate_minus(minus, outer)
+        # One inner evaluation for four outer solutions (was once per solution).
+        assert len(calls) == 1
+        assert {str(s[Variable("p")]) for s in kept} == {
+            EX + "alice", EX + "bob", EX + "dave",
+        }
+
+    def test_minus_with_disjoint_domains_keeps_everything(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?p WHERE { ?p a ex:Person . MINUS { ?z ex:city ex:Nowhere } }")
+        assert len(list(rows)) == 3
+
+    def test_minus_multiple_shared_variables(self, family_graph):
+        rows = family_graph.query(
+            "SELECT ?x ?y WHERE { ?x ex:knows ?y . MINUS { ?x ex:knows ?y . ?x ex:age 34 } }")
+        assert {(str(r["x"]), str(r["y"])) for r in rows} == {(EX + "bob", EX + "carol")}
+
+    def test_order_by_mixed_directions_is_stable(self, family_graph):
+        rows = list(family_graph.query(
+            "SELECT ?x ?y WHERE { ?x ex:knows ?y } ORDER BY ?x DESC(?y)"))
+        keys = [(str(r["x"]), str(r["y"])) for r in rows]
+        assert keys == sorted(keys, key=lambda pair: (pair[0], tuple(-ord(ch) for ch in pair[1])))
+
+    def test_order_by_unbound_sorts_first(self, family_graph):
+        rows = list(family_graph.query(
+            "SELECT ?p ?c WHERE { ?p a ex:Person . OPTIONAL { ?p ex:city ?c } } ORDER BY ?c"))
+        assert rows[0]["c"] is None
+
+    def test_distinct_aggregate_with_duplicate_literals(self, family_graph):
+        row = next(iter(family_graph.query(
+            "SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?p ex:age ?a }")))
+        assert row["n"].value == 4
+
+    def test_distinct_aggregate_unhashable_fallback(self):
+        from repro.sparql.algebra import AggregateExpr, VariableExpr
+        from repro.rdf.terms import Variable
+        from repro.sparql.evaluator import QueryEvaluator
+
+        class Unhashable:
+            __hash__ = None
+
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __eq__(self, other):
+                return isinstance(other, Unhashable) and self.tag == other.tag
+
+        value = Unhashable("x")
+        evaluator = QueryEvaluator(Graph())
+        var = Variable("v")
+        aggregate = AggregateExpr("COUNT", VariableExpr(var), distinct=True)
+        members = [{var: value}, {var: Unhashable("x")}, {var: Unhashable("y")}]
+        assert evaluator._evaluate_aggregate(aggregate, members).value == 2
