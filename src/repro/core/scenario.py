@@ -110,6 +110,16 @@ class ScenarioBuilder:
         """A reasoner over ``graph`` sharing the base graph's axiom index."""
         return Reasoner(graph, axioms=self._axioms)
 
+    def store_stats(self) -> Dict[str, int]:
+        """Storage-engine counters for the shared base graph family.
+
+        Every scenario graph is a :meth:`Graph.copy` of the base, so the
+        base dictionary's interning counters describe the whole family:
+        cached closures and incremental extensions reuse these IDs instead
+        of re-encoding the ontology + knowledge graph per scenario.
+        """
+        return self._base.store_stats()
+
     # ------------------------------------------------------------------
     # IRI minting
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.collection import read_collection
+from ..rdf.dictionary import KIND_LITERAL, TermDictionary
 from ..rdf.graph import Graph
 from ..rdf.terms import BNode, IRI, Literal
 from .vocabulary import (
@@ -43,6 +44,8 @@ __all__ = [
     "UnionOf",
     "ComplementOf",
     "OneOf",
+    "compile_consequences",
+    "compile_matcher",
     "parse_class_expression",
 ]
 
@@ -277,3 +280,159 @@ def _parse_operands(graph: Graph, list_head) -> List[ClassExpression]:
         if parsed is not None:
             operands.append(parsed)
     return operands
+
+
+# ---------------------------------------------------------------------------
+# Encoded-domain compilation
+# ---------------------------------------------------------------------------
+def compile_matcher(expression: ClassExpression, dictionary: TermDictionary):
+    """Compile ``expression`` into a membership predicate over encoded IDs.
+
+    The returned callable ``matcher(graph, individual_id, type_index)``
+    mirrors :meth:`ClassExpression.matches` exactly, but every operand is
+    an integer from ``dictionary`` and ``type_index`` maps individual IDs
+    to sets of named-class IDs — so the reasoner's classification loop
+    probes the graph's integer indexes directly instead of hashing terms.
+    Expression constants are interned once, at compile time.
+    """
+    intern = dictionary.intern
+    if isinstance(expression, NamedClass):
+        if expression.iri == OWL_THING:
+            return lambda graph, individual, type_index: True
+        cls_id = intern(expression.iri)
+
+        def named_matcher(graph, individual, type_index, _cls=cls_id):
+            types = type_index.get(individual)
+            return types is not None and _cls in types
+        return named_matcher
+    if isinstance(expression, SomeValuesFrom):
+        prop_id = intern(expression.property)
+        filler = compile_matcher(expression.filler, dictionary)
+
+        def some_matcher(graph, individual, type_index, _p=prop_id, _f=filler):
+            by_pred = graph._spo.get(individual)
+            if not by_pred:
+                return False
+            values = by_pred.get(_p)
+            if not values:
+                return False
+            for value in values:
+                if _f(graph, value, type_index):
+                    return True
+            return False
+        return some_matcher
+    if isinstance(expression, AllValuesFrom):
+        prop_id = intern(expression.property)
+        filler = compile_matcher(expression.filler, dictionary)
+
+        def all_matcher(graph, individual, type_index, _p=prop_id, _f=filler):
+            by_pred = graph._spo.get(individual)
+            if not by_pred:
+                return True
+            for value in by_pred.get(_p, ()):
+                if not _f(graph, value, type_index):
+                    return False
+            return True
+        return all_matcher
+    if isinstance(expression, HasValue):
+        prop_id = intern(expression.property)
+        value_id = intern(expression.value)
+
+        def has_value_matcher(graph, individual, type_index,
+                              _p=prop_id, _v=value_id):
+            return (individual, _p, _v) in graph._triples
+        return has_value_matcher
+    if isinstance(expression, MinCardinality):
+        prop_id = intern(expression.property)
+        minimum = expression.cardinality
+
+        def min_card_matcher(graph, individual, type_index,
+                             _p=prop_id, _n=minimum):
+            by_pred = graph._spo.get(individual)
+            if not by_pred:
+                return 0 >= _n
+            return len(by_pred.get(_p, ())) >= _n
+        return min_card_matcher
+    if isinstance(expression, IntersectionOf):
+        operands = tuple(compile_matcher(op, dictionary) for op in expression.operands)
+
+        def intersection_matcher(graph, individual, type_index, _ops=operands):
+            for op in _ops:
+                if not op(graph, individual, type_index):
+                    return False
+            return True
+        return intersection_matcher
+    if isinstance(expression, UnionOf):
+        operands = tuple(compile_matcher(op, dictionary) for op in expression.operands)
+
+        def union_matcher(graph, individual, type_index, _ops=operands):
+            for op in _ops:
+                if op(graph, individual, type_index):
+                    return True
+            return False
+        return union_matcher
+    if isinstance(expression, ComplementOf):
+        operand = compile_matcher(expression.operand, dictionary)
+        return lambda graph, individual, type_index, _op=operand: not _op(
+            graph, individual, type_index)
+    if isinstance(expression, OneOf):
+        member_ids = frozenset(intern(member) for member in expression.members)
+        return lambda graph, individual, type_index, _m=member_ids: individual in _m
+    # Unknown expression kind: never matches (mirrors the conservative
+    # behaviour of the parser, which drops unsupported axioms).
+    return lambda graph, individual, type_index: False
+
+
+def compile_consequences(expression: ClassExpression, dictionary: TermDictionary,
+                         rdf_type_id: Optional[int] = None):
+    """Compile the *consequence* direction of ``expression`` into ID space.
+
+    The returned callable ``emit(graph, individual_id, out)`` appends the
+    encoded triples entailed by ``individual`` being an instance of the
+    expression — the ID-domain mirror of the reasoner's
+    ``_expression_consequences`` (``hasValue`` value assertion,
+    ``allValuesFrom`` filler typing, intersection distribution).
+    ``SomeValuesFrom`` / ``UnionOf`` have no deterministic consequences
+    without introducing fresh individuals, so they emit nothing.
+    """
+    intern = dictionary.intern
+    kinds = dictionary.kinds
+    if rdf_type_id is None:
+        rdf_type_id = intern(RDF_TYPE)
+    if isinstance(expression, HasValue):
+        prop_id = intern(expression.property)
+        value_id = intern(expression.value)
+        return lambda graph, individual, out, _p=prop_id, _v=value_id: out.append(
+            (individual, _p, _v))
+    if isinstance(expression, AllValuesFrom) and isinstance(expression.filler, NamedClass):
+        prop_id = intern(expression.property)
+        filler_id = intern(expression.filler.iri)
+
+        def all_values_emit(graph, individual, out, _p=prop_id, _f=filler_id,
+                            _t=rdf_type_id, _kinds=kinds):
+            by_pred = graph._spo.get(individual)
+            if by_pred:
+                for value in by_pred.get(_p, ()):
+                    if _kinds[value] != KIND_LITERAL:
+                        out.append((value, _t, _f))
+        return all_values_emit
+    if isinstance(expression, IntersectionOf):
+        emitters = []
+        for operand in expression.operands:
+            if isinstance(operand, NamedClass):
+                operand_id = intern(operand.iri)
+                emitters.append(
+                    lambda graph, individual, out, _c=operand_id, _t=rdf_type_id:
+                    out.append((individual, _t, _c)))
+            else:
+                emitters.append(compile_consequences(operand, dictionary, rdf_type_id))
+
+        def intersection_emit(graph, individual, out, _emitters=tuple(emitters)):
+            for emit in _emitters:
+                emit(graph, individual, out)
+        return intersection_emit
+    if isinstance(expression, NamedClass):
+        cls_id = intern(expression.iri)
+        return lambda graph, individual, out, _c=cls_id, _t=rdf_type_id: out.append(
+            (individual, _t, _c))
+    return lambda graph, individual, out: None

@@ -31,9 +31,17 @@ Evaluation strategy
 initial round over the whole graph, each rule family consumes only the
 triples derived in the previous round and joins them against the full graph
 through the SPO/POS/OSP indexes, instead of rescanning every triple per
-iteration.  The historical fixed-point loop is kept as
-:meth:`Reasoner.run_naive` — it is the reference oracle the differential
-test suite compares against.
+iteration.  The property- and type-centric rule families run entirely in
+the **encoded domain**: the graph's dictionary-encoded ``(int, int, int)``
+triples are joined through integer-keyed indexes, with the axiom tables
+translated into the same ID space once per run
+(:class:`_EncodedAxioms`), and terms are only decoded where the
+restriction machinery genuinely needs them (class-expression matching and
+consistency checking).  The same rules over term objects survive as
+:meth:`Reasoner.run_term` — the pre-encoding engine, kept as a comparison
+baseline and a second oracle — and the historical fixed-point loop as
+:meth:`Reasoner.run_naive`, the reference oracle the differential test
+suite compares against.
 
 Because each round's work is proportional to its delta, the same machinery
 supports **incremental closure maintenance**: :meth:`Reasoner.extend` grows
@@ -46,9 +54,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..rdf.graph import Graph, Triple
+from ..rdf.dictionary import KIND_IRI, KIND_LITERAL, TermDictionary
+from ..rdf.graph import EncodedTriple, Graph, Triple
 from ..rdf.terms import BNode, IRI, Literal
 from .axioms import AxiomIndex
 from .expressions import (
@@ -60,6 +69,8 @@ from .expressions import (
     NamedClass,
     SomeValuesFrom,
     UnionOf,
+    compile_consequences,
+    compile_matcher,
 )
 from .vocabulary import (
     OWL_ALL_VALUES_FROM,
@@ -182,6 +193,77 @@ class ReasoningReport:
             self.rule_firings[rule] = self.rule_firings.get(rule, 0) + count
 
 
+class _EncodedAxioms:
+    """The axiom lookup tables translated into one dictionary's ID space.
+
+    Built once per (axiom state, term dictionary) pair and cached on the
+    reasoner, so every semi-naive round joins its delta against plain
+    integer-keyed dictionaries — no term hashing, no decoding.  The
+    dictionary is append-only, so translated IDs stay valid for the life
+    of the graph family.
+    """
+
+    __slots__ = (
+        "dictionary", "superproperties", "inverse_of", "symmetric",
+        "transitive", "chain_steps", "domains", "ranges",
+        "rdf_type", "rdfs_subclassof", "owl_same_as",
+        "equivalences", "complex_subclasses", "complex_superclasses",
+        "restriction_properties", "schema_only_preds",
+    )
+
+    def __init__(self, reasoner: "Reasoner", dictionary: TermDictionary) -> None:
+        intern = dictionary.intern
+        self.dictionary = dictionary
+        axioms = reasoner.axioms
+        self.superproperties: Dict[int, Tuple[int, ...]] = {
+            intern(prop): tuple(intern(sup) for sup in supers)
+            for prop, supers in reasoner._superproperties.items() if supers
+        }
+        self.inverse_of: Dict[int, Tuple[int, ...]] = {
+            intern(prop): tuple(intern(inv) for inv in inverses)
+            for prop, inverses in axioms.inverse_of.items() if inverses
+        }
+        self.symmetric: Set[int] = {intern(prop) for prop in axioms.symmetric}
+        self.transitive: Set[int] = {intern(prop) for prop in axioms.transitive}
+        self.chain_steps: Dict[int, List[Tuple[int, Tuple[int, ...], int]]] = {}
+        for step, entries in reasoner._chain_steps.items():
+            self.chain_steps[intern(step)] = [
+                (intern(head), tuple(intern(link) for link in chain), position)
+                for head, chain, position in entries
+            ]
+        self.domains: Dict[int, Tuple[int, ...]] = {
+            intern(prop): tuple(intern(cls) for cls in classes)
+            for prop, classes in axioms.domains.items() if classes
+        }
+        self.ranges: Dict[int, Tuple[int, ...]] = {
+            intern(prop): tuple(intern(cls) for cls in classes)
+            for prop, classes in axioms.ranges.items() if classes
+        }
+        self.rdf_type = intern(RDF_TYPE)
+        self.rdfs_subclassof = intern(RDFS_SUBCLASSOF)
+        self.owl_same_as = intern(OWL_SAME_AS)
+        # Restriction machinery, compiled to ID space: membership matchers
+        # for the classification direction and consequence emitters for the
+        # superclass direction (see repro.owl.expressions).
+        self.equivalences: List[Tuple[int, object]] = [
+            (intern(axiom.named), compile_matcher(axiom.expression, dictionary))
+            for axiom in axioms.equivalences
+        ]
+        self.complex_subclasses: List[Tuple[int, object]] = [
+            (intern(named), compile_matcher(expression, dictionary))
+            for expression, named in axioms.complex_subclasses
+        ]
+        self.complex_superclasses: List[Tuple[int, object]] = [
+            (intern(axiom.sub),
+             compile_consequences(axiom.super_expression, dictionary, self.rdf_type))
+            for axiom in axioms.complex_superclasses
+        ]
+        self.restriction_properties: FrozenSet[int] = frozenset(
+            intern(prop) for prop in reasoner._restriction_properties)
+        self.schema_only_preds: FrozenSet[int] = frozenset(
+            (self.rdfs_subclassof, intern(RDFS_SUBPROPERTYOF)))
+
+
 class Reasoner:
     """Materialises the deductive closure of a graph under the axioms it contains."""
 
@@ -198,8 +280,9 @@ class Reasoner:
         self.check_consistency = check_consistency
         self.report = ReasoningReport()
         # Live type index shared by the rule families during a fixpoint run;
-        # None outside of one (the naive oracle path rebuilds its own).
-        self._active_type_index: Optional[Dict[object, Set[IRI]]] = None
+        # None outside of one (the naive oracle path rebuilds its own).  The
+        # encoded engine keys it by term IDs, the term engine by terms.
+        self._active_type_index: Optional[Dict[object, Set]] = None
         self._prepare_axiom_state()
 
     def _prepare_axiom_state(self) -> None:
@@ -245,6 +328,17 @@ class Reasoner:
         ) and all(
             _expression_is_monotone(expr) for expr, _ in axioms.complex_subclasses
         )
+        # ID-space translation of the tables above; rebuilt lazily per
+        # dictionary the first time an encoded fixpoint runs.
+        self._enc_axioms: Optional[_EncodedAxioms] = None
+
+    def _encoded_axioms(self, graph: Graph) -> _EncodedAxioms:
+        """The axiom tables in ``graph``'s dictionary ID space (cached)."""
+        state = self._enc_axioms
+        if state is None or state.dictionary is not graph.dictionary:
+            state = _EncodedAxioms(self, graph.dictionary)
+            self._enc_axioms = state
+        return state
 
     # ------------------------------------------------------------------
     # Entry points
@@ -252,8 +346,33 @@ class Reasoner:
     def run(self) -> Graph:
         """Return a new graph containing the input plus all inferred triples.
 
-        Semi-naive evaluation: the first round treats every input triple as
-        the delta; later rounds only process what the previous round derived.
+        Semi-naive evaluation over encoded triples: the first round treats
+        every input triple as the delta; later rounds only process what the
+        previous round derived.  The rule joins run on the graph's
+        dictionary-encoded ID tuples (the copy shares the base graph's
+        dictionary, so nothing is re-encoded).
+        """
+        start = time.perf_counter()
+        working = self.base_graph.copy()
+        self.report = ReasoningReport(input_triples=len(self.base_graph))
+
+        self._materialise_schema(working)
+        self.report.iterations = self._fixpoint_encoded(
+            working, list(working._triples), initial=True)
+        self.report.inferred_triples = len(working) - self.report.input_triples
+        self.report.elapsed_seconds = time.perf_counter() - start
+
+        if self.check_consistency:
+            self._check_consistency(working)
+        return working
+
+    def run_term(self) -> Graph:
+        """The term-object semi-naive engine (the pre-encoding ``run()``).
+
+        Identical rules and round structure to :meth:`run`, but every join
+        hashes and compares full term objects through the graph's
+        term-level API.  Kept as the baseline the encoded engine's speedup
+        gate measures against, and as a second differential oracle.
         """
         start = time.perf_counter()
         working = self.base_graph.copy()
@@ -325,9 +444,11 @@ class Reasoner:
                             "re-run the reasoner over the asserted graph"
                         )
                     self._materialise_schema(closure)
-                    self.report.iterations = self._fixpoint(closure, list(closure), initial=True)
+                    self.report.iterations = self._fixpoint_encoded(
+                        closure, list(closure._triples), initial=True)
                 else:
-                    self.report.iterations = self._fixpoint(closure, fresh)
+                    fresh_ids = [closure.encode_triple(triple) for triple in fresh]
+                    self.report.iterations = self._fixpoint_encoded(closure, fresh_ids)
             all_added = journal.added()
         finally:
             journal.close()
@@ -416,6 +537,322 @@ class Reasoner:
         finally:
             self._active_type_index = None
         return iteration
+
+    # ------------------------------------------------------------------
+    # Encoded semi-naive fixpoint (the production engine)
+    # ------------------------------------------------------------------
+    def _fixpoint_encoded(self, graph: Graph, delta: Sequence[EncodedTriple],
+                          initial: bool = False) -> int:
+        """:meth:`_fixpoint`, but the deltas are encoded ID triples.
+
+        Round structure, rule order and the resulting fixed point are
+        identical to the term engine; only the representation differs, so
+        the differential suites hold for both.  Restriction classification
+        still works on terms (class expressions match against the
+        term-level API); its inputs and outputs are decoded/encoded at
+        that boundary only.
+        """
+        enc = self._encoded_axioms(graph)
+        iteration = 0
+        ancestor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._active_type_index = None
+        try:
+            while delta and iteration < self.max_iterations:
+                iteration += 1
+                out: List[EncodedTriple] = []
+                self._apply_property_rules_encoded(graph, delta, out, enc)
+                self._apply_type_rules_encoded(graph, delta, out, enc, ancestor_cache)
+                self._apply_restriction_rules_encoded(
+                    graph, delta, out, check_everything=initial and iteration == 1)
+                delta = out
+        finally:
+            self._active_type_index = None
+        return iteration
+
+    def _apply_property_rules_encoded(self, graph: Graph,
+                                      delta: Sequence[EncodedTriple],
+                                      out: List[EncodedTriple],
+                                      enc: _EncodedAxioms) -> None:
+        """The property rule family joined through the integer indexes."""
+        spo = graph._spo
+        pos = graph._pos
+        kinds = enc.dictionary.kinds
+        superproperties = enc.superproperties
+        inverse_of = enc.inverse_of
+        symmetric = enc.symmetric
+        transitive = enc.transitive
+        chain_steps = enc.chain_steps
+        sub_adds: List[EncodedTriple] = []
+        inv_adds: List[EncodedTriple] = []
+        sym_adds: List[EncodedTriple] = []
+        trans_adds: List[EncodedTriple] = []
+        chain_adds: List[EncodedTriple] = []
+
+        for s, p, o in delta:
+            # Sub-property propagation: (x p y), p ⊑ q  =>  (x q y)
+            supers = superproperties.get(p)
+            if supers:
+                for sup in supers:
+                    sub_adds.append((s, sup, o))
+            if kinds[o] == KIND_LITERAL:
+                continue
+            # Inverse properties: (x p y), p inverseOf q  =>  (y q x)
+            inverses = inverse_of.get(p)
+            if inverses:
+                for inverse in inverses:
+                    inv_adds.append((o, inverse, s))
+            # Symmetric properties.
+            if p in symmetric:
+                sym_adds.append((o, p, s))
+            # Transitive properties: join the new edge with the closure on
+            # both sides; multi-hop paths cascade through later rounds.
+            if p in transitive:
+                by_pred = spo.get(o)
+                if by_pred:
+                    for nxt in by_pred.get(p, ()):
+                        if kinds[nxt] != KIND_LITERAL:
+                            trans_adds.append((s, p, nxt))
+                by_obj = pos.get(p)
+                if by_obj:
+                    for prev in by_obj.get(s, ()):
+                        trans_adds.append((prev, p, o))
+            # Property chains: p1 o p2 ⊑ q — plug the new edge into every
+            # position it can occupy and walk the rest of the chain.
+            steps = chain_steps.get(p)
+            if steps:
+                for head, chain, position in steps:
+                    for left, right in self._chain_matches_encoded(
+                            graph, chain, position, s, o, kinds):
+                        chain_adds.append((left, head, right))
+
+        self._add_all_encoded(graph, sub_adds, "subPropertyOf", out, enc)
+        self._add_all_encoded(graph, inv_adds, "inverseOf", out, enc)
+        self._add_all_encoded(graph, sym_adds, "symmetric", out, enc)
+        self._add_all_encoded(graph, trans_adds, "transitive", out, enc)
+        self._add_all_encoded(graph, chain_adds, "propertyChain", out, enc)
+
+    def _chain_matches_encoded(self, graph: Graph, chain: Tuple[int, ...],
+                               position: int, s: int, o: int,
+                               kinds: List[int]) -> List[Tuple[int, int]]:
+        """(start, end) ID pairs completed by the edge ``(s, chain[position], o)``."""
+        spo = graph._spo
+        pos = graph._pos
+        lefts: Set[int] = {s}
+        for step in reversed(chain[:position]):
+            previous: Set[int] = set()
+            by_obj = pos.get(step)
+            if by_obj:
+                for node in lefts:
+                    subjects = by_obj.get(node)
+                    if subjects:
+                        previous.update(subjects)
+            lefts = previous
+            if not lefts:
+                return []
+        rights: Set[int] = {o}
+        for step in chain[position + 1:]:
+            following: Set[int] = set()
+            for node in rights:
+                by_pred = spo.get(node)
+                if by_pred:
+                    for value in by_pred.get(step, ()):
+                        if kinds[value] != KIND_LITERAL:
+                            following.add(value)
+            rights = following
+            if not rights:
+                return []
+        return [(left, right) for left in lefts for right in rights]
+
+    def _apply_type_rules_encoded(self, graph: Graph,
+                                  delta: Sequence[EncodedTriple],
+                                  out: List[EncodedTriple],
+                                  enc: _EncodedAxioms,
+                                  ancestor_cache: Dict[int, Tuple[int, ...]]) -> None:
+        spo = graph._spo
+        kinds = enc.dictionary.kinds
+        terms = enc.dictionary.terms
+        intern = enc.dictionary.intern
+        domains = enc.domains
+        ranges = enc.ranges
+        rdf_type = enc.rdf_type
+        rdfs_subclassof = enc.rdfs_subclassof
+        dr_adds: List[EncodedTriple] = []
+        type_adds: List[EncodedTriple] = []
+        for s, p, o in delta:
+            # Domain / range typing.
+            domain_classes = domains.get(p)
+            if domain_classes:
+                for domain in domain_classes:
+                    dr_adds.append((s, rdf_type, domain))
+            if kinds[o] != KIND_LITERAL:
+                range_classes = ranges.get(p)
+                if range_classes:
+                    for range_ in range_classes:
+                        dr_adds.append((o, rdf_type, range_))
+            # Type propagation along the class hierarchy (static per fixpoint:
+            # no rule derives subClassOf, so the ancestor cache stays valid).
+            if p == rdf_type and kinds[o] == KIND_IRI:
+                ancestors = ancestor_cache.get(o)
+                if ancestors is None:
+                    found: Set[int] = set()
+                    by_pred = spo.get(o)
+                    if by_pred:
+                        for ancestor in by_pred.get(rdfs_subclassof, ()):
+                            if kinds[ancestor] == KIND_IRI:
+                                found.add(ancestor)
+                    for ancestor_term in self.axioms.superclass_closure(terms[o]):
+                        ancestor = intern(ancestor_term)
+                        if ancestor != o:
+                            found.add(ancestor)
+                    ancestors = tuple(found)
+                    ancestor_cache[o] = ancestors
+                for ancestor in ancestors:
+                    type_adds.append((s, rdf_type, ancestor))
+        self._add_all_encoded(graph, dr_adds, "domain-range", out, enc)
+        self._add_all_encoded(graph, type_adds, "subClassOf-types", out, enc)
+
+    def _type_index_ids(self, graph: Graph, enc: _EncodedAxioms) -> Dict[int, Set[int]]:
+        """``individual ID -> named-class IDs`` built from the POS index."""
+        index: Dict[int, Set[int]] = {}
+        kinds = enc.dictionary.kinds
+        by_obj = graph._pos.get(enc.rdf_type)
+        if by_obj:
+            for cls, subjects in by_obj.items():
+                if kinds[cls] != KIND_IRI:
+                    continue
+                for subject in subjects:
+                    entry = index.get(subject)
+                    if entry is None:
+                        index[subject] = {cls}
+                    else:
+                        entry.add(cls)
+        return index
+
+    def _individuals_ids(self, graph: Graph, enc: _EncodedAxioms) -> Set[int]:
+        """The encoded mirror of :meth:`_individuals`."""
+        individuals: Set[int] = set()
+        kinds = enc.dictionary.kinds
+        rdf_type = enc.rdf_type
+        schema_only = enc.schema_only_preds
+        for s, p, o in graph._triples:
+            if p in schema_only:
+                continue
+            individuals.add(s)
+            if p != rdf_type and kinds[o] != KIND_LITERAL:
+                individuals.add(o)
+        return individuals
+
+    def _restriction_candidates_ids(self, graph: Graph,
+                                    delta: Sequence[EncodedTriple],
+                                    enc: _EncodedAxioms) -> Set[int]:
+        """The encoded mirror of :meth:`_restriction_candidates`: the delta's
+        touched nodes expanded backwards through the restriction properties."""
+        kinds = enc.dictionary.kinds
+        rdf_type = enc.rdf_type
+        schema_only = enc.schema_only_preds
+        nodes: Set[int] = set()
+        for s, p, o in delta:
+            if p in schema_only:
+                continue
+            nodes.add(s)
+            if p != rdf_type and kinds[o] != KIND_LITERAL:
+                nodes.add(o)
+        properties = enc.restriction_properties
+        osp = graph._osp
+        frontier = set(nodes)
+        for _ in range(self._restriction_depth):
+            if not frontier:
+                break
+            reached: Set[int] = set()
+            for node in frontier:
+                by_subj = osp.get(node)
+                if not by_subj:
+                    continue
+                for subject, preds in by_subj.items():
+                    if subject not in nodes and not properties.isdisjoint(preds):
+                        nodes.add(subject)
+                        reached.add(subject)
+            frontier = reached
+        return nodes
+
+    def _apply_restriction_rules_encoded(self, graph: Graph,
+                                         delta: Sequence[EncodedTriple],
+                                         out: List[EncodedTriple],
+                                         check_everything: bool = False) -> None:
+        """Restriction classification over compiled ID-space matchers.
+
+        The class expressions were compiled into closures over integer IDs
+        when the encoded axiom state was built, so candidate discovery,
+        membership checks and consequence emission all run on the integer
+        indexes — no term is decoded anywhere in this family.
+        """
+        if not self._has_restrictions:
+            return
+        enc = self._enc_axioms
+        if check_everything:
+            candidates = self._individuals_ids(graph, enc)
+        else:
+            candidates = self._restriction_candidates_ids(graph, delta, enc)
+            if not candidates:
+                return
+        type_index = self._active_type_index
+        if type_index is None:
+            # First round with candidates: build once (additions since the
+            # fixpoint started are already in the graph, so they're covered);
+            # _add_all_encoded maintains it from here on.
+            type_index = self._active_type_index = self._type_index_ids(graph, enc)
+
+        # (a) classification: expression ≡/⊒ named class — if an individual
+        # satisfies the expression it gains the named type.
+        empty: Set[int] = set()
+        additions: List[EncodedTriple] = []
+        rdf_type = enc.rdf_type
+        for named, matcher in enc.equivalences:
+            for individual in candidates:
+                if named in type_index.get(individual, empty):
+                    continue
+                if matcher(graph, individual, type_index):
+                    additions.append((individual, rdf_type, named))
+        for named, matcher in enc.complex_subclasses:
+            for individual in candidates:
+                if named in type_index.get(individual, empty):
+                    continue
+                if matcher(graph, individual, type_index):
+                    additions.append((individual, rdf_type, named))
+        self._add_all_encoded(graph, additions, "classification", out, enc)
+
+        # (b) consequence direction: named class ⊑ expression.  The shared
+        # type index already reflects the (a) classifications.
+        additions = []
+        for sub, emit in enc.complex_superclasses:
+            for member in candidates:
+                if sub in type_index.get(member, empty):
+                    emit(graph, member, additions)
+        self._add_all_encoded(graph, additions, "restriction-consequences", out, enc)
+
+    def _add_all_encoded(self, graph: Graph, triples: List[EncodedTriple],
+                         rule: str, out: List[EncodedTriple],
+                         enc: _EncodedAxioms) -> None:
+        """Add encoded ``triples``, counting effective firings; genuinely new
+        triples land in ``out`` as the next round's delta."""
+        if not triples:
+            return
+        same_as = enc.owl_same_as
+        batch = [t for t in triples if t[1] != same_as or t[0] != t[2]]
+        start = len(out)
+        added = graph.add_encoded_many(batch, out)
+        self.report.record(rule, added)
+        type_index = self._active_type_index
+        if type_index is not None and added:
+            rdf_type = enc.rdf_type
+            kinds = enc.dictionary.kinds
+            for s, p, o in out[start:]:
+                if p == rdf_type and kinds[o] == KIND_IRI:
+                    entry = type_index.get(s)
+                    if entry is None:
+                        type_index[s] = {o}
+                    else:
+                        entry.add(o)
 
     # ------------------------------------------------------------------
     # Schema closure

@@ -9,7 +9,8 @@ namespace management and blank-node-aware graph comparison).
 
 from .collection import make_collection, read_collection
 from .compare import graph_diff, isomorphic
-from .graph import ChangeJournal, Graph, ReadOnlyGraphUnion, Triple
+from .dictionary import TermDictionary
+from .graph import ChangeJournal, EncodedTriple, Graph, ReadOnlyGraphUnion, Triple
 from .namespace import (
     DC,
     DEFAULT_PREFIXES,
@@ -52,6 +53,7 @@ __all__ = [
     "DC",
     "DEFAULT_PREFIXES",
     "EO",
+    "EncodedTriple",
     "FEO",
     "FOAF",
     "FOOD",
@@ -70,6 +72,7 @@ __all__ = [
     "SIO",
     "SKOS",
     "Term",
+    "TermDictionary",
     "Triple",
     "URIRef",
     "Variable",

@@ -1,0 +1,138 @@
+"""Dictionary encoding of RDF terms: the storage engine's interning layer.
+
+Every :class:`~repro.rdf.graph.Graph` stores its triples as ``(int, int,
+int)`` tuples; the :class:`TermDictionary` is the bidirectional mapping
+between those integer IDs and the :class:`~repro.rdf.terms.Term` objects
+the public API speaks.  Interning happens once, at the graph boundary —
+the SPO/POS/OSP indexes, the reasoner's rule joins and the SPARQL
+planner's hash joins all operate on compact integer tuples and only
+decode when a term has to leave the store (iteration, projection,
+serialisation).
+
+One dictionary is shared by a whole *graph family*:
+:meth:`Graph.copy` hands the clone the same dictionary, so scenario
+copies, cached closures and incremental extensions never re-encode the
+base graph, and encoded triples can flow between family members without
+translation.  That sharing is safe because the dictionary is strictly
+append-only — an ID, once assigned, never changes meaning.
+
+Term equality drives interning: two equal terms (e.g. ``Literal(1)`` and
+``Literal("1", datatype=XSD_INTEGER)``) share one ID, so decoding yields
+the canonical first-interned object.  Alongside each term the dictionary
+records its *kind* (IRI / blank node / literal) — giving the hot paths
+O(1) ``isinstance``-free literal checks — and its content hash, from
+which graphs derive their order-independent fingerprints without
+re-hashing terms on every mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from .terms import BNode, IRI, Literal, Term
+
+__all__ = ["TermDictionary", "KIND_IRI", "KIND_BNODE", "KIND_LITERAL"]
+
+#: Term-kind codes stored per ID (see :attr:`TermDictionary.kinds`).
+KIND_IRI = 0
+KIND_BNODE = 1
+KIND_LITERAL = 2
+
+
+class TermDictionary:
+    """An append-only, bidirectional term ↔ integer-ID interning table.
+
+    The forward map (:attr:`ids`) is keyed by the terms themselves, so
+    lookups follow term equality/hashing exactly like the previous
+    term-keyed indexes did.  The reverse direction is three parallel
+    lists indexed by ID: the canonical term (:attr:`terms`), its kind
+    code (:attr:`kinds`) and its content hash (:attr:`hashes`).  The
+    lists are exposed directly because the reasoner and planner bind
+    them as locals inside their hottest loops.
+    """
+
+    __slots__ = ("ids", "terms", "kinds", "hashes", "_kind_counts", "_lock")
+
+    def __init__(self) -> None:
+        self.ids: Dict[Term, int] = {}
+        self.terms: List[Term] = []
+        self.kinds: List[int] = []
+        self.hashes: List[int] = []
+        self._kind_counts = [0, 0, 0]
+        # Guards ID assignment only: one dictionary is shared by a whole
+        # graph family, and a threaded service can reason two scenario
+        # graphs of the same family concurrently.  Lookups stay lock-free
+        # (an ID is published into ``ids`` only after the reverse lists
+        # hold its row).
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def intern(self, term: Term) -> int:
+        """Return the ID for ``term``, assigning the next ID on first sight.
+
+        Raises :class:`TypeError` for objects that are not graph-storable
+        terms (anything but IRI / BNode / Literal).  Validation and the
+        assignment lock only apply to genuinely new terms; re-interning an
+        already-known term is a single lock-free dictionary probe.
+        """
+        tid = self.ids.get(term)
+        if tid is not None:
+            return tid
+        if isinstance(term, Literal):
+            kind = KIND_LITERAL
+        elif isinstance(term, IRI):
+            kind = KIND_IRI
+        elif isinstance(term, BNode):
+            kind = KIND_BNODE
+        else:
+            raise TypeError(
+                f"Cannot intern {term!r} (type {type(term).__name__}): "
+                "not an IRI, BNode or Literal"
+            )
+        with self._lock:
+            tid = self.ids.get(term)
+            if tid is not None:
+                return tid
+            tid = len(self.terms)
+            self.terms.append(term)
+            self.kinds.append(kind)
+            self.hashes.append(hash(term))
+            self._kind_counts[kind] += 1
+            self.ids[term] = tid
+        return tid
+
+    def lookup(self, term: object) -> Optional[int]:
+        """The ID of ``term`` if it has ever been interned, else ``None``.
+
+        Never interns; used for pattern matching, where an unknown term
+        simply means "no triple can match".
+        """
+        return self.ids.get(term)
+
+    def decode(self, tid: int) -> Term:
+        """The canonical term for an ID (the first-interned equal object)."""
+        return self.terms[tid]
+
+    def kind(self, tid: int) -> int:
+        """Kind code for an ID: ``KIND_IRI`` / ``KIND_BNODE`` / ``KIND_LITERAL``."""
+        return self.kinds[tid]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self.ids
+
+    def stats(self) -> Dict[str, int]:
+        """Interning counters: total terms and the per-kind breakdown."""
+        return {
+            "interned_terms": len(self.terms),
+            "iris": self._kind_counts[KIND_IRI],
+            "bnodes": self._kind_counts[KIND_BNODE],
+            "literals": self._kind_counts[KIND_LITERAL],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TermDictionary terms={len(self.terms)}>"

@@ -1,10 +1,21 @@
-"""An indexed, in-memory RDF graph.
+"""An indexed, in-memory, dictionary-encoded RDF graph.
 
-The :class:`Graph` keeps three permutation indexes (SPO, POS, OSP) so that
-any triple pattern with at least one bound position is answered by a
-dictionary lookup rather than a scan.  This is the store that the OWL
-reasoner materialises into and the SPARQL engine evaluates against, so
-pattern-matching performance matters for the scaling benchmarks.
+The :class:`Graph` is the project's storage engine.  Internally every
+triple is a compact ``(int, int, int)`` tuple of term IDs assigned by a
+shared :class:`~repro.rdf.dictionary.TermDictionary`; the SPO/POS/OSP
+permutation indexes, the per-predicate cardinality counters, the change
+journals and the O(1) content fingerprint all operate on those integer
+tuples.  The public API stays term-level — :meth:`add` encodes at the
+boundary and :meth:`triples` decodes on the way out — so callers keep
+seeing :class:`~repro.rdf.terms.Term` objects, while the OWL reasoner and
+the SPARQL planner ride the encoded fast path (:meth:`triples_ids`,
+:meth:`add_encoded`, the raw index attributes) and only decode for
+presentation.
+
+One dictionary serves a whole graph family: :meth:`copy` shares it with
+the clone, so scenario copies and cached closures reuse the base graph's
+interned terms and encoded triples flow between family members without
+re-encoding.
 
 Mutations can be observed through a :class:`ChangeJournal`
 (:meth:`Graph.start_journal`): callers capture "what was added since the
@@ -16,14 +27,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from .dictionary import TermDictionary
 from .namespace import RDF, NamespaceManager
 from .terms import BNode, IRI, Literal, Term
 
-__all__ = ["Triple", "Graph", "ChangeJournal", "ReadOnlyGraphUnion"]
+__all__ = ["Triple", "EncodedTriple", "Graph", "ChangeJournal", "ReadOnlyGraphUnion"]
 
 Node = Union[IRI, BNode, Literal]
 Triple = Tuple[Node, IRI, Node]
 TriplePattern = Tuple[Optional[Node], Optional[IRI], Optional[Node]]
+#: The internal storage form: three term IDs from the graph's dictionary.
+EncodedTriple = Tuple[int, int, int]
+EncodedPattern = Tuple[Optional[int], Optional[int], Optional[int]]
 
 
 def _check_term(term: Any, position: str, allow_literal: bool) -> Node:
@@ -46,8 +61,8 @@ class ChangeJournal:
     absent one, is invisible), and an add followed by a remove of the same
     triple cancels out — :meth:`added` and :meth:`removed` always describe
     the net difference from the graph state at journal start, in first-change
-    order.  Journals are cheap; the graph pays one list walk per effective
-    mutation only while at least one journal is attached.
+    order.  Recording happens in the encoded domain (ID tuples), so journals
+    add no decode cost to mutations; the deltas are decoded once, when read.
 
     Usable as a context manager::
 
@@ -58,17 +73,18 @@ class ChangeJournal:
 
     def __init__(self, graph: "Graph") -> None:
         self._graph: Optional["Graph"] = graph
-        self._added: Dict[Triple, None] = {}
-        self._removed: Dict[Triple, None] = {}
+        self._dict: TermDictionary = graph._dict
+        self._added: Dict[EncodedTriple, None] = {}
+        self._removed: Dict[EncodedTriple, None] = {}
 
     # Called by Graph on effective mutations only.
-    def _record_add(self, triple: Triple) -> None:
+    def _record_add(self, triple: EncodedTriple) -> None:
         if triple in self._removed:
             del self._removed[triple]
         else:
             self._added[triple] = None
 
-    def _record_remove(self, triple: Triple) -> None:
+    def _record_remove(self, triple: EncodedTriple) -> None:
         if triple in self._added:
             del self._added[triple]
         else:
@@ -77,11 +93,13 @@ class ChangeJournal:
     # ------------------------------------------------------------------
     def added(self) -> Tuple[Triple, ...]:
         """Triples present now but not at journal start."""
-        return tuple(self._added)
+        terms = self._dict.terms
+        return tuple((terms[s], terms[p], terms[o]) for s, p, o in self._added)
 
     def removed(self) -> Tuple[Triple, ...]:
         """Triples present at journal start but not now."""
-        return tuple(self._removed)
+        terms = self._dict.terms
+        return tuple((terms[s], terms[p], terms[o]) for s, p, o in self._removed)
 
     @property
     def clean(self) -> bool:
@@ -107,138 +125,151 @@ class ChangeJournal:
 
 
 class Graph:
-    """A set of RDF triples with SPO/POS/OSP indexes and namespace bindings."""
+    """A set of RDF triples with SPO/POS/OSP indexes and namespace bindings.
+
+    Storage is dictionary-encoded: ``_triples`` holds ``(int, int, int)``
+    ID tuples and the three permutation indexes are keyed by IDs.  The
+    encoded surface (``triples_ids`` / ``add_encoded`` / ``_spo`` /
+    ``_pos`` / ``_osp`` and :attr:`dictionary`) is read by the reasoner
+    and the query planner; everything else goes through the term-level
+    methods, which encode/decode at the boundary.
+    """
 
     def __init__(self, identifier: Optional[IRI] = None, bind_defaults: bool = True) -> None:
         self.identifier = identifier or IRI(f"urn:graph:{id(self)}")
         self.namespace_manager = NamespaceManager(bind_defaults=bind_defaults)
-        self._triples: Set[Triple] = set()
-        self._spo: Dict[Node, Dict[IRI, Set[Node]]] = {}
-        self._pos: Dict[IRI, Dict[Node, Set[Node]]] = {}
-        self._osp: Dict[Node, Dict[Node, Set[IRI]]] = {}
+        self._dict = TermDictionary()
+        self._triples: Set[EncodedTriple] = set()
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._osp: Dict[int, Dict[int, Set[int]]] = {}
+        # Copy-on-write bookkeeping: keys whose inner index entry may be
+        # shared with another family member after a copy().  A graph deep-
+        # copies an entry the first time it mutates it, so copying is
+        # O(outer keys) and an incremental extension only pays for the
+        # entries its delta actually touches.
+        self._spo_cow: Set[int] = set()
+        self._pos_cow: Set[int] = set()
+        self._osp_cow: Set[int] = set()
         # Total triple count per predicate, maintained incrementally so the
         # query planner's cardinality estimates stay O(1).
-        self._pred_counts: Dict[IRI, int] = {}
+        self._pred_counts: Dict[int, int] = {}
         # Order-independent content hash, maintained incrementally so that
         # fingerprint() is O(1).  XOR is its own inverse, so add/remove of
-        # the same triple cancel out exactly.
+        # the same triple cancel out exactly.  Each triple contributes a
+        # hash derived from its terms' content hashes (cached per ID in the
+        # dictionary), so equal triple sets fingerprint equally even across
+        # graph families with different ID assignments.
         self._content_hash: int = 0
         self._journals: List[ChangeJournal] = []
 
     # ------------------------------------------------------------------
-    # Mutation
+    # The encoded surface
     # ------------------------------------------------------------------
-    def add(self, triple: Triple) -> "Graph":
-        """Add one ``(subject, predicate, object)`` triple."""
-        s, p, o = triple
-        s = _check_term(s, "subject", allow_literal=False)
-        p = _check_term(p, "predicate", allow_literal=False)
-        o = _check_term(o, "object", allow_literal=True)
-        if not isinstance(p, IRI):
-            raise TypeError("Predicates must be IRIs")
-        triple = (s, p, o)
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary shared by this graph's family."""
+        return self._dict
+
+    def encode_triple(self, triple: Triple) -> Optional[EncodedTriple]:
+        """The encoded form of a term triple, or ``None`` if any term is
+        unknown to the dictionary (in which case the graph cannot hold it)."""
+        lookup = self._dict.ids.get
+        s = lookup(triple[0])
+        if s is None:
+            return None
+        p = lookup(triple[1])
+        if p is None:
+            return None
+        o = lookup(triple[2])
+        if o is None:
+            return None
+        return (s, p, o)
+
+    def decode_triple(self, triple: EncodedTriple) -> Triple:
+        """The term form of an encoded triple."""
+        terms = self._dict.terms
+        return (terms[triple[0]], terms[triple[1]], terms[triple[2]])
+
+    def add_encoded(self, triple: EncodedTriple) -> bool:
+        """Add one already-encoded triple; ``True`` if it was genuinely new.
+
+        The IDs must come from this graph's dictionary.  No term
+        validation happens here — this is the internal fast path the
+        reasoner's rule engine feeds derived triples through.
+        """
         if triple in self._triples:
-            return self
+            return False
+        s, p, o = triple
         self._triples.add(triple)
-        self._content_hash ^= hash(triple)
+        hashes = self._dict.hashes
+        self._content_hash ^= hash((hashes[s], hashes[p], hashes[o]))
         self._pred_counts[p] = self._pred_counts.get(p, 0) + 1
-        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._index_add(self._spo, self._spo_cow, s, p, o)
+        self._index_add(self._pos, self._pos_cow, p, o, s)
+        self._index_add(self._osp, self._osp_cow, o, s, p)
         if self._journals:
             for journal in self._journals:
                 journal._record_add(triple)
-        return self
+        return True
 
-    def addN(self, triples: Iterable[Triple]) -> "Graph":
-        """Add many triples at once."""
-        for triple in triples:
-            self.add(triple)
-        return self
-
-    def remove(self, pattern: TriplePattern) -> "Graph":
-        """Remove every triple matching ``pattern`` (``None`` is a wildcard)."""
-        for triple in list(self.triples(pattern)):
-            self._discard(triple)
-        return self
-
-    def _discard(self, triple: Triple) -> None:
-        if triple not in self._triples:
+    @staticmethod
+    def _index_add(index: Dict[int, Dict[int, Set[int]]], cow: Set[int],
+                   key: int, mid: int, leaf: int) -> None:
+        """Insert into one permutation index, un-sharing a COW entry first."""
+        entry = index.get(key)
+        if entry is None:
+            index[key] = {mid: {leaf}}
             return
-        s, p, o = triple
-        self._triples.discard(triple)
-        self._content_hash ^= hash(triple)
-        remaining = self._pred_counts.get(p, 0) - 1
-        if remaining > 0:
-            self._pred_counts[p] = remaining
+        if key in cow:
+            entry = {m: leaves.copy() for m, leaves in entry.items()}
+            index[key] = entry
+            cow.discard(key)
+        leaves = entry.get(mid)
+        if leaves is None:
+            entry[mid] = {leaf}
         else:
-            self._pred_counts.pop(p, None)
-        self._spo[s][p].discard(o)
-        if not self._spo[s][p]:
-            del self._spo[s][p]
-            if not self._spo[s]:
-                del self._spo[s]
-        self._pos[p][o].discard(s)
-        if not self._pos[p][o]:
-            del self._pos[p][o]
-            if not self._pos[p]:
-                del self._pos[p]
-        self._osp[o][s].discard(p)
-        if not self._osp[o][s]:
-            del self._osp[o][s]
-            if not self._osp[o]:
-                del self._osp[o]
-        if self._journals:
-            for journal in self._journals:
-                journal._record_remove(triple)
+            leaves.add(leaf)
 
-    def set(self, triple: Triple) -> "Graph":
-        """Replace any existing ``(s, p, *)`` triples with the given one."""
-        s, p, _ = triple
-        self.remove((s, p, None))
-        return self.add(triple)
+    def add_encoded_many(self, batch: Iterable[EncodedTriple],
+                         out: Optional[List[EncodedTriple]] = None) -> int:
+        """Add a batch of encoded triples with one set of bound locals.
 
-    def clear(self) -> None:
-        """Remove every triple (namespace bindings are kept)."""
-        if self._journals:
-            for triple in self._triples:
-                for journal in self._journals:
-                    journal._record_remove(triple)
-        self._triples.clear()
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._pred_counts.clear()
-        self._content_hash = 0
-
-    def start_journal(self) -> ChangeJournal:
-        """Attach and return a :class:`ChangeJournal` recording net mutations.
-
-        Several journals can be active at once; :meth:`copy` does not carry
-        journals over to the clone.  Close the journal when done so the
-        graph stops paying the per-mutation recording cost.
+        Returns the number of genuinely new triples; ``out`` (if given)
+        collects them in order — the shape the reasoner's semi-naive
+        rounds need for the next delta.
         """
-        journal = ChangeJournal(self)
-        self._journals.append(journal)
-        return journal
+        triples = self._triples
+        spo, pos, osp = self._spo, self._pos, self._osp
+        spo_cow, pos_cow, osp_cow = self._spo_cow, self._pos_cow, self._osp_cow
+        index_add = self._index_add
+        pred_counts = self._pred_counts
+        hashes = self._dict.hashes
+        journals = self._journals
+        content_hash = self._content_hash
+        added = 0
+        append = out.append if out is not None else None
+        for triple in batch:
+            if triple in triples:
+                continue
+            s, p, o = triple
+            triples.add(triple)
+            content_hash ^= hash((hashes[s], hashes[p], hashes[o]))
+            pred_counts[p] = pred_counts.get(p, 0) + 1
+            index_add(spo, spo_cow, s, p, o)
+            index_add(pos, pos_cow, p, o, s)
+            index_add(osp, osp_cow, o, s, p)
+            if journals:
+                for journal in journals:
+                    journal._record_add(triple)
+            if append is not None:
+                append(triple)
+            added += 1
+        self._content_hash = content_hash
+        return added
 
-    def fingerprint(self) -> Tuple[int, int]:
-        """A cheap ``(size, content-hash)`` key identifying the graph's contents.
-
-        The hash is order-independent and maintained incrementally on every
-        mutation, so this call is O(1).  Two graphs with equal triple sets
-        always produce the same fingerprint within one process; any mutation
-        changes it, which is what the materialisation cache in
-        :mod:`repro.owl.closure` uses for invalidation.  Fingerprints are not
-        stable across processes (Python string hashing is salted).
-        """
-        return (len(self._triples), self._content_hash)
-
-    # ------------------------------------------------------------------
-    # Matching
-    # ------------------------------------------------------------------
-    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
-        """Yield every triple matching the pattern; ``None`` acts as a wildcard."""
+    def triples_ids(self, pattern: EncodedPattern = (None, None, None)) -> Iterator[EncodedTriple]:
+        """Yield encoded triples matching an encoded pattern (``None`` = wildcard)."""
         s, p, o = pattern
         if s is not None and p is not None and o is not None:
             if (s, p, o) in self._triples:
@@ -280,6 +311,173 @@ class Graph:
             return
         yield from self._triples
 
+    def _encode_pattern(self, pattern: TriplePattern) -> Optional[EncodedPattern]:
+        """Encode a term pattern; ``None`` if a bound term is unknown
+        (no triple can match)."""
+        lookup = self._dict.ids.get
+        s, p, o = pattern
+        if s is not None:
+            s = lookup(s)
+            if s is None:
+                return None
+        if p is not None:
+            p = lookup(p)
+            if p is None:
+                return None
+        if o is not None:
+            o = lookup(o)
+            if o is None:
+                return None
+        return (s, p, o)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> "Graph":
+        """Add one ``(subject, predicate, object)`` triple."""
+        s, p, o = triple
+        s = _check_term(s, "subject", allow_literal=False)
+        p = _check_term(p, "predicate", allow_literal=False)
+        o = _check_term(o, "object", allow_literal=True)
+        if not isinstance(p, IRI):
+            raise TypeError("Predicates must be IRIs")
+        intern = self._dict.intern
+        self.add_encoded((intern(s), intern(p), intern(o)))
+        return self
+
+    def addN(self, triples: Iterable[Triple]) -> "Graph":
+        """Add many triples at once (bulk-load fast path).
+
+        Encoding happens in one pass with locally-bound lookups; when the
+        source is a same-family :class:`Graph` the already-encoded triples
+        are inserted directly, skipping validation and re-encoding, and
+        when no journal is attached the per-triple journal bookkeeping is
+        skipped entirely.
+        """
+        if isinstance(triples, Graph) and triples._dict is self._dict:
+            self.add_encoded_many(triples._triples)
+            return self
+        intern = self._dict.intern
+        if not self._journals:
+            # Journal-free bulk path: encode and insert without the
+            # per-triple journal checks (and per-call overhead) of add().
+            self.add_encoded_many(
+                (intern(_check_term(s, "subject", allow_literal=False)),
+                 intern(_check_predicate(p)),
+                 intern(_check_term(o, "object", allow_literal=True)))
+                for s, p, o in triples
+            )
+            return self
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(self, pattern: TriplePattern) -> "Graph":
+        """Remove every triple matching ``pattern`` (``None`` is a wildcard)."""
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return self
+        for triple in list(self.triples_ids(encoded)):
+            self._discard(triple)
+        return self
+
+    def _discard(self, triple: EncodedTriple) -> None:
+        if triple not in self._triples:
+            return
+        s, p, o = triple
+        self._triples.discard(triple)
+        hashes = self._dict.hashes
+        self._content_hash ^= hash((hashes[s], hashes[p], hashes[o]))
+        remaining = self._pred_counts.get(p, 0) - 1
+        if remaining > 0:
+            self._pred_counts[p] = remaining
+        else:
+            self._pred_counts.pop(p, None)
+        for index, cow, key in ((self._spo, self._spo_cow, s),
+                                (self._pos, self._pos_cow, p),
+                                (self._osp, self._osp_cow, o)):
+            if key in cow:
+                index[key] = {m: leaves.copy() for m, leaves in index[key].items()}
+                cow.discard(key)
+        self._spo[s][p].discard(o)
+        if not self._spo[s][p]:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        if self._journals:
+            for journal in self._journals:
+                journal._record_remove(triple)
+
+    def set(self, triple: Triple) -> "Graph":
+        """Replace any existing ``(s, p, *)`` triples with the given one."""
+        s, p, _ = triple
+        self.remove((s, p, None))
+        return self.add(triple)
+
+    def clear(self) -> None:
+        """Remove every triple (namespace bindings and dictionary are kept)."""
+        if self._journals:
+            for triple in self._triples:
+                for journal in self._journals:
+                    journal._record_remove(triple)
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._spo_cow.clear()
+        self._pos_cow.clear()
+        self._osp_cow.clear()
+        self._pred_counts.clear()
+        self._content_hash = 0
+
+    def start_journal(self) -> ChangeJournal:
+        """Attach and return a :class:`ChangeJournal` recording net mutations.
+
+        Several journals can be active at once; :meth:`copy` does not carry
+        journals over to the clone.  Close the journal when done so the
+        graph stops paying the per-mutation recording cost.
+        """
+        journal = ChangeJournal(self)
+        self._journals.append(journal)
+        return journal
+
+    def fingerprint(self) -> Tuple[int, int]:
+        """A cheap ``(size, content-hash)`` key identifying the graph's contents.
+
+        The hash is order-independent and maintained incrementally on every
+        mutation, so this call is O(1).  Each triple contributes a hash built
+        from its terms' content hashes (cached in the dictionary), not from
+        its ID assignment, so two graphs with equal triple sets always
+        produce the same fingerprint within one process — even when they
+        belong to different graph families; any mutation changes it, which
+        is what the materialisation cache in :mod:`repro.owl.closure` uses
+        for invalidation.  Fingerprints are not stable across processes
+        (Python string hashing is salted).
+        """
+        return (len(self._triples), self._content_hash)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        """Yield every triple matching the pattern; ``None`` acts as a wildcard."""
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return
+        terms = self._dict.terms
+        for s, p, o in self.triples_ids(encoded):
+            yield (terms[s], terms[p], terms[o])
+
     def cardinality(self, pattern: TriplePattern = (None, None, None)) -> int:
         """The exact number of triples matching ``pattern``, without scanning.
 
@@ -289,7 +487,10 @@ class Graph:
         ``(s, ?, ?)`` / ``(?, ?, o)``.  This is the statistic the SPARQL
         query planner (:mod:`repro.sparql.planner`) uses to order joins.
         """
-        s, p, o = pattern
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return 0
+        s, p, o = encoded
         if s is None and p is None and o is None:
             return len(self._triples)
         if s is not None and p is not None and o is not None:
@@ -329,16 +530,29 @@ class Graph:
 
     def predicate_stats(self, predicate: IRI) -> Dict[str, int]:
         """Per-predicate statistics: total triples and distinct objects."""
+        pid = self._dict.ids.get(predicate)
+        if pid is None:
+            return {"count": 0, "distinct_objects": 0}
         return {
-            "count": self._pred_counts.get(predicate, 0),
-            "distinct_objects": len(self._pos.get(predicate, ())),
+            "count": self._pred_counts.get(pid, 0),
+            "distinct_objects": len(self._pos.get(pid, ())),
         }
 
+    def store_stats(self) -> Dict[str, int]:
+        """Storage-engine counters: dictionary interning plus triple count."""
+        stats = self._dict.stats()
+        stats["encoded_triples"] = len(self._triples)
+        return stats
+
     def __contains__(self, pattern: TriplePattern) -> bool:
-        return next(self.triples(pattern), None) is not None
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return False
+        return next(self.triples_ids(encoded), None) is not None
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        terms = self._dict.terms
+        return ((terms[s], terms[p], terms[o]) for s, p, o in self._triples)
 
     def __len__(self) -> int:
         return len(self._triples)
@@ -351,27 +565,39 @@ class Graph:
     # ------------------------------------------------------------------
     def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Node] = None) -> Iterator[Node]:
         """Yield distinct subjects of triples matching ``(?, predicate, obj)``."""
-        seen: Set[Node] = set()
-        for s, _, _ in self.triples((None, predicate, obj)):
+        encoded = self._encode_pattern((None, predicate, obj))
+        if encoded is None:
+            return
+        terms = self._dict.terms
+        seen: Set[int] = set()
+        for s, _, _ in self.triples_ids(encoded):
             if s not in seen:
                 seen.add(s)
-                yield s
+                yield terms[s]
 
     def predicates(self, subject: Optional[Node] = None, obj: Optional[Node] = None) -> Iterator[IRI]:
         """Yield distinct predicates of triples matching ``(subject, ?, obj)``."""
-        seen: Set[IRI] = set()
-        for _, p, _ in self.triples((subject, None, obj)):
+        encoded = self._encode_pattern((subject, None, obj))
+        if encoded is None:
+            return
+        terms = self._dict.terms
+        seen: Set[int] = set()
+        for _, p, _ in self.triples_ids(encoded):
             if p not in seen:
                 seen.add(p)
-                yield p
+                yield terms[p]
 
     def objects(self, subject: Optional[Node] = None, predicate: Optional[IRI] = None) -> Iterator[Node]:
         """Yield distinct objects of triples matching ``(subject, predicate, ?)``."""
-        seen: Set[Node] = set()
-        for _, _, o in self.triples((subject, predicate, None)):
+        encoded = self._encode_pattern((subject, predicate, None))
+        if encoded is None:
+            return
+        terms = self._dict.terms
+        seen: Set[int] = set()
+        for _, _, o in self.triples_ids(encoded):
             if o not in seen:
                 seen.add(o)
-                yield o
+                yield terms[o]
 
     def subject_objects(self, predicate: Optional[IRI] = None) -> Iterator[Tuple[Node, Node]]:
         """Yield ``(subject, object)`` pairs for every triple with ``predicate``."""
@@ -437,22 +663,60 @@ class Graph:
     def copy(self) -> "Graph":
         """Return an independent graph with the same triples and namespaces.
 
-        The permutation indexes are copied structurally (no per-triple
-        validation or re-hashing), so copying is much cheaper than
-        re-adding; journals are not carried over to the clone.
+        The clone **shares this graph's term dictionary** (the dictionary
+        is append-only, so sharing is safe) and the permutation indexes
+        are copied **copy-on-write**: only the outer dictionaries are
+        duplicated here, the per-key entries stay shared until one side
+        mutates them (see :meth:`_index_add`).  The triple set and the
+        predicate counters are still copied eagerly, so a copy costs one
+        flat set copy plus O(index keys) — the expensive part of the old
+        structural copy, the per-entry nested dict/set duplication, is
+        deferred to the entries a mutation actually touches.  Journals
+        are not carried over to the clone.
         """
         clone = Graph(identifier=self.identifier)
         clone.namespace_manager = self.namespace_manager.copy()
+        clone._dict = self._dict
         clone._triples = set(self._triples)
         clone._content_hash = self._content_hash
-        clone._spo = {s: {p: set(objs) for p, objs in by_pred.items()}
-                      for s, by_pred in self._spo.items()}
-        clone._pos = {p: {o: set(subjs) for o, subjs in by_obj.items()}
-                      for p, by_obj in self._pos.items()}
-        clone._osp = {o: {s: set(preds) for s, preds in by_subj.items()}
-                      for o, by_subj in self._osp.items()}
+        clone._spo = dict(self._spo)
+        clone._pos = dict(self._pos)
+        clone._osp = dict(self._osp)
+        # Every inner entry is now shared between the two graphs: both
+        # sides must un-share an entry before their first write to it.
+        clone._spo_cow = set(clone._spo)
+        clone._pos_cow = set(clone._pos)
+        clone._osp_cow = set(clone._osp)
+        self._spo_cow = set(self._spo)
+        self._pos_cow = set(self._pos)
+        self._osp_cow = set(self._osp)
         clone._pred_counts = dict(self._pred_counts)
         return clone
+
+    def _encoded_view_of(self, other: "Graph") -> Set[EncodedTriple]:
+        """``other``'s triples in *this* graph's ID space.
+
+        Free for same-family graphs; cross-family triples are translated
+        through the term dictionary (terms unknown to this family cannot
+        be held by this graph, so they are simply absent from the view).
+        """
+        if other._dict is self._dict:
+            return other._triples
+        lookup = self._dict.ids.get
+        view: Set[EncodedTriple] = set()
+        terms = other._dict.terms
+        for s, p, o in other._triples:
+            es = lookup(terms[s])
+            if es is None:
+                continue
+            ep = lookup(terms[p])
+            if ep is None:
+                continue
+            eo = lookup(terms[o])
+            if eo is None:
+                continue
+            view.add((es, ep, eo))
+        return view
 
     def __add__(self, other: "Graph") -> "Graph":
         result = self.copy()
@@ -466,20 +730,34 @@ class Graph:
     def __sub__(self, other: "Graph") -> "Graph":
         result = Graph()
         result.namespace_manager = self.namespace_manager.copy()
-        other_set = set(other)
-        result.addN(t for t in self._triples if t not in other_set)
+        result._dict = self._dict
+        if isinstance(other, Graph):
+            other_ids = self._encoded_view_of(other)
+            result.add_encoded_many(t for t in self._triples if t not in other_ids)
+        else:
+            other_set = set(other)
+            result.addN(t for t in self if t not in other_set)
         return result
 
     def __and__(self, other: "Graph") -> "Graph":
         result = Graph()
         result.namespace_manager = self.namespace_manager.copy()
-        other_set = set(other)
-        result.addN(t for t in self._triples if t in other_set)
+        result._dict = self._dict
+        if isinstance(other, Graph):
+            other_ids = self._encoded_view_of(other)
+            result.add_encoded_many(t for t in self._triples if t in other_ids)
+        else:
+            other_set = set(other)
+            result.addN(t for t in self if t in other_set)
         return result
 
     def __eq__(self, other: Any) -> bool:
         if isinstance(other, Graph):
-            return self._triples == other._triples
+            if other._dict is self._dict:
+                return self._triples == other._triples
+            if len(self._triples) != len(other._triples):
+                return False
+            return self._triples == self._encoded_view_of(other)
         return NotImplemented
 
     def __hash__(self) -> int:  # identity hash: graphs are mutable containers
@@ -524,21 +802,31 @@ class Graph:
     # ------------------------------------------------------------------
     def all_nodes(self) -> Set[Node]:
         """Every subject and object appearing in the graph."""
-        nodes: Set[Node] = set()
+        ids: Set[int] = set()
         for s, _, o in self._triples:
-            nodes.add(s)
-            nodes.add(o)
-        return nodes
+            ids.add(s)
+            ids.add(o)
+        terms = self._dict.terms
+        return {terms[i] for i in ids}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Graph identifier={self.identifier} triples={len(self)}>"
+
+
+def _check_predicate(p: Any) -> IRI:
+    if isinstance(p, IRI):
+        return p
+    _check_term(p, "predicate", allow_literal=False)
+    raise TypeError("Predicates must be IRIs")
 
 
 class ReadOnlyGraphUnion:
     """A lightweight read-only view over several graphs.
 
     Used when querying a base ontology graph together with an inferred
-    graph without materialising the union.
+    graph without materialising the union.  The view is term-level: its
+    members may belong to different graph families (different term
+    dictionaries), so matching and deduplication happen on decoded terms.
     """
 
     def __init__(self, *graphs: Graph) -> None:

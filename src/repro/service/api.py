@@ -80,6 +80,10 @@ class ServiceStats:
     closure_cache: Dict[str, int] = field(default_factory=dict)
     prepared_query_cache: Dict[str, int] = field(default_factory=dict)
     query_planner: Dict[str, int] = field(default_factory=dict)
+    #: Storage-engine counters for the engine's base graph family: interned
+    #: terms by kind plus the encoded triple count (empty until the lazy
+    #: engine is built).
+    term_store: Dict[str, int] = field(default_factory=dict)
     active_sessions: int = 0
 
     def to_text(self) -> str:
@@ -99,7 +103,13 @@ class ServiceStats:
             f"query planner:          {self.query_planner.get('plan_cache_hits', 0)} plan-cache hits / "
             f"{self.query_planner.get('plans_compiled', 0)} compiled "
             f"({self.query_planner.get('reorderings_applied', 0)} join reorders, "
-            f"{self.query_planner.get('filters_pushed', 0)} filters pushed, process-wide)",
+            f"{self.query_planner.get('filters_pushed', 0)} filters pushed, "
+            f"{self.query_planner.get('encoded_bgps', 0)} encoded BGP joins, process-wide)",
+            f"term store:             {self.term_store.get('interned_terms', 0)} interned terms "
+            f"({self.term_store.get('iris', 0)} IRIs, "
+            f"{self.term_store.get('bnodes', 0)} bnodes, "
+            f"{self.term_store.get('literals', 0)} literals) / "
+            f"{self.term_store.get('encoded_triples', 0)} encoded base triples",
             f"active sessions:        {self.active_sessions}",
         ]
         return "\n".join(lines)

@@ -338,5 +338,7 @@ class ExplanationService:
             closure_cache=closure.stats() if closure is not None else {},
             prepared_query_cache=prepared_cache().stats(),
             query_planner=planner_stats(),
+            term_store=(self._engine.builder.store_stats()
+                        if self._engine is not None else {}),
             active_sessions=len(self.registry),
         )

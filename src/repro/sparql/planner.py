@@ -44,7 +44,8 @@ from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, replace
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..rdf.terms import Variable
+from ..rdf.dictionary import KIND_LITERAL
+from ..rdf.terms import BNode, IRI, Variable
 from .algebra import (
     AggregateExpr,
     AskQuery,
@@ -64,6 +65,7 @@ from .algebra import (
     Pattern,
     Query,
     SelectQuery,
+    TermExpr,
     TriplePattern,
     UnaryExpr,
     UnionPattern,
@@ -105,6 +107,7 @@ class PlannerStats:
         "reorderings_applied",
         "filters_pushed",
         "bgps_evaluated",
+        "encoded_bgps",
         "hash_join_probes",
         "hash_join_reuses",
         "estimated_rows",
@@ -465,6 +468,45 @@ def compile_plan(query: Query) -> CompiledPlan:
 _MISSING = object()
 
 
+class _DecodingView(MappingABC):
+    """A read-only term-level view over a chain with ID-valued cells.
+
+    Filter expressions observe terms; instead of materialising and
+    decoding every chain before a pushed-down filter runs, the filter
+    evaluates against this view, which decodes the ID-bound variables on
+    access.  Surviving chains stay chains (and stay encoded), so the
+    remaining joins keep running on IDs.
+    """
+
+    __slots__ = ("_chain", "_id_vars", "_terms")
+
+    def __init__(self, chain: Any, id_vars: Set[Variable], terms: List[Any]) -> None:
+        self._chain = chain
+        self._id_vars = id_vars
+        self._terms = terms
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        value = self._chain.get(key, default)
+        if type(value) is int and key in self._id_vars:
+            return self._terms[value]
+        return value
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._chain
+
+    def __iter__(self):
+        return iter(self._chain)
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+
 class _ChainSolution(MappingABC):
     """An immutable one-binding extension of a parent solution mapping.
 
@@ -553,6 +595,16 @@ class PlanEvaluator(QueryEvaluator):
         # stats in one lock trip per evaluation (a nested OPTIONAL can run
         # thousands of tiny BGP joins per query).
         self._pending_stats: Dict[str, int] = {}
+        # The encoded fast path binds and joins on dictionary IDs when the
+        # graph is a dictionary-encoded store (a ReadOnlyGraphUnion is not:
+        # its members may belong to different families).
+        self._dictionary = getattr(graph, "dictionary", None) if hasattr(
+            graph, "triples_ids") else None
+        # Compiled ID-space filter predicates, memoised per (expression,
+        # relevant id-var membership): OPTIONAL / UNION / MINUS re-enter
+        # their inner BGPs once per outer solution and would otherwise
+        # recompile the same predicate every time.
+        self._id_filter_cache: Dict[Tuple, Any] = {}
 
     def evaluate(self, query, init_bindings=None):
         try:
@@ -602,7 +654,7 @@ class PlanEvaluator(QueryEvaluator):
                 # Joins extend a chain without replacing its root, so each
                 # output's root object *is* the input row it came from.
                 bgp = inner.elements[0][0]
-                chains, _, _, _ = self._join_bgp(
+                chains, _, id_vars = self._join_bgp(
                     bgp, solutions, self._bound_in_all(solutions), ()
                 )
                 matched: Set[int] = set()
@@ -612,9 +664,12 @@ class PlanEvaluator(QueryEvaluator):
                     while type(node) is _ChainSolution:
                         node = node._parent
                     matched.add(id(node))
-                    results.append(
-                        chain.materialize() if type(chain) is _ChainSolution else chain
-                    )
+                    if id_vars:
+                        results.append(self._decode_chain(chain, id_vars))
+                    else:
+                        results.append(
+                            chain.materialize() if type(chain) is _ChainSolution else chain
+                        )
                 for solution in solutions:
                     if id(solution) not in matched:
                         results.append(solution)
@@ -733,12 +788,32 @@ class PlanEvaluator(QueryEvaluator):
         bound: Set[Variable],
         pending: Sequence[_FilterInfo],
     ) -> Tuple[List[Solution], List[_FilterInfo]]:
-        chains, applied, _, _ = self._join_bgp(bgp, solutions, bound, pending)
-        results = [
-            chain.materialize() if type(chain) is _ChainSolution else chain
-            for chain in chains
-        ]
+        chains, applied, id_vars = self._join_bgp(bgp, solutions, bound, pending)
+        if id_vars:
+            results = [self._decode_chain(chain, id_vars) for chain in chains]
+        else:
+            results = [
+                chain.materialize() if type(chain) is _ChainSolution else chain
+                for chain in chains
+            ]
         return results, applied
+
+    def _decode_chain(self, chain: Any, id_vars: Set[Variable]) -> Solution:
+        """Materialise a chain, decoding its ID-valued cells in the same pass.
+
+        Only variables bound by the encoded join path (``id_vars``) can
+        hold IDs; everything else is already a term.
+        """
+        terms = self._dictionary.terms
+        cells: List[Tuple[Variable, Any]] = []
+        node = chain
+        while type(node) is _ChainSolution:
+            cells.append((node._var, node._value))
+            node = node._parent
+        out = dict(node)
+        for var, value in reversed(cells):
+            out[var] = terms[value] if type(value) is int and var in id_vars else value
+        return out
 
     def _join_bgp(
         self,
@@ -746,11 +821,18 @@ class PlanEvaluator(QueryEvaluator):
         solutions: List[Solution],
         bound: Set[Variable],
         pending: Sequence[_FilterInfo],
-    ) -> Tuple[List[Any], List[_FilterInfo], int, int]:
+    ) -> Tuple[List[Any], List[_FilterInfo], Set[Variable]]:
         """Join every triple of ``bgp`` into ``solutions``, returning chains.
 
         The chain layer is exposed so callers that can exploit it (the
         batched OPTIONAL left join) avoid the per-row materialisation.
+
+        On a dictionary-encoded graph the joins run in ID space: pattern
+        constants are encoded once, probe keys and chain cells hold
+        integer IDs, and decoding is deferred to the points where terms
+        become observable — chain materialisation and filter evaluation.
+        The returned ``id_vars`` names the variables whose chain cells
+        hold IDs (empty on the term path), so callers know what to decode.
         """
         order, growth = self._bgp_order(bgp, frozenset(bound))
         bound = set(bound)
@@ -760,10 +842,30 @@ class PlanEvaluator(QueryEvaluator):
         estimated = float(len(chains)) * growth
         probes = 0
         probe_hits = 0
+        # The encoded path needs a uniform solution domain so that term-vs-ID
+        # provenance is a per-variable fact, not a per-row one; property
+        # paths evaluate through the term-level path machinery and keep the
+        # whole BGP on the term path.
+        id_vars: Set[Variable] = set()
+        use_encoded = (
+            self._dictionary is not None
+            and chains
+            and not any(info.is_path for info in order)
+        )
+        if use_encoded and len(chains) > 1:
+            common = self._bound_in_all(chains)
+            use_encoded = all(len(solution) == len(common) for solution in chains)
+        if use_encoded:
+            self._bump("encoded_bgps")
         for info in order:
             if not chains:
                 break
-            chains, p_count, h_count = self._join_triple(info, chains)
+            if use_encoded:
+                chains, p_count, h_count, new_vars = self._join_triple_ids(
+                    info, chains, id_vars)
+                id_vars |= new_vars
+            else:
+                chains, p_count, h_count = self._join_triple(info, chains)
             probes += p_count
             probe_hits += h_count
             bound |= info.vars
@@ -771,7 +873,14 @@ class PlanEvaluator(QueryEvaluator):
                 still: List[_FilterInfo] = []
                 for finfo in pending_local:
                     if not finfo.has_exists and finfo.vars <= bound:
-                        chains = self._apply_filter(finfo.expression, chains)
+                        if id_vars:
+                            # Filters observe terms: evaluate each chain
+                            # through a decoding view so survivors stay
+                            # encoded chains for the remaining joins.
+                            chains = self._filter_chains_encoded(
+                                finfo.expression, chains, id_vars)
+                        else:
+                            chains = self._apply_filter(finfo.expression, chains)
                         applied.append(finfo)
                     else:
                         still.append(finfo)
@@ -783,7 +892,7 @@ class PlanEvaluator(QueryEvaluator):
         self._bump("hash_join_reuses", probe_hits)
         self._bump("estimated_rows", min(int(estimated + 0.5), 10 ** 15))
         self._bump("actual_rows", len(chains))
-        return chains, applied, probes, probe_hits
+        return chains, applied, id_vars
 
     def _bgp_order(
         self, bgp: PlannedBGP, bound: FrozenSet[Variable]
@@ -970,6 +1079,274 @@ class PlanEvaluator(QueryEvaluator):
                     extended = _ChainSolution(extended, var, value)
                 results.append(extended)
         return results, probes, hits
+
+    def _filter_chains_encoded(
+        self, expression: Expression, chains: List[Any], id_vars: Set[Variable]
+    ) -> List[Any]:
+        """Apply one pushed-down filter to encoded chains.
+
+        Simple (in)equality constraints compile into ID-space predicates
+        (:meth:`_compile_id_filter`) — two integer compares per row instead
+        of a recursive expression walk over decoded terms.  Rows the
+        compiled form cannot decide (and whole filters that don't compile)
+        evaluate generically through a term-decoding view.
+        """
+        terms = self._dictionary.terms
+        # Compilation depends only on which of the expression's variables
+        # ride the encoded path, so the memo key projects id_vars onto them.
+        key = (id(expression),
+               frozenset(var for var in expression_variables(expression)
+                         if var in id_vars))
+        try:
+            predicate = self._id_filter_cache[key]
+        except KeyError:
+            predicate = self._compile_id_filter(expression, id_vars)
+            self._id_filter_cache[key] = predicate
+        kept: List[Any] = []
+        for chain in chains:
+            if predicate is not None:
+                verdict = predicate(chain)
+                if verdict is True:
+                    kept.append(chain)
+                    continue
+                if verdict is False:
+                    continue
+            view = _DecodingView(chain, id_vars, terms)
+            try:
+                value = evaluate_expression(expression, view, self._exists)
+                if effective_boolean_value(value):
+                    kept.append(chain)
+            except ExpressionError:
+                continue
+        return kept
+
+    def _compile_id_filter(self, expression: Expression, id_vars: Set[Variable]):
+        """Compile ``expression`` into a tri-state ID-space predicate, if possible.
+
+        Handles ``=`` / ``!=`` between variables bound by the encoded join
+        and IRI/BNode constants, combined with ``||`` / ``&&``.  The
+        returned callable maps a chain to ``True`` / ``False`` when the
+        verdict is decidable on IDs alone — identical non-literal terms are
+        equal, distinct non-literal terms are unequal, mixed literal /
+        non-literal comparisons are unequal (matching ``_compare``) — and
+        to ``None`` when SPARQL value semantics need the terms (unbound
+        variables, literal/literal comparison, identical literals whose
+        value space may disagree with term identity, e.g. NaN).  Returns
+        ``None`` when the expression shape doesn't compile.
+        """
+        dictionary = self._dictionary
+        kinds = dictionary.kinds
+
+        def compile_node(expr):
+            if not isinstance(expr, BinaryExpr):
+                return None
+            op = expr.operator
+            if op in ("||", "&&"):
+                left = compile_node(expr.left)
+                if left is None:
+                    return None
+                right = compile_node(expr.right)
+                if right is None:
+                    return None
+                if op == "||":
+                    def disjunction(chain, _l=left, _r=right):
+                        lv = _l(chain)
+                        if lv is True:
+                            return True
+                        rv = _r(chain)
+                        if rv is True:
+                            return True
+                        if lv is False and rv is False:
+                            return False
+                        return None
+                    return disjunction
+
+                def conjunction(chain, _l=left, _r=right):
+                    lv = _l(chain)
+                    if lv is False:
+                        return False
+                    rv = _r(chain)
+                    if rv is False:
+                        return False
+                    if lv is True and rv is True:
+                        return True
+                    return None
+                return conjunction
+            if op not in ("=", "!="):
+                return None
+            sides = []
+            for side in (expr.left, expr.right):
+                if isinstance(side, VariableExpr):
+                    if side.variable not in id_vars:
+                        return None
+                    sides.append((side.variable, None))
+                elif (isinstance(side, TermExpr)
+                      and isinstance(side.term, (IRI, BNode))):
+                    sides.append((None, dictionary.intern(side.term)))
+                else:
+                    return None
+            (left_var, left_const), (right_var, right_const) = sides
+            negate = op == "!="
+
+            def equality(chain, _lv=left_var, _lc=left_const, _rv=right_var,
+                         _rc=right_const, _neg=negate, _kinds=kinds):
+                if _lv is not None:
+                    a = chain.get(_lv)
+                    if a is None:
+                        return None  # unbound: generic path raises, dropping the row
+                    a_literal = _kinds[a] == KIND_LITERAL
+                else:
+                    a = _lc
+                    a_literal = False
+                if _rv is not None:
+                    b = chain.get(_rv)
+                    if b is None:
+                        return None
+                    b_literal = _kinds[b] == KIND_LITERAL
+                else:
+                    b = _rc
+                    b_literal = False
+                if a == b:
+                    if a_literal:
+                        return None
+                    return not _neg
+                if a_literal and b_literal:
+                    return None
+                return _neg
+            return equality
+
+        return compile_node(expression)
+
+    def _join_triple_ids(
+        self, info: _TripleInfo, chains: List[Any], id_vars: Set[Variable]
+    ) -> Tuple[List[Any], int, int, Set[Variable]]:
+        """The encoded mirror of :meth:`_join_triple`.
+
+        Pattern constants are encoded once per triple; bound variables
+        substitute either their chain-cell ID (variables in ``id_vars``)
+        or their term encoded through the dictionary (variables bound by
+        the incoming solutions).  Matches come straight from the graph's
+        integer indexes and the addition cells store IDs — nothing is
+        decoded here.  Returns the extended chains, probe counts, and the
+        set of variables this join bound (their cells hold IDs).
+        """
+        dictionary = self._dictionary
+        lookup = dictionary.ids.get
+        pattern = info.pattern
+        subject_var = info.subject_var
+        predicate_var = info.predicate_var
+        object_var = info.object_var
+        # -1 is the "bound to a term the graph has never seen" sentinel: a
+        # valid ID is never negative, and such a probe cannot match.
+        subject_const = object_const = predicate_const = None
+        if subject_var is None:
+            subject_const = lookup(pattern.subject, -1)
+        if object_var is None:
+            object_const = lookup(pattern.object, -1)
+        if predicate_var is None:
+            predicate_const = lookup(pattern.predicate, -1)
+        if -1 in (subject_const, predicate_const, object_const):
+            return [], 1, 0, set()
+        subject_is_id = subject_var in id_vars
+        predicate_is_id = predicate_var in id_vars
+        object_is_id = object_var in id_vars
+
+        def substituted(chain) -> Tuple[Any, Any, Any]:
+            if subject_var is None:
+                s = subject_const
+            else:
+                s = chain.get(subject_var)
+                if s is not None and not subject_is_id:
+                    s = lookup(s, -1)
+            if predicate_var is None:
+                p = predicate_const
+            else:
+                p = chain.get(predicate_var)
+                if p is not None and not predicate_is_id:
+                    p = lookup(p, -1)
+            if object_var is None:
+                o = object_const
+            else:
+                o = chain.get(object_var)
+                if o is not None and not object_is_id:
+                    o = lookup(o, -1)
+            return s, p, o
+
+        new_vars: Set[Variable] = set()
+        results: List[Any] = []
+        if len(chains) == 1:
+            # Singleton fast path: no reuse possible, skip the probe table.
+            chain = chains[0]
+            s, p, o = substituted(chain)
+            matches = self._probe_triple_ids(info, s, p, o)
+            if matches:
+                new_vars.update(var for var, _ in matches[0])
+            for additions in matches:
+                extended = chain
+                for var, value in additions:
+                    extended = _ChainSolution(extended, var, value)
+                results.append(extended)
+            return results, 1, 0, new_vars
+        var_slots = info.var_slots
+        cache: Dict[Any, List[Tuple[Tuple[Variable, Any], ...]]] = {}
+        probes = 0
+        hits = 0
+        if len(var_slots) == 1:
+            key_var = var_slots[0][1]
+
+            def probe_key(chain):
+                return chain.get(key_var)
+        else:
+            key_vars = tuple(var for _, var in var_slots)
+
+            def probe_key(chain):
+                return tuple(chain.get(var) for var in key_vars)
+
+        for chain in chains:
+            key = probe_key(chain)
+            matches = cache.get(key)
+            if matches is None:
+                probes += 1
+                s, p, o = substituted(chain)
+                matches = self._probe_triple_ids(info, s, p, o)
+                cache[key] = matches
+                if matches and not new_vars:
+                    new_vars.update(var for var, _ in matches[0])
+            else:
+                hits += 1
+            for additions in matches:
+                extended = chain
+                for var, value in additions:
+                    extended = _ChainSolution(extended, var, value)
+                results.append(extended)
+        return results, probes, hits, new_vars
+
+    def _probe_triple_ids(
+        self, info: _TripleInfo, s: Any, p: Any, o: Any
+    ) -> List[Tuple[Tuple[Variable, Any], ...]]:
+        """All encoded matches of a substituted pattern, as addition tuples.
+
+        A ``-1`` in any position means a bound term unknown to the graph's
+        dictionary: nothing can match.  Additions mirror
+        :meth:`_probe_triple`, including the repeated-variable overwrite
+        behaviour, so planned evaluation stays row-identical to naive.
+        """
+        if -1 in (s, p, o):
+            return []
+        subject_var = info.subject_var
+        predicate_var = info.predicate_var
+        object_var = info.object_var
+        matches: List[Tuple[Tuple[Variable, Any], ...]] = []
+        for ms, mp, mo in self.graph.triples_ids((s, p, o)):
+            additions: Dict[Variable, Any] = {}
+            if subject_var is not None and s is None:
+                additions[subject_var] = ms
+            if predicate_var is not None and p is None:
+                additions[predicate_var] = mp
+            if object_var is not None and o is None:
+                additions[object_var] = mo
+            matches.append(tuple(additions.items()))
+        return matches
 
     def _probe_triple(
         self, info: _TripleInfo, s: Any, p: Any, o: Any

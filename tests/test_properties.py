@@ -10,9 +10,12 @@ from repro.foodkg.generator import SyntheticCatalogGenerator, generate_catalog
 from repro.foodkg.schema import NutrientProfile, slugify
 from repro.owl import Reasoner
 from repro.owl.vocabulary import RDF_TYPE, RDFS_SUBCLASSOF
+from repro.rdf.compare import isomorphic
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.ntriples import parse as parse_nt, serialize as serialize_nt
-from repro.rdf.terms import IRI, Literal
+from repro.rdf.terms import BNode, IRI, Literal, XSD_DATE, XSD_DECIMAL
+from repro.rdf.turtle import parse as parse_ttl, serialize as serialize_ttl
 from repro.sparql import query as sparql_query
 
 # ---------------------------------------------------------------------------
@@ -27,6 +30,27 @@ _literals = st.one_of(
 )
 _nodes = st.one_of(_iris, _literals)
 _triples = st.tuples(_iris, _iris, _nodes)
+
+#: Richer terms for the dictionary/serialisation round-trip properties:
+#: language-tagged and datatyped literals and (serialisable-label) bnodes.
+_language_tags = st.sampled_from(["en", "de", "fr", "en-gb", "pt-br"])
+_tagged_literals = st.builds(
+    Literal,
+    st.text(alphabet=string.printable, max_size=20),
+    language=_language_tags,
+)
+_typed_literals = st.one_of(
+    st.builds(Literal, st.text(alphabet=string.digits, min_size=1, max_size=8),
+              datatype=st.sampled_from([XSD_DECIMAL, XSD_DATE])),
+    st.integers(min_value=-10**9, max_value=10**9).map(Literal),
+    st.floats(allow_nan=False, allow_infinity=False, width=32).map(Literal),
+)
+_bnodes = _local_names.map(lambda name: BNode("b" + name))
+_rich_terms = st.one_of(_iris, _bnodes, _literals, _tagged_literals, _typed_literals)
+_rich_triples = st.tuples(
+    st.one_of(_iris, _bnodes), _iris,
+    st.one_of(_iris, _bnodes, _literals, _tagged_literals, _typed_literals),
+)
 
 
 class TestGraphProperties:
@@ -117,11 +141,14 @@ class TestGraphIndexConsistency:
     def test_permutation_indexes_stay_mutually_consistent(self, mutations):
         graph = Graph()
         reference = _apply_mutations(graph, mutations)
-        from_spo = {(s, p, o) for s, by_pred in graph._spo.items()
+        # The permutation indexes are dictionary-encoded (integer term IDs);
+        # decode them before comparing against the term-level reference.
+        terms = graph.dictionary.terms
+        from_spo = {(terms[s], terms[p], terms[o]) for s, by_pred in graph._spo.items()
                     for p, objs in by_pred.items() for o in objs}
-        from_pos = {(s, p, o) for p, by_obj in graph._pos.items()
+        from_pos = {(terms[s], terms[p], terms[o]) for p, by_obj in graph._pos.items()
                     for o, subjs in by_obj.items() for s in subjs}
-        from_osp = {(s, p, o) for o, by_subj in graph._osp.items()
+        from_osp = {(terms[s], terms[p], terms[o]) for o, by_subj in graph._osp.items()
                     for s, preds in by_subj.items() for p in preds}
         assert from_spo == reference
         assert from_pos == reference
@@ -191,6 +218,82 @@ class TestGraphIndexConsistency:
         journal.close()
 
 
+class TestTermDictionaryProperties:
+    """The interning layer under the dictionary-encoded storage engine."""
+
+    @given(st.lists(_rich_terms, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip_and_id_stability(self, terms):
+        dictionary = TermDictionary()
+        ids = [dictionary.intern(term) for term in terms]
+        for term, tid in zip(terms, ids):
+            decoded = dictionary.decode(tid)
+            assert decoded == term
+            assert type(decoded) is type(term)
+            if isinstance(term, Literal):
+                assert decoded.language == term.language
+            # Re-interning an equal term never mints a new ID.
+            assert dictionary.intern(term) == tid
+        # Distinct IDs decode to distinct terms (bijectivity).
+        assert len(set(ids)) == len({dictionary.decode(tid) for tid in set(ids)})
+        stats = dictionary.stats()
+        assert stats["interned_terms"] == len(dictionary)
+        assert stats["iris"] + stats["bnodes"] + stats["literals"] == len(dictionary)
+
+    @given(st.lists(_triples, max_size=40), st.lists(_triples, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_dictionary_is_stable_across_copy(self, base_triples, extra_triples):
+        graph = Graph()
+        graph.addN(base_triples)
+        clone = graph.copy()
+        # One dictionary per graph family: the clone shares it, and every
+        # term keeps the ID it had in the original.
+        assert clone.dictionary is graph.dictionary
+        for s, p, o in base_triples:
+            assert clone.dictionary.lookup(s) == graph.dictionary.lookup(s)
+            assert clone.encode_triple((s, p, o)) == graph.encode_triple((s, p, o))
+        # Growing the clone interns into the shared dictionary but never
+        # changes the original's triples, indexes or fingerprint.
+        before = graph.fingerprint()
+        clone.addN(extra_triples)
+        assert graph.fingerprint() == before
+        assert set(graph) == set(base_triples)
+        for s, p, o in extra_triples:
+            assert graph.dictionary.lookup(s) is not None
+            assert (s, p, o) in clone
+
+    @given(_mutations, _mutations)
+    @settings(max_examples=50, deadline=None)
+    def test_copy_on_write_keeps_both_sides_consistent(self, first, second):
+        """Interleaved mutations on a graph and its copy stay independent
+        (the COW permutation indexes must un-share correctly)."""
+        graph = Graph()
+        expected_original = _apply_mutations(graph, first)
+        clone = graph.copy()
+        expected_clone = set(expected_original)
+        for action, triple in second:
+            if action == "add":
+                clone.add(triple)
+                expected_clone.add(triple)
+            else:
+                clone.remove(triple)
+                expected_clone.discard(triple)
+        # And mutate the original after the clone diverged.
+        for action, triple in second[:len(second) // 2]:
+            if action == "add":
+                graph.remove(triple)
+                expected_original.discard(triple)
+        assert set(graph) == expected_original
+        assert set(clone) == expected_clone
+        for s, p, o in expected_clone:
+            assert (s, p, o) in set(clone.triples((s, None, None)))
+            assert (s, p, o) in set(clone.triples((None, p, None)))
+            assert (s, p, o) in set(clone.triples((None, None, o)))
+        for s, p, o in expected_original:
+            assert (s, p, o) in set(graph.triples((s, None, None)))
+            assert (s, p, o) in set(graph.triples((None, None, o)))
+
+
 class TestSerialisationProperties:
     @given(st.lists(st.tuples(_iris, _iris, st.one_of(_iris, _literals)), max_size=40))
     @settings(max_examples=50, deadline=None)
@@ -199,6 +302,22 @@ class TestSerialisationProperties:
         graph.addN(triples)
         reparsed = parse_nt(serialize_nt(graph))
         assert set(reparsed) == set(graph)
+
+    @given(st.lists(_rich_triples, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_ntriples_roundtrip_preserves_isomorphism(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        reparsed = parse_nt(serialize_nt(graph))
+        assert isomorphic(graph, reparsed)
+
+    @given(st.lists(_rich_triples, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_turtle_roundtrip_preserves_isomorphism(self, triples):
+        graph = Graph()
+        graph.addN(triples)
+        reparsed = parse_ttl(serialize_ttl(graph))
+        assert isomorphic(graph, reparsed)
 
 
 class TestSparqlProperties:

@@ -507,6 +507,20 @@ class TestExplanationService:
         text = stats.to_text()
         assert "requests served" in text and "closure cache" in text
         assert "query planner" in text
+        assert "term store" in text
+
+    def test_stats_expose_term_store_counters(self, service):
+        service.ask("Why should I eat Cauliflower Potato Curry?", persona="paper")
+        stats = service.stats()
+        store = stats.term_store
+        # The engine's base graph family: thousands of interned terms, and
+        # the kind breakdown accounts for every one of them.
+        assert store["interned_terms"] > 0
+        assert store["encoded_triples"] > 0
+        assert (store["iris"] + store["bnodes"] + store["literals"]
+                == store["interned_terms"])
+        # The competency queries ran through the encoded join fast path.
+        assert stats.query_planner.get("encoded_bgps", 0) > 0
 
     def test_stats_report_plan_cache_reuse_across_requests(self, service):
         from repro.sparql import reset_planner_stats
