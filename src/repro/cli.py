@@ -72,11 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="serve a stream of explanation requests through the cached service",
-        description="Answer one request per line, read from --requests or stdin. "
-                    "A line is either a bare question (answered as --persona) or "
-                    "'persona: question' to address another registered persona. "
-                    "Blank lines and lines starting with '#' are skipped.",
+        help="serve explanation requests (line stream, or HTTP with --port)",
+        description="Without --port: answer one request per line, read from "
+                    "--requests or stdin. A line is either a bare question "
+                    "(answered as --persona) or 'persona: question' to address "
+                    "another registered persona. Blank lines and lines starting "
+                    "with '#' are skipped. With --port: run the concurrent "
+                    "sharded HTTP/JSON server (POST /ask, /sessions, /update; "
+                    "GET /stats, /healthz) until interrupted.",
     )
     serve.add_argument("--requests", default="-",
                        help="file with one request per line (default: stdin)")
@@ -86,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force an explanation type for every request")
     serve.add_argument("--stats", action="store_true",
                        help="print cache/session statistics after the stream ends")
+    serve.add_argument("--port", type=int, default=None,
+                       help="run the concurrent HTTP server on this port "
+                            "(0 picks a free port) instead of the line stream")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port mode (default: 127.0.0.1)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="independent service shards in --port mode (default: 4)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads per shard in --port mode (default: 2)")
+    serve.add_argument("--queue-size", type=int, default=64,
+                       help="bounded per-shard request queue; a full queue sheds "
+                            "load with a 503 backpressure error (default: 64)")
+    serve.add_argument("--session-ttl", type=float, default=None,
+                       help="evict sessions idle for this many seconds "
+                            "(default: no TTL)")
 
     return parser
 
@@ -180,8 +198,39 @@ def _parse_request_line(line: str, default_persona: str):
     return default_persona, stripped
 
 
+def _serve_http(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+    """The --port mode: the sharded, concurrent HTTP/JSON server."""
+    from .service import ExplanationServer, ShardedExplanationService
+
+    service = ShardedExplanationService(
+        num_shards=args.shards,
+        workers_per_shard=args.workers,
+        queue_size=args.queue_size,
+        session_ttl=args.session_ttl,
+        engine=engine,
+        default_persona=args.persona,
+    ).warm()
+    server = ExplanationServer(service, host=args.host, port=args.port)
+    print(f"serving on {server.url} "
+          f"({args.shards} shards x {args.workers} workers, "
+          f"queue {args.queue_size}/shard)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if args.stats:
+            print()
+            print(service.stats().to_text())
+    return 0
+
+
 def _cmd_serve(engine: ExplanationEngine, args: argparse.Namespace) -> int:
     from .service import ExplanationRequest, ExplanationService
+
+    if args.port is not None:
+        return _serve_http(engine, args)
 
     service = ExplanationService(engine=engine).warm()
     if args.requests == "-":

@@ -68,9 +68,18 @@ class ExplanationEngine:
         self,
         catalog: Optional[FoodCatalog] = None,
         population: Optional[Sequence[Tuple[UserProfile, SystemContext]]] = None,
+        builder: Optional[ScenarioBuilder] = None,
     ) -> None:
-        self.catalog = catalog if catalog is not None else build_core_catalog()
-        self.builder = ScenarioBuilder(self.catalog)
+        if builder is not None:
+            # An injected builder wins: a sharded service hands every shard
+            # its own builder (own materialisation cache, own axiom index)
+            # over one shared base graph, so shards never contend on a
+            # single closure cache.  The builder's catalog is authoritative.
+            self.catalog = builder.catalog
+            self.builder = builder
+        else:
+            self.catalog = catalog if catalog is not None else build_core_catalog()
+            self.builder = ScenarioBuilder(self.catalog)
         self.recommender = HealthCoach(self.catalog)
         self._generators = {
             "contextual": ContextualExplanationGenerator(),

@@ -78,6 +78,19 @@ class Scenario:
         """Run SPARQL over the inferred (post-reasoning) graph."""
         return self.inferred.query(sparql_text)
 
+    def snapshot(self) -> "Scenario":
+        """An isolated read view: the same scenario over COW graph copies.
+
+        :meth:`~repro.rdf.graph.Graph.copy` is cheap (the triple set plus
+        the outer index keys; inner entries stay shared copy-on-write), and
+        the copies are fully independent of the originals — a reader holding
+        a snapshot can never observe a later mutation of the source graphs,
+        which is what lets the service answer against a session's scenario
+        while an update lands behind it.
+        """
+        return replace(self, asserted=self.asserted.copy(),
+                       inferred=self.inferred.copy())
+
 
 class ScenarioBuilder:
     """Builds reasoned scenario graphs for questions."""

@@ -1,18 +1,31 @@
-"""Serving layer: prepared queries, cached reasoning, batched multi-user APIs.
+"""Serving layer: prepared queries, cached reasoning, concurrent multi-tenant APIs.
 
 This package turns the single-request :class:`repro.core.engine.ExplanationEngine`
-into a service suitable for heavy interactive traffic.  See
-:class:`ExplanationService` for the entry point and
-``docs/architecture.md`` for where its cache layers sit in the request
-data flow.
+into a service suitable for heavy interactive traffic:
+
+* :class:`ExplanationService` — one cached, session-aware instance;
+* :class:`ShardedExplanationService` — N independent shards behind
+  bounded worker queues, with snapshot-isolated reads and typed
+  :class:`BackpressureError` load shedding;
+* :class:`ExplanationServer` — the HTTP/JSON transport over the shards.
+
+See ``docs/architecture.md`` for where the cache layers and the serving
+topology sit in the request data flow.
 """
 
-from .api import ExplanationRequest, ExplanationResponse, ServiceStats
+from .api import BackpressureError, ExplanationRequest, ExplanationResponse, ServiceStats
+from .server import ExplanationServer
 from .service import ExplanationService
+from .shards import FleetStats, ServiceShard, ShardedExplanationService
 
 __all__ = [
+    "BackpressureError",
     "ExplanationRequest",
     "ExplanationResponse",
+    "ExplanationServer",
     "ExplanationService",
+    "FleetStats",
+    "ServiceShard",
     "ServiceStats",
+    "ShardedExplanationService",
 ]

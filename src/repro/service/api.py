@@ -14,7 +14,48 @@ from ..core.explanation import Explanation
 from ..users.context import SystemContext
 from ..users.profile import UserProfile
 
-__all__ = ["ExplanationRequest", "ExplanationResponse", "ServiceStats"]
+__all__ = [
+    "BackpressureError",
+    "ExplanationRequest",
+    "ExplanationResponse",
+    "ServiceStats",
+]
+
+
+class BackpressureError(RuntimeError):
+    """The service shed this request instead of queueing it.
+
+    Raised by admission control when a service instance is already at its
+    in-flight limit (``ExplanationService(max_pending=...)``) or when a
+    shard's bounded request queue is full
+    (:class:`repro.service.shards.ShardedExplanationService`).  It is a
+    *typed*, expected overload signal — transports map it to a retryable
+    status (the HTTP server returns 503 with this payload) instead of a
+    traceback, and every rejection is counted in
+    :attr:`ServiceStats.requests_rejected`.
+    """
+
+    def __init__(self, message: str, *, scope: str = "service",
+                 shard: Optional[int] = None,
+                 queue_depth: Optional[int] = None,
+                 limit: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.scope = scope
+        self.shard = shard
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The transport-friendly (JSON-serialisable) view of the rejection."""
+        return {
+            "error": "backpressure",
+            "message": str(self),
+            "scope": self.scope,
+            "shard": self.shard,
+            "queue_depth": self.queue_depth,
+            "limit": self.limit,
+            "retryable": True,
+        }
 
 
 @dataclass(frozen=True)
@@ -45,6 +86,11 @@ class ExplanationResponse:
     session_id: Optional[str] = None
     scenario_cache_hit: bool = False
     elapsed_seconds: float = 0.0
+    #: The scenario the explanation was generated from.  With snapshot
+    #: reads enabled this is the caller's private COW view — inspecting it
+    #: (or even mutating it) can never affect the service's caches or other
+    #: requests.  In-process only; :meth:`summary` deliberately omits it.
+    scenario: Optional[Any] = None
 
     @property
     def text(self) -> str:
@@ -74,6 +120,9 @@ class ServiceStats:
     """
 
     requests_served: int = 0
+    #: Requests shed by admission control (never served; see
+    #: :class:`BackpressureError`).
+    requests_rejected: int = 0
     scenario_cache_hits: int = 0
     scenario_cache_misses: int = 0
     scenario_updates: int = 0
@@ -85,11 +134,24 @@ class ServiceStats:
     #: engine is built).
     term_store: Dict[str, int] = field(default_factory=dict)
     active_sessions: int = 0
+    #: Sessions transparently rebuilt from their persona after eviction
+    #: (see :class:`repro.users.sessions.SessionRegistry`).
+    session_rebuilds: int = 0
+    #: Serve-latency percentiles over a sliding window of recent requests:
+    #: ``{"p50": ..., "p99": ..., "samples": ...}`` (milliseconds).
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    #: Pending requests in this instance's shard queue (0 for an unsharded
+    #: service, which has no queue).
+    queue_depth: int = 0
 
     def to_text(self) -> str:
         """Render the counters as the ``serve --stats`` footer."""
         lines = [
             f"requests served:        {self.requests_served}",
+            f"requests rejected:      {self.requests_rejected} (backpressure)",
+            f"serve latency:          p50 {self.latency_ms.get('p50', 0.0):.1f} ms / "
+            f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms "
+            f"({int(self.latency_ms.get('samples', 0))} samples)",
             f"scenario cache:         {self.scenario_cache_hits} hits / "
             f"{self.scenario_cache_misses} misses",
             f"scenario updates:       {self.scenario_updates}",
@@ -110,6 +172,7 @@ class ServiceStats:
             f"{self.term_store.get('bnodes', 0)} bnodes, "
             f"{self.term_store.get('literals', 0)} literals) / "
             f"{self.term_store.get('encoded_triples', 0)} encoded base triples",
-            f"active sessions:        {self.active_sessions}",
+            f"active sessions:        {self.active_sessions} "
+            f"({self.session_rebuilds} rebuilt after eviction)",
         ]
         return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""HTTP/JSON transport for the sharded explanation service.
+
+:class:`ExplanationServer` exposes a
+:class:`~repro.service.shards.ShardedExplanationService` over a small,
+dependency-free HTTP API (stdlib ``http.server`` only, matching the
+repo's no-new-dependencies rule):
+
+====================  =====================================================
+``GET  /healthz``     liveness probe → ``{"status": "ok"}``
+``GET  /stats``       aggregated fleet + per-shard counters
+``POST /sessions``    ``{"persona": "paper"}`` → ``{"session_id": "s2:7"}``
+``POST /ask``         ``{"question": ..., "session_id"|"persona": ...,``
+                      ``"explanation_type": ...?}`` → explanation summary
+``POST /update``      ``{"question": ..., "session_id"|"persona": ...,``
+                      ``"likes"|"dislikes"|"allergies"|"diets"|``
+                      ``"conditions"|"goals": [...]}`` → updated profile
+====================  =====================================================
+
+Connection handling is threaded (one accept thread per connection), but
+the *work* is admission-controlled: a handler immediately enqueues the
+request on its session's shard and waits on the result, so a full shard
+queue surfaces as an immediate **503** carrying the typed
+:class:`~repro.service.api.BackpressureError` payload — clients see a
+retryable JSON error, never a growing backlog or a traceback.  Malformed
+requests (bad JSON, unparseable questions, unknown foods/personas) map to
+**400** with a JSON error body.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.questions import QuestionParseError
+from .api import BackpressureError
+from .shards import ShardedExplanationService
+
+__all__ = ["ExplanationServer"]
+
+#: Profile-delta fields accepted by POST /update, in the order
+#: :meth:`ExplanationService.update_scenario` declares them.
+_UPDATE_FIELDS = ("likes", "dislikes", "allergies", "diets", "conditions", "goals")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request handler bound to the server's sharded service."""
+
+    #: Set by :class:`ExplanationServer` on the handler subclass.
+    service: ShardedExplanationService = None  # type: ignore[assignment]
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - log plumbing
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats().to_dict())
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": "bad_request", "message": str(exc)})
+            return
+        try:
+            if self.path == "/ask":
+                self._send_json(*self._handle_ask(payload))
+            elif self.path == "/sessions":
+                self._send_json(*self._handle_open_session(payload))
+            elif self.path == "/update":
+                self._send_json(*self._handle_update(payload))
+            else:
+                self._send_json(404, {"error": "not_found", "path": self.path})
+        except BackpressureError as exc:
+            # The load-shedding path: a typed, retryable 503 — not a 500.
+            self._send_json(503, exc.to_payload())
+        except (QuestionParseError, KeyError, ValueError, TypeError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            self._send_json(400, {"error": "bad_request", "message": str(message)})
+
+    # ------------------------------------------------------------------
+    def _handle_ask(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        question = payload.get("question")
+        if not question:
+            return 400, {"error": "bad_request", "message": "missing 'question'"}
+        response = self.service.ask(
+            question,
+            session_id=payload.get("session_id"),
+            persona=payload.get("persona"),
+            explanation_type=payload.get("explanation_type"),
+        )
+        return 200, response.summary()
+
+    def _handle_open_session(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        persona = payload.get("persona") or self.service.default_persona
+        session = self.service.open_persona_session(persona)
+        return 200, {"session_id": session.session_id, "persona": persona,
+                     "user": session.user.identifier}
+
+    def _handle_update(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        question = payload.get("question")
+        if not question:
+            return 400, {"error": "bad_request", "message": "missing 'question'"}
+        additions = {}
+        for fieldname in _UPDATE_FIELDS:
+            values = payload.get(fieldname)
+            if values:
+                if not isinstance(values, (list, tuple)):
+                    return 400, {"error": "bad_request",
+                                 "message": f"'{fieldname}' must be a list"}
+                additions[fieldname] = tuple(values)
+        updated = self.service.update_scenario(
+            question,
+            session_id=payload.get("session_id"),
+            persona=payload.get("persona"),
+            **additions,
+        )
+        return 200, {
+            "user": updated.user.identifier,
+            "likes": list(updated.user.likes),
+            "dislikes": list(updated.user.dislikes),
+            "allergies": list(updated.user.allergies),
+            "diets": list(updated.user.diets),
+            "conditions": list(updated.user.conditions),
+            "goals": list(updated.user.goals),
+            "inferred_triples": len(updated.inferred),
+        }
+
+
+class ExplanationServer:
+    """A threaded HTTP front-end over a sharded explanation service.
+
+    ``port=0`` binds an ephemeral port (the bound port is exposed as
+    :attr:`port`), which is what the tests and local tooling use.  The
+    server can run inline (:meth:`serve_forever`) or on a background
+    thread (:meth:`start` / :meth:`stop`).
+    """
+
+    def __init__(self, service: ShardedExplanationService,
+                 host: str = "127.0.0.1", port: int = 8080,
+                 quiet: bool = True) -> None:
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service, "quiet": quiet})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve until interrupted (the CLI ``serve --port`` loop)."""
+        self._httpd.serve_forever()
+
+    def start(self) -> "ExplanationServer":
+        """Serve on a daemon thread and return immediately."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="explanation-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and stop the shard workers."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.service.stop()

@@ -31,10 +31,11 @@ Typical use::
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import ExplanationEngine
 from ..core.questions import Question, parse_question
@@ -45,12 +46,21 @@ from ..users.context import SystemContext
 from ..users.personas import persona as persona_lookup
 from ..users.profile import UserProfile
 from ..users.sessions import SessionRegistry, UserSession
-from .api import ExplanationRequest, ExplanationResponse, ServiceStats
+from .api import BackpressureError, ExplanationRequest, ExplanationResponse, ServiceStats
 
-__all__ = ["ExplanationService"]
+__all__ = ["ExplanationService", "percentile"]
 
 #: Cache key identifying a scenario: all components are frozen dataclasses.
 ScenarioKey = Tuple[Question, UserProfile, SystemContext]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..1) of ``samples`` by rank (0.0 if empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
 
 
 class ExplanationService:
@@ -63,9 +73,14 @@ class ExplanationService:
         max_cached_scenarios: int = 64,
         registry: Optional[SessionRegistry] = None,
         default_persona: str = "paper",
+        snapshot_reads: bool = True,
+        max_pending: Optional[int] = None,
+        latency_window: int = 2048,
     ) -> None:
         if max_cached_scenarios <= 0:
             raise ValueError("max_cached_scenarios must be positive")
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError("max_pending must be positive (or None for unbounded)")
         self._engine = engine
         self._catalog = catalog
         self._engine_lock = threading.Lock()
@@ -78,7 +93,19 @@ class ExplanationService:
         # plain serving never takes this lock.
         self._update_lock = threading.Lock()
         self.max_cached_scenarios = max_cached_scenarios
+        #: Serve explanations against a copy-on-write snapshot of the cached
+        #: scenario, so concurrent readers are isolated from any later write
+        #: to the graphs they are querying (see :meth:`Scenario.snapshot`).
+        self.snapshot_reads = snapshot_reads
+        #: Admission control: with ``max_pending`` set, at most that many
+        #: requests may be in flight at once — the next one is shed with a
+        #: typed :class:`BackpressureError` instead of queueing behind them.
+        self.max_pending = max_pending
+        self._inflight = 0
+        self._admission_lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
         self.requests_served = 0
+        self.requests_rejected = 0
         self.scenario_cache_hits = 0
         self.scenario_cache_misses = 0
         self.scenario_updates = 0
@@ -125,9 +152,16 @@ class ExplanationService:
 
     def open_persona_session(self, persona_key: str,
                              session_id: Optional[str] = None) -> UserSession:
-        """Open a session for a registered persona key."""
+        """Open a session for a registered persona key.
+
+        The key is recorded with the session, so if the registry later
+        evicts it (capacity or idle TTL) a follow-up request on the same
+        session id transparently rebuilds the session from the persona's
+        canonical profile.
+        """
         user, context = persona_lookup(persona_key)
-        return self.registry.open(user, context, session_id=session_id)
+        return self.registry.open(user, context, session_id=session_id,
+                                  persona=persona_key)
 
     def close_session(self, session_id: str) -> Optional[UserSession]:
         """End a session; returns it (or ``None`` if unknown)."""
@@ -174,28 +208,64 @@ class ExplanationService:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        """Count one request in; shed it if the in-flight limit is reached."""
+        with self._admission_lock:
+            if self.max_pending is not None and self._inflight >= self.max_pending:
+                self.requests_rejected += 1
+                raise BackpressureError(
+                    f"service is at its in-flight limit ({self.max_pending} pending); "
+                    "retry later",
+                    scope="service",
+                    queue_depth=self._inflight,
+                    limit=self.max_pending,
+                )
+            self._inflight += 1
+
+    def _release(self) -> None:
+        with self._admission_lock:
+            self._inflight -= 1
+
     def explain(self, request: ExplanationRequest) -> ExplanationResponse:
-        """Serve one request through every cache layer."""
-        start = time.perf_counter()
-        user, context, session = self._resolve(request)
-        question = parse_question(request.question)
-        scenario, hit = self._scenario(question, user, context)
-        explanation = self.engine.explain(
-            question, user, context,
-            explanation_type=request.explanation_type,
-            scenario=scenario,
-        )
-        if session is not None:
-            session.record_question(request.question)
-        with self._scenario_lock:
-            self.requests_served += 1
-        return ExplanationResponse(
-            request=request,
-            explanation=explanation,
-            session_id=session.session_id if session is not None else None,
-            scenario_cache_hit=hit,
-            elapsed_seconds=time.perf_counter() - start,
-        )
+        """Serve one request through every cache layer.
+
+        Reads are **snapshot-isolated**: the scenario is fetched (or built)
+        once, then — with :attr:`snapshot_reads` on — the generators run
+        against copy-on-write :meth:`~repro.rdf.graph.Graph.copy` snapshots
+        of its graphs, so a concurrent :meth:`update_scenario` can never be
+        observed mid-flight and reads never wait on the update lock.
+        Raises :class:`BackpressureError` (without doing any work) when the
+        in-flight limit is reached.
+        """
+        self._admit()
+        try:
+            start = time.perf_counter()
+            user, context, session = self._resolve(request)
+            question = parse_question(request.question)
+            scenario, hit = self._scenario(question, user, context)
+            if self.snapshot_reads:
+                scenario = scenario.snapshot()
+            explanation = self.engine.explain(
+                question, user, context,
+                explanation_type=request.explanation_type,
+                scenario=scenario,
+            )
+            if session is not None:
+                session.record_question(request.question)
+            elapsed = time.perf_counter() - start
+            with self._scenario_lock:
+                self.requests_served += 1
+            self._latencies.append(elapsed)
+            return ExplanationResponse(
+                request=request,
+                explanation=explanation,
+                session_id=session.session_id if session is not None else None,
+                scenario_cache_hit=hit,
+                elapsed_seconds=elapsed,
+                scenario=scenario,
+            )
+        finally:
+            self._release()
 
     def ask(
         self,
@@ -323,6 +393,10 @@ class ExplanationService:
         if closure is not None:
             closure.clear()
 
+    def latency_snapshot(self) -> List[float]:
+        """Recent serve latencies in seconds (bounded sliding window)."""
+        return list(self._latencies)
+
     def stats(self) -> ServiceStats:
         """A snapshot of every cache layer's counters.
 
@@ -330,8 +404,10 @@ class ExplanationService:
         engine build.
         """
         closure = self._engine.builder.closure_cache if self._engine is not None else None
+        samples = self.latency_snapshot()
         return ServiceStats(
             requests_served=self.requests_served,
+            requests_rejected=self.requests_rejected,
             scenario_cache_hits=self.scenario_cache_hits,
             scenario_cache_misses=self.scenario_cache_misses,
             scenario_updates=self.scenario_updates,
@@ -341,4 +417,10 @@ class ExplanationService:
             term_store=(self._engine.builder.store_stats()
                         if self._engine is not None else {}),
             active_sessions=len(self.registry),
+            session_rebuilds=self.registry.rebuilds,
+            latency_ms={
+                "p50": percentile(samples, 0.50) * 1000.0,
+                "p99": percentile(samples, 0.99) * 1000.0,
+                "samples": float(len(samples)),
+            },
         )

@@ -1,0 +1,448 @@
+"""Sharded, concurrent multi-tenant serving: N independent service shards.
+
+:class:`ShardedExplanationService` is the horizontal layer above
+:class:`~repro.service.service.ExplanationService`.  It partitions the
+tenant population across ``num_shards`` fully independent shards, each
+owning
+
+* its **own** :class:`~repro.core.scenario.ScenarioBuilder` with a private
+  :class:`~repro.owl.MaterializationCache` (closure cache), over **one
+  shared, read-only base graph** — every shard's scenario graphs are COW
+  :meth:`~repro.rdf.graph.Graph.copy` children of the same dictionary-
+  encoded family, so the ontology + knowledge graph is stored once;
+* its own scenario cache, :class:`~repro.users.sessions.SessionRegistry`
+  and statistics counters;
+* a **bounded request queue** drained by a pool of worker threads —
+  admission control: a full queue sheds the request with a typed
+  :class:`~repro.service.api.BackpressureError` instead of letting
+  latency grow without bound.
+
+Routing is stable and stateless: a session id minted by this layer is
+``s<shard>:<n>``, so any front-end thread can route a follow-up request
+with one string parse; persona- or profile-addressed requests hash their
+tenant key (CRC-32) so one tenant's traffic always lands on the shard
+holding its warm caches.  Aggregate capacity therefore scales linearly
+with the shard count — N shards hold N× the scenarios and closures one
+instance can — which is what carries a working set that thrashes a single
+serial service.
+
+Reads are snapshot-isolated end to end: each shard's service answers
+against COW snapshots of its cached scenarios (see
+:meth:`repro.core.scenario.Scenario.snapshot`), so an ``ask`` racing an
+``update_scenario`` on the same session observes either the pre- or the
+post-update scenario, never a torn mixture, and never blocks behind the
+update lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import ExplanationEngine
+from ..core.scenario import Scenario, ScenarioBuilder
+from ..foodkg.schema import FoodCatalog
+from ..owl import MaterializationCache
+from ..users.context import SystemContext
+from ..users.personas import persona as persona_lookup
+from ..users.profile import UserProfile
+from ..users.sessions import SessionRegistry, UserSession
+from .api import BackpressureError, ExplanationRequest, ExplanationResponse, ServiceStats
+from .service import ExplanationService, percentile
+
+__all__ = ["ServiceShard", "ShardedExplanationService", "FleetStats"]
+
+
+class ServiceShard:
+    """One shard: a private :class:`ExplanationService` behind a bounded queue."""
+
+    def __init__(self, index: int, service: ExplanationService,
+                 queue_size: int = 64, workers: int = 2) -> None:
+        if queue_size <= 0:
+            raise ValueError("queue_size must be positive")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.index = index
+        self.service = service
+        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self.queue_size = queue_size
+        self.workers = workers
+        self.rejected = 0
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for n in range(self.workers):
+            thread = threading.Thread(
+                target=self._work, name=f"shard-{self.index}-worker-{n}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop the workers after the queue drains."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self.queue.put(None)  # blocking put: a sentinel is never shed
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self._started = False
+
+    def _work(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            future, fn, args, kwargs = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - relayed via the future
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def submit(self, fn, *args, **kwargs) -> "Future":
+        """Enqueue one unit of work; shed it immediately if the queue is full."""
+        future: Future = Future()
+        try:
+            self.queue.put_nowait((future, fn, args, kwargs))
+        except queue.Full:
+            self.rejected += 1
+            raise BackpressureError(
+                f"shard {self.index} queue is full "
+                f"({self.queue_size} pending requests); retry later",
+                scope="shard",
+                shard=self.index,
+                queue_depth=self.queue_size,
+                limit=self.queue_size,
+            ) from None
+        return future
+
+    def call(self, fn, *args, **kwargs):
+        """Submit and wait: the synchronous serving path."""
+        if not self._started:
+            # Direct execution keeps a stopped (or never-started) shard
+            # usable as a plain service, e.g. in single-threaded tools.
+            return fn(*args, **kwargs)
+        return self.submit(fn, *args, **kwargs).result()
+
+    def queue_depth(self) -> int:
+        return self.queue.qsize()
+
+    def stats(self) -> ServiceStats:
+        stats = self.service.stats()
+        stats.queue_depth = self.queue_depth()
+        # Queue-level sheds are counted here, service-level sheds inside the
+        # service; the shard's view is the sum of both.
+        stats.requests_rejected += self.rejected
+        return stats
+
+
+@dataclass
+class FleetStats:
+    """Aggregated view over every shard, plus the per-shard breakdown."""
+
+    requests_served: int = 0
+    requests_rejected: int = 0
+    scenario_cache_hits: int = 0
+    scenario_cache_misses: int = 0
+    scenario_updates: int = 0
+    active_sessions: int = 0
+    session_rebuilds: int = 0
+    queue_depths: List[int] = field(default_factory=list)
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    shards: List[ServiceStats] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the fleet counters as the ``serve --stats`` footer."""
+        lines = [
+            f"shards:                 {len(self.shards)}",
+            f"requests served:        {self.requests_served}",
+            f"requests rejected:      {self.requests_rejected} (backpressure)",
+            f"serve latency:          p50 {self.latency_ms.get('p50', 0.0):.1f} ms / "
+            f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms "
+            f"({int(self.latency_ms.get('samples', 0))} samples)",
+            f"scenario cache:         {self.scenario_cache_hits} hits / "
+            f"{self.scenario_cache_misses} misses",
+            f"scenario updates:       {self.scenario_updates}",
+            f"queue depths:           {self.queue_depths}",
+            f"active sessions:        {self.active_sessions} "
+            f"({self.session_rebuilds} rebuilt after eviction)",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-friendly view (used by the HTTP ``/stats`` endpoint)."""
+        return {
+            "shards": len(self.shards),
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+            "scenario_cache_hits": self.scenario_cache_hits,
+            "scenario_cache_misses": self.scenario_cache_misses,
+            "scenario_updates": self.scenario_updates,
+            "active_sessions": self.active_sessions,
+            "session_rebuilds": self.session_rebuilds,
+            "queue_depths": list(self.queue_depths),
+            "latency_ms": dict(self.latency_ms),
+            "per_shard": [
+                {
+                    "requests_served": s.requests_served,
+                    "requests_rejected": s.requests_rejected,
+                    "scenario_cache_hits": s.scenario_cache_hits,
+                    "scenario_cache_misses": s.scenario_cache_misses,
+                    "queue_depth": s.queue_depth,
+                    "active_sessions": s.active_sessions,
+                }
+                for s in self.shards
+            ],
+        }
+
+
+class ShardedExplanationService:
+    """Hash-sharded, thread-pooled, snapshot-isolated explanation serving.
+
+    One instance fans requests out across ``num_shards`` independent
+    :class:`ExplanationService` shards (see the module docstring for the
+    isolation and routing model).  The public surface mirrors the
+    single-instance service — :meth:`ask`, :meth:`explain`,
+    :meth:`explain_batch`, :meth:`update_scenario`, session management,
+    :meth:`stats` — so callers and transports can swap one for the other.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        workers_per_shard: int = 2,
+        queue_size: int = 64,
+        catalog: Optional[FoodCatalog] = None,
+        engine: Optional[ExplanationEngine] = None,
+        max_cached_scenarios: int = 64,
+        closure_cache_size: int = 16,
+        max_sessions_per_shard: int = 1024,
+        session_ttl: Optional[float] = None,
+        snapshot_reads: bool = True,
+        start: bool = True,
+        default_persona: str = "paper",
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        # One base engine supplies the shared, read-only ontology + KG graph
+        # (and its term dictionary); every shard's builder copies it COW.
+        self._base_engine = engine if engine is not None else ExplanationEngine(catalog=catalog)
+        base_graph = self._base_engine.builder._base
+        shared_catalog = self._base_engine.catalog
+        self._shards: List[ServiceShard] = []
+        for index in range(num_shards):
+            builder = ScenarioBuilder(
+                shared_catalog,
+                base_graph=base_graph,
+                closure_cache=MaterializationCache(max_size=closure_cache_size),
+            )
+            shard_engine = ExplanationEngine(builder=builder)
+            service = ExplanationService(
+                engine=shard_engine,
+                max_cached_scenarios=max_cached_scenarios,
+                registry=SessionRegistry(max_sessions=max_sessions_per_shard,
+                                         idle_ttl=session_ttl),
+                default_persona=default_persona,
+                snapshot_reads=snapshot_reads,
+            )
+            self._shards.append(ServiceShard(index, service,
+                                             queue_size=queue_size,
+                                             workers=workers_per_shard))
+        self._session_counter = itertools.count(1)
+        self._round_robin = itertools.count()
+        self.default_persona = default_persona
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for shard in self._shards:
+            shard.start()
+
+    def stop(self) -> None:
+        for shard in self._shards:
+            shard.stop()
+
+    def __enter__(self) -> "ShardedExplanationService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def warm(self) -> "ShardedExplanationService":
+        """Pre-parse the competency templates (the engine is already built)."""
+        for shard in self._shards:
+            shard.service.warm()
+        return self
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> Sequence[ServiceShard]:
+        return tuple(self._shards)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hash_key(key: str) -> int:
+        # CRC-32 rather than hash(): stable across processes and runs
+        # (str hashing is salted per interpreter), so a session id minted
+        # by one front-end routes identically everywhere.
+        return zlib.crc32(key.encode("utf-8"))
+
+    def _shard_by_key(self, key: str) -> ServiceShard:
+        return self._shards[self._hash_key(key) % len(self._shards)]
+
+    def shard_for_session(self, session_id: str) -> ServiceShard:
+        """The shard owning ``session_id`` (parse the ``s<i>:`` prefix)."""
+        if session_id.startswith("s") and ":" in session_id:
+            prefix = session_id[1:session_id.index(":")]
+            if prefix.isdigit():
+                return self._shards[int(prefix) % len(self._shards)]
+        # Foreign ids (opened directly on a shard's registry) fall back to
+        # a stable hash of the id itself.
+        return self._shard_by_key(session_id)
+
+    def _shard_for_request(self, request: ExplanationRequest) -> ServiceShard:
+        if request.session_id is not None:
+            return self.shard_for_session(request.session_id)
+        if request.user is not None:
+            return self._shard_by_key(request.user.identifier)
+        if request.persona is not None:
+            return self._shard_by_key(request.persona)
+        return self._shard_by_key(self.default_persona)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def _mint_session_id(self, shard: ServiceShard) -> str:
+        return f"s{shard.index}:{next(self._session_counter)}"
+
+    def open_session(self, user: UserProfile, context: SystemContext) -> UserSession:
+        """Open a session on the shard owning this profile's tenant key."""
+        shard = self._shard_by_key(user.identifier)
+        return shard.service.open_session(
+            user, context, session_id=self._mint_session_id(shard))
+
+    def open_persona_session(self, persona_key: str) -> UserSession:
+        """Open a persona session on that persona's home shard."""
+        user, _ = persona_lookup(persona_key)
+        shard = self._shard_by_key(user.identifier)
+        return shard.service.open_persona_session(
+            persona_key, session_id=self._mint_session_id(shard))
+
+    def close_session(self, session_id: str) -> Optional[UserSession]:
+        return self.shard_for_session(session_id).service.close_session(session_id)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def explain(self, request: ExplanationRequest) -> ExplanationResponse:
+        """Serve one request on its home shard's worker pool.
+
+        Raises :class:`BackpressureError` if the shard's queue is full;
+        request-level errors (unparseable question, unknown food) propagate
+        exactly as the underlying service raises them.
+        """
+        shard = self._shard_for_request(request)
+        return shard.call(shard.service.explain, request)
+
+    def ask(
+        self,
+        question: str,
+        session_id: Optional[str] = None,
+        persona: Optional[str] = None,
+        user: Optional[UserProfile] = None,
+        context: Optional[SystemContext] = None,
+        explanation_type: Optional[str] = None,
+    ) -> ExplanationResponse:
+        """Convenience wrapper mirroring :meth:`ExplanationService.ask`."""
+        return self.explain(ExplanationRequest(
+            question=question, session_id=session_id, persona=persona,
+            user=user, context=context, explanation_type=explanation_type,
+        ))
+
+    def explain_batch(self, requests: Sequence[ExplanationRequest]) -> List[ExplanationResponse]:
+        """Serve a batch across shards concurrently, preserving order.
+
+        All requests are enqueued up front (so shards work in parallel)
+        and the responses are gathered in request order.  A shed request
+        surfaces its :class:`BackpressureError` when its slot is reached.
+        """
+        futures: List[Tuple[Optional[Future], Optional[BackpressureError]]] = []
+        for request in requests:
+            shard = self._shard_for_request(request)
+            try:
+                if shard._started:
+                    futures.append((shard.submit(shard.service.explain, request), None))
+                else:
+                    # Degenerate unstarted mode: execute inline.
+                    result: Future = Future()
+                    result.set_result(shard.service.explain(request))
+                    futures.append((result, None))
+            except BackpressureError as exc:
+                futures.append((None, exc))
+        responses: List[ExplanationResponse] = []
+        for future, rejection in futures:
+            if rejection is not None:
+                raise rejection
+            responses.append(future.result())
+        return responses
+
+    def update_scenario(self, question: str, session_id: Optional[str] = None,
+                        persona: Optional[str] = None, **additions) -> Scenario:
+        """Apply a scenario update on the owning shard's worker pool."""
+        request = ExplanationRequest(question=question, session_id=session_id,
+                                     persona=persona)
+        shard = self._shard_for_request(request)
+        return shard.call(shard.service.update_scenario, question,
+                          session_id=session_id, persona=persona, **additions)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        for shard in self._shards:
+            shard.service.clear_caches()
+
+    def stats(self) -> FleetStats:
+        """Aggregate counters plus the per-shard breakdown."""
+        per_shard = [shard.stats() for shard in self._shards]
+        samples: List[float] = []
+        for shard in self._shards:
+            samples.extend(shard.service.latency_snapshot())
+        return FleetStats(
+            requests_served=sum(s.requests_served for s in per_shard),
+            requests_rejected=sum(s.requests_rejected for s in per_shard),
+            scenario_cache_hits=sum(s.scenario_cache_hits for s in per_shard),
+            scenario_cache_misses=sum(s.scenario_cache_misses for s in per_shard),
+            scenario_updates=sum(s.scenario_updates for s in per_shard),
+            active_sessions=sum(s.active_sessions for s in per_shard),
+            session_rebuilds=sum(s.session_rebuilds for s in per_shard),
+            queue_depths=[s.queue_depth for s in per_shard],
+            latency_ms={
+                "p50": percentile(samples, 0.50) * 1000.0,
+                "p99": percentile(samples, 0.99) * 1000.0,
+                "samples": float(len(samples)),
+            },
+            shards=per_shard,
+        )

@@ -9,8 +9,24 @@ conversational features (e.g. "explain that differently").
 
 :class:`SessionRegistry` is the thread-safe container the
 :class:`repro.service.ExplanationService` uses to serve concurrent
-sessions; it evicts the least-recently-active session beyond
-``max_sessions``.
+sessions.  Its population is bounded twice over:
+
+* a **capacity cap** (``max_sessions``) evicts the least-recently-active
+  session, as before;
+* an **idle TTL** (``idle_ttl``) lazily expires sessions that have not
+  been touched for that many seconds, so a long-lived service facing
+  millions of short-lived users no longer accumulates every session it
+  has ever opened up to the cap.
+
+Eviction is **transparent** for persona-addressed sessions: opening a
+session with a ``persona`` key records a tiny rebuild spec (the key, not
+the session), and a later :meth:`SessionRegistry.get` for an evicted id
+re-opens the session from its persona's canonical profile instead of
+raising.  Incremental profile growth made through ``update_scenario`` is
+lost on rebuild — the session restarts from the persona baseline, exactly
+as if the user had signed in again — which is the documented trade-off
+for bounding memory.  Sessions opened with an explicit profile have no
+spec and still raise :class:`KeyError` after eviction.
 """
 
 from __future__ import annotations
@@ -20,7 +36,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .context import SystemContext
 from .profile import UserProfile
@@ -37,6 +53,9 @@ class UserSession:
     session_id: str
     user: UserProfile
     context: SystemContext
+    #: The persona key this session was opened from, if any — the rebuild
+    #: handle that lets the registry resurrect the session after eviction.
+    persona: Optional[str] = None
     created_at: float = field(default_factory=time.time)
     last_active: float = field(default_factory=time.time)
     questions_asked: int = 0
@@ -64,27 +83,75 @@ class SessionRegistry:
     """Thread-safe registry of live :class:`UserSession` objects.
 
     Sessions are kept in least-recently-active order; opening a session
-    beyond ``max_sessions`` evicts the stalest one (a service holding a
-    scenario cache does not want an unbounded session population either).
+    beyond ``max_sessions`` evicts the stalest one, and (with ``idle_ttl``
+    set) any access first expires sessions idle longer than the TTL.
+    Evicted persona-addressed sessions rebuild transparently on the next
+    :meth:`get` (see the module docstring).
     """
 
-    def __init__(self, max_sessions: int = 1024) -> None:
+    def __init__(self, max_sessions: int = 1024,
+                 idle_ttl: Optional[float] = None,
+                 max_rebuild_specs: int = 8192) -> None:
         if max_sessions <= 0:
             raise ValueError("max_sessions must be positive")
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ValueError("idle_ttl must be positive (or None to disable)")
         self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.max_rebuild_specs = max_rebuild_specs
         self._sessions: "OrderedDict[str, UserSession]" = OrderedDict()
+        #: session_id -> persona key, for transparent post-eviction rebuilds.
+        #: Bounded LRU of its own: a spec is a two-string entry, so the cap
+        #: can comfortably exceed ``max_sessions``.
+        self._rebuild_specs: "OrderedDict[str, str]" = OrderedDict()
         self._lock = threading.Lock()
         self.evictions = 0
+        self.ttl_evictions = 0
+        self.rebuilds = 0
 
+    # ------------------------------------------------------------------
+    def _expire_idle_locked(self, now: float) -> None:
+        """Drop sessions idle beyond the TTL (caller holds the lock).
+
+        The registry is ordered least-recently-*accessed* first and
+        ``last_active`` only moves forward on access, so expiry scans from
+        the front and stops at the first live session.
+        """
+        if self.idle_ttl is None:
+            return
+        horizon = now - self.idle_ttl
+        while self._sessions:
+            session = next(iter(self._sessions.values()))
+            if session.last_active >= horizon:
+                break
+            self._sessions.popitem(last=False)
+            self.ttl_evictions += 1
+
+    def _record_spec_locked(self, session_id: str, persona: str) -> None:
+        self._rebuild_specs.pop(session_id, None)
+        self._rebuild_specs[session_id] = persona
+        while len(self._rebuild_specs) > self.max_rebuild_specs:
+            self._rebuild_specs.popitem(last=False)
+
+    # ------------------------------------------------------------------
     def open(self, user: UserProfile, context: SystemContext,
-             session_id: Optional[str] = None) -> UserSession:
-        """Create (or replace) a session for ``user`` and return it."""
+             session_id: Optional[str] = None,
+             persona: Optional[str] = None) -> UserSession:
+        """Create (or replace) a session for ``user`` and return it.
+
+        ``persona`` (a :data:`repro.users.personas.PERSONAS` key) marks the
+        session as rebuildable after eviction.
+        """
         if session_id is None:
             session_id = f"session-{next(_session_counter)}"
-        session = UserSession(session_id=session_id, user=user, context=context)
+        session = UserSession(session_id=session_id, user=user, context=context,
+                              persona=persona)
         with self._lock:
+            self._expire_idle_locked(time.time())
             self._sessions.pop(session_id, None)
             self._sessions[session_id] = session
+            if persona is not None:
+                self._record_spec_locked(session_id, persona)
             while len(self._sessions) > self.max_sessions:
                 self._sessions.popitem(last=False)
                 self.evictions += 1
@@ -93,17 +160,56 @@ class SessionRegistry:
     def get(self, session_id: str) -> UserSession:
         """Return the live session, marking it most-recently-active.
 
-        Raises :class:`KeyError` for unknown (or already evicted) ids.
+        An evicted persona-addressed session is transparently re-opened
+        from its persona's canonical profile (counted in :attr:`rebuilds`).
+        Raises :class:`KeyError` for ids that were never opened, or whose
+        profile cannot be rebuilt.
         """
         with self._lock:
-            session = self._sessions[session_id]
-            self._sessions.move_to_end(session_id)
-            return session
+            self._expire_idle_locked(time.time())
+            session = self._sessions.get(session_id)
+            if session is not None:
+                self._sessions.move_to_end(session_id)
+                return session
+            persona_key = self._rebuild_specs.get(session_id)
+            if persona_key is None:
+                raise KeyError(session_id)
+        # Rebuild outside the lock: persona lookup builds fresh profile and
+        # context objects.  A concurrent rebuild of the same id is harmless
+        # (both produce equal sessions; last publish wins).
+        from .personas import persona as persona_lookup
+
+        user, context = persona_lookup(persona_key)
+        session = UserSession(session_id=session_id, user=user, context=context,
+                              persona=persona_key)
+        with self._lock:
+            existing = self._sessions.get(session_id)
+            if existing is not None:
+                self._sessions.move_to_end(session_id)
+                return existing
+            self._sessions[session_id] = session
+            self.rebuilds += 1
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+        return session
 
     def close(self, session_id: str) -> Optional[UserSession]:
-        """Remove and return the session, or ``None`` if it was not live."""
+        """Remove and return the session, or ``None`` if it was not live.
+
+        Closing also drops the rebuild spec: an explicitly closed session
+        stays closed.
+        """
         with self._lock:
+            self._rebuild_specs.pop(session_id, None)
             return self._sessions.pop(session_id, None)
+
+    def evict_idle(self) -> int:
+        """Force a TTL sweep now; returns how many sessions were expired."""
+        with self._lock:
+            before = self.ttl_evictions
+            self._expire_idle_locked(time.time())
+            return self.ttl_evictions - before
 
     def active(self) -> List[UserSession]:
         """All live sessions, least-recently-active first."""

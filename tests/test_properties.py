@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the core data structures and invariants."""
 
 import string
+import threading
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -239,6 +240,60 @@ class TestTermDictionaryProperties:
         stats = dictionary.stats()
         assert stats["interned_terms"] == len(dictionary)
         assert stats["iris"] + stats["bnodes"] + stats["literals"] == len(dictionary)
+
+    @given(
+        st.lists(_rich_terms, max_size=30),
+        st.lists(_rich_terms, max_size=30),
+        st.lists(_rich_terms, max_size=15),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_concurrent_interning_is_bijective_and_stable(self, left, right, shared):
+        """Racing interners agree on one ID per term and never corrupt the map.
+
+        Two threads intern overlapping term lists into one dictionary (the
+        serving layer does exactly this: every shard's scenario builder
+        interns into the shared graph-family dictionary).  Afterwards the
+        dictionary must be a bijection — same term -> same ID from both
+        threads, every ID decodes back to its term — and re-interning must
+        return the IDs the race assigned (stability)."""
+        dictionary = TermDictionary()
+        workloads = [left + shared, right + shared]
+        observed = [{}, {}]
+        barrier = threading.Barrier(len(workloads))
+        errors = []
+
+        def interner(slot, terms):
+            try:
+                barrier.wait(timeout=30)
+                for term in terms:
+                    observed[slot][term] = dictionary.intern(term)
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=interner, args=(slot, terms))
+                   for slot, terms in enumerate(workloads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert not errors, f"concurrent intern failed: {errors[:3]}"
+
+        # Both threads got the same ID for every term they both interned.
+        for term in set(observed[0]) & set(observed[1]):
+            assert observed[0][term] == observed[1][term]
+        # Bijectivity + decode round-trip across the union.
+        assignments = {**observed[0], **observed[1]}
+        assert len(set(assignments.values())) == len(assignments)
+        for term, tid in assignments.items():
+            decoded = dictionary.decode(tid)
+            assert decoded == term and type(decoded) is type(term)
+            # Post-race stability: interning never re-mints.
+            assert dictionary.intern(term) == tid
+        assert len(dictionary) == len(assignments)
+        stats = dictionary.stats()
+        assert stats["interned_terms"] == len(assignments)
+        assert stats["iris"] + stats["bnodes"] + stats["literals"] == len(assignments)
 
     @given(st.lists(_triples, max_size=40), st.lists(_triples, max_size=20))
     @settings(max_examples=50, deadline=None)

@@ -1,0 +1,513 @@
+"""Concurrency battery for the multi-tenant serving layer.
+
+Covers the serving-layer guarantees the sharded architecture makes:
+
+* **snapshot isolation** — N reader threads racing one writer per session
+  only ever observe *complete* scenario closures (each read's content
+  fingerprint matches one of the states a serial replay of the same
+  update sequence produces — no torn snapshots), post-update reads see
+  the delta, and reads never wait on the update lock;
+* **differential correctness** — a concurrent mixed ask/update trace
+  through :class:`ShardedExplanationService` is response-for-response
+  equal to a serial replay of the same trace on a plain
+  :class:`ExplanationService` (the serial oracle);
+* **load shedding** — admission control surfaces the typed
+  :class:`BackpressureError` (with counters), not a 500 or a traceback,
+  through both ``ExplanationService.ask`` and the HTTP API;
+* **session lifecycle** — idle sessions are evicted (TTL and LRU cap)
+  and persona-addressed sessions rebuild transparently afterwards.
+
+The reader-thread count scales with ``REPRO_TEST_WORKERS`` (CI runs a
+2/8 matrix).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+from repro.service import (
+    BackpressureError,
+    ExplanationRequest,
+    ExplanationServer,
+    ExplanationService,
+    ShardedExplanationService,
+)
+from repro.users.personas import paper_context, paper_user, persona
+from repro.users.sessions import SessionRegistry
+
+#: Reader/worker thread count for the race tests (CI matrix: 2 and 8).
+WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "4")))
+
+QUESTION = "Why should I eat Cauliflower Potato Curry?"
+
+#: One writer's update sequence; each step changes the scenario closure, so
+#: the five states (base + four updates) have five distinct fingerprints.
+UPDATES = (
+    dict(allergies=("dairy",)),
+    dict(conditions=("diabetes",)),
+    dict(likes=("Spinach",)),
+    dict(goals=("high_fiber",)),
+)
+
+
+def _run_threads(targets, timeout=60.0):
+    """Start one thread per target callable and join them all."""
+    threads = [threading.Thread(target=target, daemon=True) for target in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        assert not thread.is_alive(), "worker thread did not finish in time"
+
+
+# ---------------------------------------------------------------------------
+# Snapshot-isolated reads
+# ---------------------------------------------------------------------------
+class TestSnapshotIsolation:
+    def _serial_state_fingerprints(self, engine):
+        """The oracle: fingerprints of every profile-prefix closure, serially."""
+        oracle = ExplanationService(engine=engine)
+        session = oracle.open_persona_session("paper")
+        states = [oracle.ask(QUESTION, session_id=session.session_id)
+                  .scenario.inferred.fingerprint()]
+        for update in UPDATES:
+            states.append(oracle.update_scenario(
+                QUESTION, session_id=session.session_id, **update)
+                .inferred.fingerprint())
+        return states
+
+    def test_readers_racing_one_writer_observe_no_torn_snapshots(self, engine):
+        expected = self._serial_state_fingerprints(engine)
+        assert len(set(expected)) == len(expected), \
+            "oracle states must be distinguishable for the race to be checkable"
+
+        service = ExplanationService(engine=engine)
+        session = service.open_persona_session("paper")
+        service.ask(QUESTION, session_id=session.session_id)  # prime state 0
+
+        observed = [[] for _ in range(WORKERS)]
+        errors = []
+        stop = threading.Event()
+
+        def reader(slot):
+            try:
+                while not stop.is_set():
+                    response = service.ask(QUESTION, session_id=session.session_id)
+                    observed[slot].append(response.scenario.inferred.fingerprint())
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+
+        def writer():
+            try:
+                for update in UPDATES:
+                    service.update_scenario(QUESTION, session_id=session.session_id,
+                                            **update)
+                    time.sleep(0.02)  # let readers sample this state
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        _run_threads([lambda slot=s: reader(slot) for s in range(WORKERS)] + [writer])
+
+        assert not errors, f"concurrent requests failed: {errors[:3]}"
+        valid = set(expected)
+        total_reads = 0
+        for sequence in observed:
+            total_reads += len(sequence)
+            # Every read saw a complete closure from the serial state space —
+            # never a half-applied update.
+            assert set(sequence) <= valid, "a read observed a torn snapshot"
+            # A session's profile only advances, so each reader's view moves
+            # monotonically through the state sequence.
+            indices = [expected.index(fingerprint) for fingerprint in sequence]
+            assert indices == sorted(indices), \
+                "a reader travelled backwards through the update sequence"
+        assert total_reads > 0, "readers never ran"
+
+        # Post-update reads see the delta: after the writer finished, the
+        # next read serves exactly the final state.
+        final = service.ask(QUESTION, session_id=session.session_id)
+        assert final.scenario.inferred.fingerprint() == expected[-1]
+
+    def test_reads_proceed_while_the_update_lock_is_held(self, engine):
+        """ask() must never wait on the update path's lock."""
+        service = ExplanationService(engine=engine)
+        session = service.open_persona_session("paper")
+        service.ask(QUESTION, session_id=session.session_id)
+
+        results = []
+        with service._update_lock:  # an update is "in flight"
+            thread = threading.Thread(
+                target=lambda: results.append(
+                    service.ask(QUESTION, session_id=session.session_id)),
+                daemon=True)
+            thread.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "read blocked behind the update lock"
+        assert results and results[0].explanation.text
+
+    def test_snapshot_is_isolated_from_later_cache_state(self, engine):
+        """The scenario handed back with a response is the caller's own view."""
+        service = ExplanationService(engine=engine)
+        session = service.open_persona_session("paper")
+        before = service.ask(QUESTION, session_id=session.session_id)
+        fingerprint = before.scenario.inferred.fingerprint()
+        service.update_scenario(QUESTION, session_id=session.session_id,
+                                likes=("Sushi",))
+        # The held snapshot is unaffected by the update, and mutating it
+        # cannot leak back into the service's caches.
+        assert before.scenario.inferred.fingerprint() == fingerprint
+        before.scenario.inferred.add(
+            (before.scenario.user_iri, before.scenario.question_iri,
+             before.scenario.user_iri))
+        after = service.ask(QUESTION, session_id=session.session_id)
+        assert before.scenario.inferred.fingerprint() != fingerprint
+        assert after.scenario.inferred.fingerprint() != \
+            before.scenario.inferred.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Concurrent trace == serial replay (the differential oracle)
+# ---------------------------------------------------------------------------
+class TestShardedDifferential:
+    N_SESSIONS = 8
+
+    def _trace(self):
+        """A mixed per-session op list over distinct tenant profiles."""
+        base_user, context = paper_user(), paper_context()
+        trace = []
+        for index in range(self.N_SESSIONS):
+            user = replace(base_user, identifier=f"tenant-{index}",
+                           name=f"Tenant {index}")
+            ops = [("ask", None)]
+            if index % 2 == 0:
+                ops.append(("update", {"likes": (f"Custom Delicacy {index}",)}))
+                ops.append(("ask", None))
+            ops.append(("ask", None))
+            trace.append((user, context, ops))
+        return trace
+
+    @staticmethod
+    def _signature(response):
+        return (response.explanation.text,
+                response.scenario.inferred.fingerprint())
+
+    def _drive(self, ask, update, user, context, ops, sink, key):
+        session = None
+        for op_index, (op, payload) in enumerate(ops):
+            if op == "ask":
+                response = ask(user, context, key)
+                sink[(key, op_index)] = self._signature(response)
+            else:
+                update(user, context, key, payload)
+        return session
+
+    def test_concurrent_mixed_trace_equals_serial_replay(self, engine):
+        trace = self._trace()
+
+        # -- concurrent run through the sharded service ------------------
+        sharded = ShardedExplanationService(
+            num_shards=3, workers_per_shard=max(1, WORKERS // 2), engine=engine)
+        sessions = {}
+        for index, (user, context, _) in enumerate(trace):
+            sessions[index] = sharded.open_session(user, context).session_id
+        concurrent_results = {}
+        errors = []
+
+        def client(chunk):
+            try:
+                for index, (user, context, ops) in chunk:
+                    self._drive(
+                        lambda u, c, key: sharded.ask(
+                            QUESTION, session_id=sessions[key]),
+                        lambda u, c, key, payload: sharded.update_scenario(
+                            QUESTION, session_id=sessions[key], **payload),
+                        user, context, ops, concurrent_results, index)
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(exc)
+
+        indexed = list(enumerate(trace))
+        chunks = [indexed[i::WORKERS] for i in range(WORKERS)]
+        _run_threads([lambda c=chunk: client(c) for chunk in chunks if chunk],
+                     timeout=300.0)
+        sharded.stop()
+        assert not errors, f"concurrent trace failed: {errors[:3]}"
+
+        # -- serial replay on a plain single-threaded service ------------
+        serial = ExplanationService(engine=engine)
+        serial_results = {}
+        for index, (user, context, ops) in enumerate(trace):
+            session = serial.open_session(user, context)
+            self._drive(
+                lambda u, c, key: serial.ask(QUESTION, session_id=session.session_id),
+                lambda u, c, key, payload: serial.update_scenario(
+                    QUESTION, session_id=session.session_id, **payload),
+                user, context, ops, serial_results, index)
+
+        assert concurrent_results.keys() == serial_results.keys()
+        for key in serial_results:
+            assert concurrent_results[key] == serial_results[key], \
+                f"concurrent response diverged from serial replay at {key}"
+
+    def test_sessions_route_stably_to_their_home_shard(self, engine):
+        sharded = ShardedExplanationService(num_shards=4, engine=engine, start=False)
+        session = sharded.open_persona_session("paper")
+        home = sharded.shard_for_session(session.session_id)
+        assert session.session_id in home.service.registry
+        # The same persona always lands on the same shard.
+        again = sharded.open_persona_session("paper")
+        assert sharded.shard_for_session(again.session_id) is home
+        # Every mint is parseable and in range.
+        for key in ("pregnant_user", "paper"):
+            sid = sharded.open_persona_session(key).session_id
+            assert sharded.shard_for_session(sid).index < sharded.num_shards
+
+
+# ---------------------------------------------------------------------------
+# Load shedding (bounded queues + admission control)
+# ---------------------------------------------------------------------------
+class TestLoadShedding:
+    def test_service_admission_control_sheds_with_typed_error(self, engine, monkeypatch):
+        service = ExplanationService(engine=engine, max_pending=1)
+        service.ask(QUESTION, persona="paper")  # warm: no reasoning during the race
+
+        entered, release = threading.Event(), threading.Event()
+        real_explain = engine.explain
+
+        def slow_explain(*args, **kwargs):
+            entered.set()
+            assert release.wait(timeout=30)
+            return real_explain(*args, **kwargs)
+
+        monkeypatch.setattr(engine, "explain", slow_explain)
+        first_error = []
+        blocker = threading.Thread(
+            target=lambda: first_error.append(
+                service.ask(QUESTION, persona="paper")), daemon=True)
+        blocker.start()
+        assert entered.wait(timeout=30)
+        try:
+            with pytest.raises(BackpressureError) as excinfo:
+                service.ask(QUESTION, persona="paper")
+        finally:
+            release.set()
+            blocker.join(timeout=30)
+
+        payload = excinfo.value.to_payload()
+        assert payload["error"] == "backpressure"
+        assert payload["retryable"] is True
+        assert payload["scope"] == "service"
+        stats = service.stats()
+        assert stats.requests_rejected == 1
+        assert "requests rejected:      1" in stats.to_text()
+        # The blocked request itself completed fine once released.
+        assert first_error and first_error[0].explanation.text
+
+    def test_shard_queue_rejection_carries_shard_context(self, engine):
+        sharded = ShardedExplanationService(
+            num_shards=1, workers_per_shard=1, queue_size=1, engine=engine)
+        try:
+            release = threading.Event()
+            running = threading.Event()
+
+            def occupy():
+                running.set()
+                assert release.wait(timeout=30)
+
+            worker_future = sharded.shards[0].submit(occupy)
+            assert running.wait(timeout=30)
+            queued_future = sharded.shards[0].submit(lambda: "queued")
+            with pytest.raises(BackpressureError) as excinfo:
+                sharded.ask(QUESTION, persona="paper")
+            assert excinfo.value.shard == 0
+            assert excinfo.value.scope == "shard"
+            assert excinfo.value.queue_depth == 1
+            release.set()
+            worker_future.result(timeout=30)
+            assert queued_future.result(timeout=30) == "queued"
+            stats = sharded.stats()
+            assert stats.requests_rejected == 1
+            assert stats.queue_depths == [0]
+            # Back to normal service after the burst drained.
+            assert sharded.ask(QUESTION, persona="paper").explanation.text
+        finally:
+            sharded.stop()
+
+
+# ---------------------------------------------------------------------------
+# HTTP API (transport-level behaviour of the same guarantees)
+# ---------------------------------------------------------------------------
+def _request(url, path, payload=None):
+    """(status, decoded JSON body) for one request; errors are not raised."""
+    if payload is None:
+        request = urllib.request.Request(url + path)
+    else:
+        request = urllib.request.Request(
+            url + path, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHTTPServer:
+    @pytest.fixture()
+    def server(self, engine):
+        sharded = ShardedExplanationService(
+            num_shards=1, workers_per_shard=1, queue_size=1, engine=engine)
+        server = ExplanationServer(sharded, port=0).start()
+        yield server
+        server.stop()
+
+    def test_ask_sessions_update_and_stats_roundtrip(self, server):
+        status, body = _request(server.url, "/healthz")
+        assert (status, body["status"]) == (200, "ok")
+
+        status, opened = _request(server.url, "/sessions", {"persona": "paper"})
+        assert status == 200 and opened["session_id"].startswith("s0:")
+
+        status, answer = _request(server.url, "/ask", {
+            "question": QUESTION, "session_id": opened["session_id"]})
+        assert status == 200
+        assert answer["explanation_type"] == "contextual"
+        assert answer["text"]
+
+        status, updated = _request(server.url, "/update", {
+            "question": QUESTION, "session_id": opened["session_id"],
+            "likes": ["Sushi"]})
+        assert status == 200 and "Sushi" in updated["likes"]
+
+        status, stats = _request(server.url, "/stats")
+        assert status == 200
+        assert stats["requests_served"] >= 1
+        assert stats["scenario_updates"] == 1
+        assert len(stats["per_shard"]) == 1
+
+    def test_client_errors_are_400_not_500(self, server):
+        status, body = _request(server.url, "/ask", {"question": "gibberish"})
+        assert status == 400 and body["error"] == "bad_request"
+        status, body = _request(server.url, "/ask", {})
+        assert status == 400
+        status, body = _request(server.url, "/nope", {})
+        assert status == 404
+        status, body = _request(server.url, "/ask", {
+            "question": QUESTION, "explanation_type": "bogus"})
+        assert status == 400 and "bogus" in body["message"]
+
+    def test_backpressure_is_a_typed_503_then_recovers(self, server):
+        sharded = server.service
+        sharded.ask(QUESTION, persona="paper")  # warm all layers first
+
+        release = threading.Event()
+        running = threading.Event()
+
+        def occupy():
+            running.set()
+            assert release.wait(timeout=30)
+
+        worker_future = sharded.shards[0].submit(occupy)
+        assert running.wait(timeout=30)
+        filler_future = sharded.shards[0].submit(lambda: None)  # queue now full
+        status, body = _request(server.url, "/ask",
+                                {"question": QUESTION, "persona": "paper"})
+        assert status == 503
+        assert body["error"] == "backpressure"
+        assert body["retryable"] is True
+        assert body["shard"] == 0
+
+        release.set()
+        worker_future.result(timeout=30)
+        filler_future.result(timeout=30)
+        status, body = _request(server.url, "/ask",
+                                {"question": QUESTION, "persona": "paper"})
+        assert status == 200 and body["text"]
+        status, stats = _request(server.url, "/stats")
+        assert stats["requests_rejected"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Session eviction and transparent rebuild
+# ---------------------------------------------------------------------------
+class TestSessionEviction:
+    def test_idle_sessions_are_ttl_evicted(self):
+        registry = SessionRegistry(idle_ttl=0.05)
+        user, context = persona("paper")
+        registry.open(user, context, session_id="idle-1")
+        registry.open(user, context, session_id="idle-2")
+        assert len(registry) == 2
+        time.sleep(0.12)
+        assert registry.evict_idle() == 2
+        assert len(registry) == 0
+        assert registry.ttl_evictions == 2
+
+    def test_evicted_persona_session_rebuilds_transparently(self, engine):
+        service = ExplanationService(
+            engine=engine, registry=SessionRegistry(idle_ttl=0.05))
+        session = service.open_persona_session("paper")
+        first = service.ask(QUESTION, session_id=session.session_id)
+        time.sleep(0.12)
+        # The session is gone...
+        assert service.registry.evict_idle() >= 1
+        # ...but the same session id keeps working: the registry rebuilds it
+        # from the recorded persona key instead of raising.
+        second = service.ask(QUESTION, session_id=session.session_id)
+        assert second.explanation.text == first.explanation.text
+        assert service.registry.rebuilds == 1
+        assert service.stats().session_rebuilds == 1
+        rebuilt = service.registry.get(session.session_id)
+        assert rebuilt is not session
+        assert rebuilt.user == persona("paper")[0]
+
+    def test_rebuild_restarts_from_the_persona_baseline(self, engine):
+        """Documented trade-off: incremental profile growth dies with the TTL."""
+        service = ExplanationService(
+            engine=engine, registry=SessionRegistry(idle_ttl=0.05))
+        session = service.open_persona_session("paper")
+        service.ask(QUESTION, session_id=session.session_id)
+        service.update_scenario(QUESTION, session_id=session.session_id,
+                                likes=("Black Bean Tacos",))
+        assert "Black Bean Tacos" in service.registry.get(session.session_id).user.likes
+        time.sleep(0.12)
+        service.registry.evict_idle()
+        rebuilt = service.registry.get(session.session_id)
+        assert "Black Bean Tacos" not in rebuilt.user.likes
+
+    def test_explicit_profile_sessions_stay_evicted(self):
+        registry = SessionRegistry(max_sessions=2)
+        user, context = persona("paper")
+        for n in range(3):
+            registry.open(replace(user, identifier=f"u{n}"), context,
+                          session_id=f"anon-{n}")
+        assert registry.evictions == 1
+        with pytest.raises(KeyError):
+            registry.get("anon-0")
+
+    def test_capacity_eviction_also_rebuilds_persona_sessions(self):
+        registry = SessionRegistry(max_sessions=2)
+        user, context = persona("paper")
+        registry.open(user, context, session_id="p-0", persona="paper")
+        registry.open(user, context, session_id="p-1", persona="paper")
+        registry.open(user, context, session_id="p-2", persona="paper")
+        assert len(registry) == 2 and registry.evictions == 1
+        rebuilt = registry.get("p-0")
+        assert rebuilt.persona == "paper" and registry.rebuilds == 1
+        assert len(registry) == 2  # the cap still holds after the rebuild
+
+    def test_closing_a_session_forgets_the_rebuild_spec(self):
+        registry = SessionRegistry()
+        user, context = persona("paper")
+        registry.open(user, context, session_id="gone", persona="paper")
+        registry.close("gone")
+        with pytest.raises(KeyError):
+            registry.get("gone")
