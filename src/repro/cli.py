@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro coverage
     python -m repro export --output feo_foodkg.ttl --reasoned
     python -m repro serve --requests requests.txt --stats
+    python -m repro snapshot save feo.snap --warm-persona paper
+    python -m repro serve --snapshot feo.snap --port 8080
 
 The CLI is a thin layer over :class:`repro.core.engine.ExplanationEngine`
 and the evaluation harness; every command prints plain text so the tool is
@@ -22,7 +24,8 @@ from typing import List, Optional
 
 from .core.competency import CompetencySuite
 from .core.engine import ExplanationEngine
-from .core.questions import QuestionParseError
+from .core.questions import parse_question
+from .errors import RequestError
 from .evaluation import compute_coverage, run_evaluation
 from .users.personas import PERSONAS, persona
 
@@ -104,6 +107,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--session-ttl", type=float, default=None,
                        help="evict sessions idle for this many seconds "
                             "(default: no TTL)")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="cold-start from a snapshot file (see 'repro "
+                            "snapshot save') instead of rebuilding the "
+                            "ontology + knowledge graph from source")
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="save/load the persistent knowledge-graph snapshot store",
+        description="'save' serialises the engine's term dictionary, encoded "
+                    "triples, indexes and (optionally pre-warmed) reasoning "
+                    "closures into one binary snapshot file; 'load' verifies "
+                    "a snapshot and prints its stats. A saved snapshot lets "
+                    "'serve --snapshot' cold-start shards without re-parsing "
+                    "turtle or re-running the reasoner.",
+    )
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snapshot_sub.add_parser("save", help="write a snapshot file")
+    snap_save.add_argument("output", help="snapshot file to write")
+    snap_save.add_argument("--warm-persona", action="append", default=[],
+                           choices=PERSONAS, metavar="PERSONA",
+                           help="pre-materialise closures for this persona "
+                                "(repeatable; default: paper when "
+                                "--warm-question is given)")
+    snap_save.add_argument("--warm-question", action="append", default=[],
+                           metavar="QUESTION",
+                           help="question to warm each persona with "
+                                "(repeatable; default: a canonical 'why' "
+                                "question when --warm-persona is given)")
+    snap_load = snapshot_sub.add_parser(
+        "load", help="verify a snapshot file and print its stats")
+    snap_load.add_argument("input", help="snapshot file to read")
 
     return parser
 
@@ -186,6 +220,71 @@ def _cmd_export(engine: ExplanationEngine, args: argparse.Namespace) -> int:
     return 0
 
 
+#: Question used by ``snapshot save --warm-persona`` when no
+#: ``--warm-question`` is given: a canonical Table-I "why" question that
+#: every persona can answer from the core catalog.
+_DEFAULT_WARM_QUESTION = "Why should I eat Sushi?"
+
+
+def _cmd_snapshot(engine: Optional[ExplanationEngine], args: argparse.Namespace) -> int:
+    from .storage import ClosureEntry, SnapshotError, load_snapshot, save_snapshot
+
+    if args.snapshot_command == "load":
+        try:
+            loaded = load_snapshot(args.input)
+        except (OSError, SnapshotError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        stats = loaded.stats
+        labelled = sum(1 for entry in loaded.closures if entry.label is not None)
+        print(f"snapshot OK: {args.input}")
+        print(f"  terms:      {stats['terms']}")
+        print(f"  triples:    {stats['triples']}")
+        print(f"  closures:   {stats['closures']} ({labelled} labelled)")
+        print(f"  namespaces: {len(list(loaded.graph.namespaces()))}")
+        print(f"  bytes:      {stats['bytes']}")
+        return 0
+
+    # save: build (or reuse) the engine, optionally pre-warm closures so
+    # `serve --snapshot` shards answer first-touch requests from cache.
+    engine = engine if engine is not None else ExplanationEngine()
+    builder = engine.builder
+    warm_personas = list(args.warm_persona)
+    warm_questions = list(args.warm_question)
+    if warm_questions and not warm_personas:
+        warm_personas = ["paper"]
+    if warm_personas and not warm_questions:
+        warm_questions = [_DEFAULT_WARM_QUESTION]
+    labels = {}
+    for persona_key in warm_personas:
+        user, context = persona(persona_key)
+        for question_text in warm_questions:
+            scenario = engine.build_scenario(
+                parse_question(question_text), user, context)
+            # The closure cache keys entries by the asserted graph's
+            # fingerprint; remember which persona each warm entry serves
+            # so the sharded service can seed it on that persona's shard.
+            labels[scenario.asserted.fingerprint()] = persona_key
+    closures = []
+    cache = builder.closure_cache
+    if cache is not None:
+        closures = [
+            ClosureEntry(asserted=asserted, closure=closure,
+                         post_added=post_added,
+                         label=labels.get(asserted.fingerprint()))
+            for asserted, closure, post_added in cache.export_entries()
+        ]
+    try:
+        stats = save_snapshot(args.output, builder._base, closures=closures)
+    except (OSError, SnapshotError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.output}: {stats['terms']} terms, "
+          f"{stats['triples']} triples, {stats['closures']} warm closures, "
+          f"{stats['bytes']} bytes", file=sys.stderr)
+    return 0
+
+
 def _parse_request_line(line: str, default_persona: str):
     """Split a ``serve`` input line into (persona, question); None to skip."""
     stripped = line.strip()
@@ -198,18 +297,31 @@ def _parse_request_line(line: str, default_persona: str):
     return default_persona, stripped
 
 
-def _serve_http(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+def _serve_http(engine: Optional[ExplanationEngine], args: argparse.Namespace) -> int:
     """The --port mode: the sharded, concurrent HTTP/JSON server."""
     from .service import ExplanationServer, ShardedExplanationService
 
-    service = ShardedExplanationService(
-        num_shards=args.shards,
-        workers_per_shard=args.workers,
-        queue_size=args.queue_size,
-        session_ttl=args.session_ttl,
-        engine=engine,
-        default_persona=args.persona,
-    ).warm()
+    if args.snapshot is not None:
+        # Zero-warm-up cold start: shards rebuild the graph family from
+        # the snapshot file and seed any persisted closures instead of
+        # re-parsing turtle and re-running the reasoner.
+        service = ShardedExplanationService(
+            num_shards=args.shards,
+            workers_per_shard=args.workers,
+            queue_size=args.queue_size,
+            session_ttl=args.session_ttl,
+            snapshot=args.snapshot,
+            default_persona=args.persona,
+        ).warm()
+    else:
+        service = ShardedExplanationService(
+            num_shards=args.shards,
+            workers_per_shard=args.workers,
+            queue_size=args.queue_size,
+            session_ttl=args.session_ttl,
+            engine=engine,
+            default_persona=args.persona,
+        ).warm()
     server = ExplanationServer(service, host=args.host, port=args.port)
     print(f"serving on {server.url} "
           f"({args.shards} shards x {args.workers} workers, "
@@ -226,11 +338,31 @@ def _serve_http(engine: ExplanationEngine, args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(engine: ExplanationEngine, args: argparse.Namespace) -> int:
+def _cmd_serve(engine: Optional[ExplanationEngine], args: argparse.Namespace) -> int:
     from .service import ExplanationRequest, ExplanationService
 
     if args.port is not None:
         return _serve_http(engine, args)
+
+    if engine is None and args.snapshot is not None:
+        # Line-stream mode can cold-start from a snapshot too: rebuild the
+        # base graph family and seed every persisted closure into the
+        # builder's cache (a single service has no shard routing).
+        from .core.scenario import ScenarioBuilder
+        from .foodkg import build_core_catalog
+        from .storage import SnapshotError, load_snapshot
+
+        try:
+            loaded = load_snapshot(args.snapshot)
+        except (OSError, SnapshotError) as exc:
+            print(f"error: cannot load snapshot: {exc}", file=sys.stderr)
+            return 2
+        builder = ScenarioBuilder(build_core_catalog(), base_graph=loaded.graph)
+        if builder.closure_cache is not None:
+            for entry in loaded.closures:
+                builder.closure_cache.install(entry.asserted, entry.closure,
+                                              entry.post_added)
+        engine = ExplanationEngine(builder=builder)
 
     service = ExplanationService(engine=engine).warm()
     if args.requests == "-":
@@ -262,8 +394,9 @@ def _cmd_serve(engine: ExplanationEngine, args: argparse.Namespace) -> int:
             )
             try:
                 response = service.explain(request)
-            except (QuestionParseError, KeyError) as exc:
-                # KeyError covers unknown foods, conditions and --type values.
+            except RequestError as exc:
+                # The typed request-error family covers unparseable
+                # questions, unknown foods, conditions and --type values.
                 failures += 1
                 print(f"[error] {question}")
                 print(f"  {exc.args[0] if exc.args else exc}")
@@ -289,14 +422,31 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "export": _cmd_export,
     "serve": _cmd_serve,
+    "snapshot": _cmd_snapshot,
 }
+
+
+def _needs_eager_engine(args: argparse.Namespace) -> bool:
+    """Whether ``main`` should build the default engine up front.
+
+    ``snapshot load`` never needs one, and snapshot-backed serving (and
+    ``snapshot save``, which may reuse an injected engine) builds lazily —
+    eager construction would re-parse the whole ontology just to throw it
+    away.
+    """
+    if args.command == "snapshot":
+        return False
+    if args.command == "serve" and args.snapshot is not None:
+        return False
+    return True
 
 
 def main(argv: Optional[List[str]] = None, engine: Optional[ExplanationEngine] = None) -> int:
     """CLI entry point; ``engine`` can be injected to reuse a prebuilt one in tests."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    engine = engine if engine is not None else ExplanationEngine()
+    if engine is None and _needs_eager_engine(args):
+        engine = ExplanationEngine()
     handler = _COMMANDS[args.command]
     return handler(engine, args)
 

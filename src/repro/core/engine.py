@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import UnknownEntityError
 from ..foodkg.catalog import build_core_catalog
 from ..foodkg.schema import FoodCatalog
 from ..recommender.health_coach import HealthCoach, Recommendation
@@ -102,12 +103,13 @@ class ExplanationEngine:
     def generator(self, explanation_type: str):
         """Return the generator registered for ``explanation_type``.
 
-        Raises :class:`KeyError` (listing the supported types) for unknown keys.
+        Raises :class:`~repro.errors.UnknownEntityError` (listing the supported
+        types, and a ``KeyError`` subclass) for unknown keys.
         """
         try:
             return self._generators[explanation_type]
         except KeyError as exc:
-            raise KeyError(
+            raise UnknownEntityError(
                 f"Unknown explanation type {explanation_type!r}; "
                 f"supported: {self.supported_explanation_types}"
             ) from exc

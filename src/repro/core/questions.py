@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Tuple
 
+from ..errors import RequestError
 from ..foodkg.schema import slugify
 
 __all__ = [
@@ -111,8 +112,13 @@ class WhatIfIngredientQuestion(Question):
         return f"WhatIfWeChanged{slugify(self.ingredient)}In{slugify(self.recipe)}"
 
 
-class QuestionParseError(ValueError):
-    """Raised when a question string does not match a supported phrasing."""
+class QuestionParseError(RequestError):
+    """Raised when a question string does not match a supported phrasing.
+
+    A :class:`~repro.errors.RequestError` (and therefore ``ValueError``):
+    the question text came from the caller, so transports answer it with
+    a client error, not a 500.
+    """
 
 
 _CONDITION_ALIASES = {

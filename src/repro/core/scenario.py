@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..errors import UnknownEntityError
 from ..foodkg.loader import FoodKGLoader
 from ..foodkg.schema import FoodCatalog, slugify
 from ..ontology import eo, feo, food
@@ -417,7 +418,7 @@ class ScenarioBuilder:
             graph.add((question_iri, _RDF_TYPE, feo.WhatIfQuestion))
             condition_iri = feo.HEALTH_CONDITIONS.get(question.condition)
             if condition_iri is None:
-                raise KeyError(f"Unknown health condition {question.condition!r}")
+                raise UnknownEntityError(f"Unknown health condition {question.condition!r}")
             graph.add((question_iri, feo.hasHypothetical, condition_iri))
             parameters.append(condition_iri)
         elif isinstance(question, WhatIfIngredientQuestion):

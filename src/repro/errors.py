@@ -1,0 +1,42 @@
+"""Typed request-validation errors shared across the serving stack.
+
+The HTTP transport used to map *any* ``KeyError``/``ValueError``/
+``TypeError`` escaping a handler to a 400 — which meant an internal bug
+(a broken index, a ``None`` where a graph was expected) masqueraded as a
+client error and never surfaced in logs.  This module gives "the request
+itself is invalid" its own exception family so transports can map exactly
+that family to 400 and let everything else crash loudly as a 500.
+
+The module is deliberately a leaf (no intra-package imports): it is
+raised from the foodkg loaders, the user registry, the question parser
+and the engine, and caught in the CLI and the HTTP server, so it must be
+importable from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RequestError", "UnknownEntityError"]
+
+
+class RequestError(ValueError):
+    """The request itself is invalid; the caller should fix it and retry.
+
+    Transports map this family — and only this family — to a client error
+    (HTTP 400).  Anything else escaping a handler is an internal bug and
+    must surface as a 500 with a logged traceback, never be silently
+    reclassified as the client's fault.
+    """
+
+
+class UnknownEntityError(RequestError, KeyError):
+    """A request names an entity that does not exist.
+
+    Covers unknown foods, health conditions, personas, session ids and
+    explanation types.  Subclasses :class:`KeyError` too, so existing
+    lookup-style call sites (``except KeyError``) keep working unchanged
+    while transports can narrow to :class:`RequestError`.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ renders repr(args[0]); these are prose messages.
+        return Exception.__str__(self)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..errors import UnknownEntityError
 from ..ontology import feo, food
 from ..rdf.graph import Graph
 from ..rdf.namespace import FOODKG, RDFS
@@ -66,14 +67,14 @@ class FoodKGLoader:
     def season_iri(name: str) -> IRI:
         season = feo.SEASONS.get(name.lower())
         if season is None:
-            raise KeyError(f"Unknown season {name!r}")
+            raise UnknownEntityError(f"Unknown season {name!r}")
         return season
 
     @staticmethod
     def budget_iri(level: str) -> IRI:
         budget = feo.BUDGET_LEVELS.get(level.lower())
         if budget is None:
-            raise KeyError(f"Unknown budget level {level!r}")
+            raise UnknownEntityError(f"Unknown budget level {level!r}")
         return budget
 
     def subject_iri(self, rule_subject: str, kind: str) -> IRI:
@@ -83,7 +84,7 @@ class FoodKGLoader:
         else:
             iri = feo.NUTRITIONAL_GOALS.get(rule_subject)
         if iri is None:
-            raise KeyError(f"Unknown {kind} {rule_subject!r}")
+            raise UnknownEntityError(f"Unknown {kind} {rule_subject!r}")
         return iri
 
     def food_iri(self, catalog: FoodCatalog, name: str) -> IRI:
@@ -92,7 +93,7 @@ class FoodKGLoader:
             return self.recipe_iri(name)
         if name in catalog.ingredients:
             return self.ingredient_iri(name)
-        raise KeyError(f"Unknown food {name!r}")
+        raise UnknownEntityError(f"Unknown food {name!r}")
 
     # -- loading -------------------------------------------------------------
     def load(self, catalog: FoodCatalog, include_nutrition: bool = True) -> Graph:

@@ -32,6 +32,13 @@ entry.  Deterministic post-passes that need to write into the closure
 supplied via ``post_process`` so they run *before* the graph is published
 to the cache — hits never observe a partially-processed graph.  Callers
 that need a private copy can pass ``copy=True``.
+
+Misses are **single-flight** (concurrent first-touch requests for one
+fingerprint trigger exactly one materialisation), and entries round-trip
+through the persistent snapshot store via
+:meth:`MaterializationCache.export_entries` /
+:meth:`MaterializationCache.install`, which is how shards cold-start
+with warm closures.
 """
 
 from __future__ import annotations
@@ -55,11 +62,16 @@ class _CacheEntry:
 
     ``post_added`` lets :meth:`MaterializationCache.extend` recover the pure
     reasoner output from the published (annotated) graph without storing a
-    second copy of the closure.
+    second copy of the closure.  ``source`` is a (copy-on-write) copy of
+    the asserted graph the closure was reasoned from; it is what lets
+    :meth:`MaterializationCache.export_entries` hand warm closures to the
+    snapshot store, which re-keys them by re-fingerprinting the asserted
+    graph in the loading process.
     """
 
     closure: Graph
     post_added: Tuple[Triple, ...] = ()
+    source: Optional[Graph] = None
 
 
 class MaterializationCache:
@@ -78,9 +90,11 @@ class MaterializationCache:
         self.max_size = max_size
         self._entries: "OrderedDict[Fingerprint, _CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        self._in_flight: Dict[Fingerprint, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.extensions = 0
+        self.single_flight_waits = 0
 
     def materialize(
         self,
@@ -98,21 +112,45 @@ class MaterializationCache:
         deterministic for a given input fingerprint.  With ``copy=True``
         the caller receives a private copy instead of the shared cached
         instance.
+
+        Misses are **single-flight**: when several threads ask for the
+        same fingerprint at once (the first-touch dog-pile a cold shard
+        sees), exactly one reasons while the rest wait on its result —
+        each wait is counted in ``single_flight_waits``.  A waiter that
+        wakes to find no entry (the build failed, or the entry was
+        already evicted) claims the build itself, so a failure never
+        strands the waiters.
         """
         key = graph.fingerprint()
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self.hits += 1
-                self._entries.move_to_end(key)
-                return cached.closure.copy() if copy else cached.closure
-        reasoner = reasoner_factory(graph) if reasoner_factory is not None else Reasoner(graph)
-        closure = reasoner.run()
-        post_added = self._post_process(closure, post_process)
-        with self._lock:
-            self.misses += 1
-            self._publish(key, _CacheEntry(closure, post_added))
-        return closure.copy() if copy else closure
+        while True:
+            claimed = False
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return cached.closure.copy() if copy else cached.closure
+                event = self._in_flight.get(key)
+                if event is None:
+                    event = self._in_flight[key] = threading.Event()
+                    claimed = True
+                else:
+                    self.single_flight_waits += 1
+            if claimed:
+                break
+            event.wait()
+        try:
+            reasoner = reasoner_factory(graph) if reasoner_factory is not None else Reasoner(graph)
+            closure = reasoner.run()
+            post_added = self._post_process(closure, post_process)
+            with self._lock:
+                self.misses += 1
+                self._publish(key, _CacheEntry(closure, post_added, graph.copy()))
+            return closure.copy() if copy else closure
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            event.set()
 
     def extend(
         self,
@@ -164,7 +202,7 @@ class MaterializationCache:
         post_added = self._post_process(extended, post_process)
         with self._lock:
             self.extensions += 1
-            self._publish(key, _CacheEntry(extended, post_added))
+            self._publish(key, _CacheEntry(extended, post_added, graph.copy()))
         return extended.copy() if copy else extended
 
     # ------------------------------------------------------------------
@@ -186,6 +224,34 @@ class MaterializationCache:
             self._entries.popitem(last=False)
 
     # ------------------------------------------------------------------
+    def install(self, asserted: Graph, closure: Graph,
+                post_added: Iterable[Triple] = ()) -> Fingerprint:
+        """Publish an externally-built closure, keyed by ``asserted``'s
+        current fingerprint.
+
+        This is the snapshot cold-start hook: entries loaded from a
+        snapshot file are installed here so the first request for the
+        same scenario is a cache hit instead of a materialisation.
+        Counts as neither a hit nor a miss.  Returns the key used.
+        """
+        key = asserted.fingerprint()
+        with self._lock:
+            self._publish(key, _CacheEntry(closure, tuple(post_added), asserted))
+        return key
+
+    def export_entries(self) -> "list[Tuple[Graph, Graph, Tuple[Triple, ...]]]":
+        """``(asserted, closure, post_added)`` for every exportable entry.
+
+        Entries published before the cache recorded source graphs (or
+        installed without one) are skipped.  Ordered least- to
+        most-recently used, like the underlying LRU.
+        """
+        with self._lock:
+            return [(entry.source, entry.closure, entry.post_added)
+                    for entry in self._entries.values()
+                    if entry.source is not None]
+
+    # ------------------------------------------------------------------
     def invalidate(self, graph: Graph) -> bool:
         """Drop the entry for ``graph``'s current fingerprint, if present."""
         with self._lock:
@@ -198,15 +264,17 @@ class MaterializationCache:
             self.hits = 0
             self.misses = 0
             self.extensions = 0
+            self.single_flight_waits = 0
 
     def stats(self) -> Dict[str, int]:
-        """Current ``size`` / ``hits`` / ``misses`` / ``extensions`` counters."""
+        """Current size / hit / miss / extension / single-flight counters."""
         with self._lock:
             return {
                 "size": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "extensions": self.extensions,
+                "single_flight_waits": self.single_flight_waits,
             }
 
     def __len__(self) -> int:

@@ -124,6 +124,11 @@ class ChangeJournal:
         self.close()
 
 
+#: Sentinel distinguishing "key absent from the COW map" (fully private)
+#: from ``None`` (entry dict shared) in :meth:`Graph._index_add`.
+_COW_PRIVATE: object = object()
+
+
 class Graph:
     """A set of RDF triples with SPO/POS/OSP indexes and namespace bindings.
 
@@ -143,14 +148,19 @@ class Graph:
         self._spo: Dict[int, Dict[int, Set[int]]] = {}
         self._pos: Dict[int, Dict[int, Set[int]]] = {}
         self._osp: Dict[int, Dict[int, Set[int]]] = {}
-        # Copy-on-write bookkeeping: keys whose inner index entry may be
-        # shared with another family member after a copy().  A graph deep-
-        # copies an entry the first time it mutates it, so copying is
-        # O(outer keys) and an incremental extension only pays for the
-        # entries its delta actually touches.
-        self._spo_cow: Set[int] = set()
-        self._pos_cow: Set[int] = set()
-        self._osp_cow: Set[int] = set()
+        # Two-level copy-on-write bookkeeping per index.  After a copy()
+        # both family members share every inner entry: ``cow[key] is
+        # None`` means the entry *dict* (and every leaf set under it) is
+        # shared; ``cow[key] == {mids...}`` means the dict is private but
+        # those mids' leaf sets are still shared; a key absent from the
+        # dict is fully private.  Un-sharing is lazy at both levels, so a
+        # write costs one shallow dict copy plus the touched leaf set —
+        # never a deep copy of a whole entry (the old behaviour, which
+        # made the first write to a popular predicate's POS entry copy
+        # thousands of leaf sets).
+        self._spo_cow: Dict[int, Optional[Set[int]]] = {}
+        self._pos_cow: Dict[int, Optional[Set[int]]] = {}
+        self._osp_cow: Dict[int, Optional[Set[int]]] = {}
         # Total triple count per predicate, maintained incrementally so the
         # query planner's cardinality estimates stay O(1).
         self._pred_counts: Dict[int, int] = {}
@@ -214,17 +224,40 @@ class Graph:
         return True
 
     @staticmethod
-    def _index_add(index: Dict[int, Dict[int, Set[int]]], cow: Set[int],
+    def _index_add(index: Dict[int, Dict[int, Set[int]]],
+                   cow: Dict[int, Optional[Set[int]]],
                    key: int, mid: int, leaf: int) -> None:
-        """Insert into one permutation index, un-sharing a COW entry first."""
+        """Insert into one permutation index, un-sharing COW state first.
+
+        Un-sharing is lazy at both levels: the first write to a shared
+        key shallow-copies its entry dict (leaf sets stay shared, tracked
+        in ``cow[key]``), and each leaf set is copied only when *it* is
+        first written.  A write is therefore O(buckets) once plus the
+        touched bucket — never the sum of all buckets.
+        """
         entry = index.get(key)
         if entry is None:
             index[key] = {mid: {leaf}}
             return
-        if key in cow:
-            entry = {m: leaves.copy() for m, leaves in entry.items()}
-            index[key] = entry
-            cow.discard(key)
+        shared = cow.get(key, _COW_PRIVATE)
+        if shared is not _COW_PRIVATE:
+            if shared is None:  # the entry dict itself is still shared
+                entry = dict(entry)
+                index[key] = entry
+                shared = cow[key] = set(entry)
+            leaves = entry.get(mid)
+            if leaves is None:
+                entry[mid] = {leaf}
+            elif mid in shared:
+                leaves = set(leaves)
+                leaves.add(leaf)
+                entry[mid] = leaves
+                shared.discard(mid)
+                if not shared:
+                    del cow[key]
+            else:
+                leaves.add(leaf)
+            return
         leaves = entry.get(mid)
         if leaves is None:
             entry[mid] = {leaf}
@@ -393,27 +426,39 @@ class Graph:
             self._pred_counts[p] = remaining
         else:
             self._pred_counts.pop(p, None)
-        for index, cow, key in ((self._spo, self._spo_cow, s),
-                                (self._pos, self._pos_cow, p),
-                                (self._osp, self._osp_cow, o)):
-            if key in cow:
-                index[key] = {m: leaves.copy() for m, leaves in index[key].items()}
-                cow.discard(key)
+        for index, cow, key, mid in ((self._spo, self._spo_cow, s, p),
+                                     (self._pos, self._pos_cow, p, o),
+                                     (self._osp, self._osp_cow, o, s)):
+            shared = cow.get(key, _COW_PRIVATE)
+            if shared is _COW_PRIVATE:
+                continue
+            if shared is None:  # un-share the entry dict, keep leaves shared
+                entry = dict(index[key])
+                index[key] = entry
+                shared = cow[key] = set(entry)
+            if mid in shared:
+                index[key][mid] = set(index[key][mid])
+                shared.discard(mid)
+            if not shared:
+                del cow[key]
         self._spo[s][p].discard(o)
         if not self._spo[s][p]:
             del self._spo[s][p]
             if not self._spo[s]:
                 del self._spo[s]
+                self._spo_cow.pop(s, None)
         self._pos[p][o].discard(s)
         if not self._pos[p][o]:
             del self._pos[p][o]
             if not self._pos[p]:
                 del self._pos[p]
+                self._pos_cow.pop(p, None)
         self._osp[o][s].discard(p)
         if not self._osp[o][s]:
             del self._osp[o][s]
             if not self._osp[o]:
                 del self._osp[o]
+                self._osp_cow.pop(o, None)
         if self._journals:
             for journal in self._journals:
                 journal._record_remove(triple)
@@ -682,14 +727,18 @@ class Graph:
         clone._spo = dict(self._spo)
         clone._pos = dict(self._pos)
         clone._osp = dict(self._osp)
-        # Every inner entry is now shared between the two graphs: both
-        # sides must un-share an entry before their first write to it.
-        clone._spo_cow = set(clone._spo)
-        clone._pos_cow = set(clone._pos)
-        clone._osp_cow = set(clone._osp)
-        self._spo_cow = set(self._spo)
-        self._pos_cow = set(self._pos)
-        self._osp_cow = set(self._osp)
+        # Every inner entry (dict and leaf sets) is now shared between
+        # the two graphs: mark everything dict-shared (value ``None``) on
+        # both sides so each un-shares lazily before its first write.
+        # Any finer-grained state from an earlier copy is superseded —
+        # over-marking as shared is always safe, it only costs the next
+        # write a shallow copy.
+        clone._spo_cow = dict.fromkeys(clone._spo)
+        clone._pos_cow = dict.fromkeys(clone._pos)
+        clone._osp_cow = dict.fromkeys(clone._osp)
+        self._spo_cow = dict.fromkeys(self._spo)
+        self._pos_cow = dict.fromkeys(self._pos)
+        self._osp_cow = dict.fromkeys(self._osp)
         clone._pred_counts = dict(self._pred_counts)
         return clone
 
@@ -796,6 +845,29 @@ class Graph:
         from ..sparql import query as sparql_query
 
         return sparql_query(self, query_text, init_bindings=initBindings)
+
+    def to_snapshot(self, path, closures=()) -> Dict[str, int]:
+        """Write this graph (and optional closure entries) to a binary
+        snapshot file — see :mod:`repro.storage.snapshot`.
+
+        Returns the save summary (term/triple/closure counts, file size).
+        """
+        from ..storage.snapshot import save_snapshot
+
+        return save_snapshot(path, self, closures=closures)
+
+    @classmethod
+    def from_snapshot(cls, path) -> "Graph":
+        """Rebuild a graph from a snapshot file written by :meth:`to_snapshot`.
+
+        Raises :class:`repro.storage.snapshot.SnapshotError` for invalid or
+        corrupted files; a partial graph is never returned.  Use
+        :func:`repro.storage.snapshot.load_snapshot` directly to also
+        recover the persisted closure entries.
+        """
+        from ..storage.snapshot import load_snapshot
+
+        return load_snapshot(path).graph
 
     # ------------------------------------------------------------------
     # Misc

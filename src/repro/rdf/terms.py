@@ -206,7 +206,7 @@ class Literal(Term):
     same convenience rdflib users rely on.
     """
 
-    __slots__ = ("_lexical", "_language", "_datatype", "_value")
+    __slots__ = ("_lexical", "_language", "_datatype", "_value", "_hash")
 
     def __init__(
         self,
@@ -240,6 +240,7 @@ class Literal(Term):
         self._language = language
         self._datatype = inferred_datatype
         self._value = self._parse_value()
+        self._hash = None
 
     # -- value space ---------------------------------------------------
     def _parse_value(self) -> Any:
@@ -338,7 +339,14 @@ class Literal(Term):
         return not result
 
     def __hash__(self) -> int:
-        return hash((self._lexical, self._language, self._normalised_datatype()))
+        # Literals are immutable and hashed constantly (dictionary
+        # interning, triple-set membership, index keys), so the hash is
+        # computed once and cached.
+        cached = self._hash
+        if cached is None:
+            cached = hash((self._lexical, self._language, self._normalised_datatype()))
+            self._hash = cached
+        return cached
 
     def __lt__(self, other: "Literal") -> bool:
         if isinstance(other, Literal):

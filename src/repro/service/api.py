@@ -137,8 +137,12 @@ class ServiceStats:
     #: Sessions transparently rebuilt from their persona after eviction
     #: (see :class:`repro.users.sessions.SessionRegistry`).
     session_rebuilds: int = 0
-    #: Serve-latency percentiles over a sliding window of recent requests:
-    #: ``{"p50": ..., "p99": ..., "samples": ...}`` (milliseconds).
+    #: Serve-latency stats over a sliding window of recent requests:
+    #: ``{"p50": ..., "p99": ..., "max_ms": ..., "samples": ...}``
+    #: (milliseconds).  ``samples`` and ``max_ms`` keep the percentiles
+    #: honest: the window mixes warm-up and steady-state requests, so a
+    #: small sample count or an outsized max flags numbers not to trust
+    #: as steady-state.
     latency_ms: Dict[str, float] = field(default_factory=dict)
     #: Pending requests in this instance's shard queue (0 for an unsharded
     #: service, which has no queue).
@@ -150,7 +154,8 @@ class ServiceStats:
             f"requests served:        {self.requests_served}",
             f"requests rejected:      {self.requests_rejected} (backpressure)",
             f"serve latency:          p50 {self.latency_ms.get('p50', 0.0):.1f} ms / "
-            f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms "
+            f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms / "
+            f"max {self.latency_ms.get('max_ms', 0.0):.1f} ms "
             f"({int(self.latency_ms.get('samples', 0))} samples)",
             f"scenario cache:         {self.scenario_cache_hits} hits / "
             f"{self.scenario_cache_misses} misses",

@@ -22,22 +22,31 @@ request on its session's shard and waits on the result, so a full shard
 queue surfaces as an immediate **503** carrying the typed
 :class:`~repro.service.api.BackpressureError` payload — clients see a
 retryable JSON error, never a growing backlog or a traceback.  Malformed
-requests (bad JSON, unparseable questions, unknown foods/personas) map to
-**400** with a JSON error body.
+requests (bad JSON, unparseable questions, unknown foods/personas) raise
+the typed :class:`~repro.errors.RequestError` family and map to **400**
+with a JSON error body.  *Anything else* escaping a handler is an
+internal bug: it returns **500**, logs the full traceback, and bumps the
+``internal_errors`` counter surfaced by ``GET /stats`` — it is never
+reclassified as the client's fault (the transport used to map any
+``KeyError``/``ValueError``/``TypeError`` to 400, which masked real
+defects as bad requests).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from ..core.questions import QuestionParseError
+from ..errors import RequestError
 from .api import BackpressureError
 from .shards import ShardedExplanationService
 
 __all__ = ["ExplanationServer"]
+
+logger = logging.getLogger(__name__)
 
 #: Profile-delta fields accepted by POST /update, in the order
 #: :meth:`ExplanationService.update_scenario` declares them.
@@ -80,7 +89,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._send_json(200, {"status": "ok"})
         elif self.path == "/stats":
-            self._send_json(200, self.service.stats().to_dict())
+            try:
+                payload = self.service.stats().to_dict()
+            except Exception:  # noqa: BLE001 - the honest 500 path
+                self._send_json(500, self._internal_error("GET /stats"))
+                return
+            payload["internal_errors"] = self._internal_error_count()
+            self._send_json(200, payload)
         else:
             self._send_json(404, {"error": "not_found", "path": self.path})
 
@@ -102,9 +117,29 @@ class _Handler(BaseHTTPRequestHandler):
         except BackpressureError as exc:
             # The load-shedding path: a typed, retryable 503 — not a 500.
             self._send_json(503, exc.to_payload())
-        except (QuestionParseError, KeyError, ValueError, TypeError) as exc:
+        except RequestError as exc:
+            # Only the typed request-validation family is the client's
+            # fault: unparseable questions, unknown personas/foods/
+            # sessions/explanation types, inconsistent addressing.
             message = exc.args[0] if exc.args else str(exc)
             self._send_json(400, {"error": "bad_request", "message": str(message)})
+        except Exception:  # noqa: BLE001 - the honest 500 path
+            self._send_json(500, self._internal_error(f"POST {self.path}"))
+
+    # ------------------------------------------------------------------
+    def _internal_error_count(self) -> int:
+        server = self.server
+        with server.internal_error_lock:  # type: ignore[attr-defined]
+            return server.internal_errors  # type: ignore[attr-defined]
+
+    def _internal_error(self, where: str) -> Dict[str, Any]:
+        """Log the active exception's traceback and count it; 500 payload."""
+        server = self.server
+        with server.internal_error_lock:  # type: ignore[attr-defined]
+            server.internal_errors += 1  # type: ignore[attr-defined]
+        logger.exception("internal error handling %s", where)
+        return {"error": "internal_error",
+                "message": "internal server error (see server log)"}
 
     # ------------------------------------------------------------------
     def _handle_ask(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
@@ -171,12 +206,22 @@ class ExplanationServer:
         handler = type("BoundHandler", (_Handler,), {"service": service, "quiet": quiet})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
+        # Internal-bug counter, shared by all handler threads (handlers
+        # reach it via ``self.server``) and surfaced by GET /stats.
+        self._httpd.internal_errors = 0
+        self._httpd.internal_error_lock = threading.Lock()
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def internal_errors(self) -> int:
+        """How many handler invocations crashed with a non-request error."""
+        with self._httpd.internal_error_lock:
+            return self._httpd.internal_errors
 
     def serve_forever(self) -> None:
         """Serve until interrupted (the CLI ``serve --port`` loop)."""

@@ -36,6 +36,7 @@ update lock.
 
 from __future__ import annotations
 
+import gc
 import itertools
 import queue
 import threading
@@ -46,8 +47,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import ExplanationEngine
 from ..core.scenario import Scenario, ScenarioBuilder
+from ..foodkg.catalog import build_core_catalog
 from ..foodkg.schema import FoodCatalog
 from ..owl import MaterializationCache
+from ..storage.snapshot import GraphSnapshot, load_snapshot
 from ..users.context import SystemContext
 from ..users.personas import persona as persona_lookup
 from ..users.profile import UserProfile
@@ -171,7 +174,8 @@ class FleetStats:
             f"requests served:        {self.requests_served}",
             f"requests rejected:      {self.requests_rejected} (backpressure)",
             f"serve latency:          p50 {self.latency_ms.get('p50', 0.0):.1f} ms / "
-            f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms "
+            f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms / "
+            f"max {self.latency_ms.get('max_ms', 0.0):.1f} ms "
             f"({int(self.latency_ms.get('samples', 0))} samples)",
             f"scenario cache:         {self.scenario_cache_hits} hits / "
             f"{self.scenario_cache_misses} misses",
@@ -234,14 +238,33 @@ class ShardedExplanationService:
         snapshot_reads: bool = True,
         start: bool = True,
         default_persona: str = "paper",
+        snapshot=None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        # One base engine supplies the shared, read-only ontology + KG graph
-        # (and its term dictionary); every shard's builder copies it COW.
-        self._base_engine = engine if engine is not None else ExplanationEngine(catalog=catalog)
+        if snapshot is not None and engine is not None:
+            raise ValueError("pass either engine= or snapshot=, not both")
+        loaded: Optional[GraphSnapshot] = None
+        if snapshot is not None:
+            # Cold-start from the persistent snapshot store: the base
+            # graph (term dictionary, triples, indexes) is rebuilt from
+            # the struct-packed image instead of re-parsed from turtle,
+            # and any persisted closures are seeded into the shard caches
+            # below so first-touch requests skip materialisation.  The
+            # catalog must be the one the snapshot graph was loaded from
+            # (the curated core catalog unless ``catalog=`` says
+            # otherwise).
+            loaded = snapshot if isinstance(snapshot, GraphSnapshot) else load_snapshot(snapshot)
+            shared_catalog = catalog if catalog is not None else build_core_catalog()
+            self._base_engine = ExplanationEngine(builder=ScenarioBuilder(
+                shared_catalog, base_graph=loaded.graph))
+        else:
+            # One base engine supplies the shared, read-only ontology + KG
+            # graph (and its term dictionary); every shard's builder
+            # copies it COW.
+            self._base_engine = engine if engine is not None else ExplanationEngine(catalog=catalog)
+            shared_catalog = self._base_engine.catalog
         base_graph = self._base_engine.builder._base
-        shared_catalog = self._base_engine.catalog
         self._shards: List[ServiceShard] = []
         for index in range(num_shards):
             builder = ScenarioBuilder(
@@ -264,8 +287,42 @@ class ShardedExplanationService:
         self._session_counter = itertools.count(1)
         self._round_robin = itertools.count()
         self.default_persona = default_persona
+        self._froze_gc = False
+        if loaded is not None:
+            self._seed_closures(loaded)
+            # The seeded working set (base graph, dictionary, closures) is
+            # long-lived by construction: nothing in it dies before the
+            # fleet does.  Left in the young/old generations it is exactly
+            # the object population that tips the collector into a full
+            # gen-2 pass mid-traffic — a multi-second stop-the-world that
+            # stalls every in-flight request at once and lands squarely in
+            # the tail.  Sweep the construction garbage now, then freeze
+            # the survivors into the permanent generation so steady-state
+            # collections never retrace them.
+            gc.collect()
+            gc.freeze()
+            self._froze_gc = True
         if start:
             self.start()
+
+    def _seed_closures(self, loaded: GraphSnapshot) -> None:
+        """Install snapshot closure entries into the shard caches.
+
+        A labelled entry goes only to its label's home shard (the same
+        CRC-32 routing requests use, so the warm closure sits exactly
+        where that tenant's traffic lands); unlabelled entries go to every
+        shard.  The graphs are shared read-only between shards — the
+        caches never mutate a published entry.
+        """
+        for entry in loaded.closures:
+            if entry.label is None:
+                targets = self._shards
+            else:
+                targets = [self._shards[self._hash_key(entry.label) % len(self._shards)]]
+            for shard in targets:
+                cache = shard.service.engine.builder.closure_cache
+                if cache is not None:
+                    cache.install(entry.asserted, entry.closure, entry.post_added)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -277,6 +334,13 @@ class ShardedExplanationService:
     def stop(self) -> None:
         for shard in self._shards:
             shard.stop()
+        if self._froze_gc:
+            # Hand the seeded working set back to the collector so a
+            # process that retires one fleet and builds another (tests,
+            # rolling restarts in-process) doesn't grow the permanent
+            # generation without bound.
+            gc.unfreeze()
+            self._froze_gc = False
 
     def __enter__(self) -> "ShardedExplanationService":
         self.start()
@@ -285,10 +349,25 @@ class ShardedExplanationService:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    def warm(self) -> "ShardedExplanationService":
-        """Pre-parse the competency templates (the engine is already built)."""
+    def warm(self, requests: Optional[Sequence[Tuple]] = None
+             ) -> "ShardedExplanationService":
+        """Pre-parse the competency templates; optionally pre-build scenarios.
+
+        ``requests`` is an iterable of ``(question, user, context)``
+        triples the fleet expects to serve (e.g. the tenants whose
+        closures the snapshot seeded).  Each is routed to its tenant's
+        home shard — the same CRC-32 routing live traffic uses — and its
+        scenario is built into that shard's cache, so the opening burst
+        after a cold start pays warm-path cost instead of convoying on
+        first-touch scenario builds (see
+        :meth:`ExplanationService.prewarm_scenario`).
+        """
         for shard in self._shards:
             shard.service.warm()
+        if requests:
+            for question, user, context in requests:
+                shard = self._shard_by_key(user.identifier)
+                shard.service.prewarm_scenario(question, user, context)
         return self
 
     @property
@@ -442,6 +521,7 @@ class ShardedExplanationService:
             latency_ms={
                 "p50": percentile(samples, 0.50) * 1000.0,
                 "p99": percentile(samples, 0.99) * 1000.0,
+                "max_ms": max(samples) * 1000.0 if samples else 0.0,
                 "samples": float(len(samples)),
             },
             shards=per_shard,

@@ -1,0 +1,29 @@
+"""Persistent storage: binary snapshots of dictionary-encoded graph families.
+
+The snapshot store serialises a :class:`~repro.rdf.graph.Graph` — its
+term dictionary, encoded triple set, index metadata and any cached
+closures — into one compact struct-packed file, and rebuilds it with a
+single bulk pass instead of re-parsing turtle and re-materialising.
+This is what lets service shards cold-start with zero warm-up (see
+``ShardedExplanationService(snapshot=...)``).
+"""
+
+from .snapshot import (
+    ClosureEntry,
+    FORMAT_VERSION,
+    GraphSnapshot,
+    MAGIC,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "ClosureEntry",
+    "FORMAT_VERSION",
+    "GraphSnapshot",
+    "MAGIC",
+    "SnapshotError",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..errors import UnknownEntityError
 from .context import SystemContext
 from .profile import UserProfile
 
@@ -124,7 +125,7 @@ def persona(key: str) -> Tuple[UserProfile, SystemContext]:
     try:
         return _PERSONA_SPECS[key]
     except KeyError as exc:
-        raise KeyError(f"Unknown persona {key!r}; available: {PERSONAS}") from exc
+        raise UnknownEntityError(f"Unknown persona {key!r}; available: {PERSONAS}") from exc
 
 
 def all_personas() -> Dict[str, Tuple[UserProfile, SystemContext]]:

@@ -26,7 +26,8 @@ raising.  Incremental profile growth made through ``update_scenario`` is
 lost on rebuild — the session restarts from the persona baseline, exactly
 as if the user had signed in again — which is the documented trade-off
 for bounding memory.  Sessions opened with an explicit profile have no
-spec and still raise :class:`KeyError` after eviction.
+spec and still raise :class:`~repro.errors.UnknownEntityError` (a
+:class:`KeyError` subclass) after eviction.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..errors import UnknownEntityError
 from .context import SystemContext
 from .profile import UserProfile
 
@@ -162,7 +164,8 @@ class SessionRegistry:
 
         An evicted persona-addressed session is transparently re-opened
         from its persona's canonical profile (counted in :attr:`rebuilds`).
-        Raises :class:`KeyError` for ids that were never opened, or whose
+        Raises :class:`~repro.errors.UnknownEntityError` for ids that were
+        never opened, or whose
         profile cannot be rebuilt.
         """
         with self._lock:
@@ -173,7 +176,7 @@ class SessionRegistry:
                 return session
             persona_key = self._rebuild_specs.get(session_id)
             if persona_key is None:
-                raise KeyError(session_id)
+                raise UnknownEntityError(f"Unknown session {session_id!r}")
         # Rebuild outside the lock: persona lookup builds fresh profile and
         # context objects.  A concurrent rebuild of the same id is harmless
         # (both produce equal sessions; last publish wins).

@@ -492,3 +492,86 @@ class TestCatalogProperties:
         first = SyntheticCatalogGenerator(seed=seed).ingredient(index)
         second = SyntheticCatalogGenerator(seed=seed).ingredient(index)
         assert first == second
+
+
+class TestSnapshotProperties:
+    """The persistent snapshot store round-trips arbitrary graph families
+    and fails *closed*: any corruption raises the typed
+    :class:`~repro.storage.SnapshotError`, never yields a partial graph."""
+
+    @staticmethod
+    def _save(tmp_path, triples):
+        from repro.storage import save_snapshot
+
+        graph = Graph()
+        graph.addN(triples)
+        path = tmp_path / "family.snap"
+        save_snapshot(str(path), graph)
+        return graph, path
+
+    @given(st.lists(_rich_triples, max_size=40))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_graphs_survive_a_save_load_cycle(self, tmp_path, triples):
+        from repro.storage import load_snapshot
+
+        graph, path = self._save(tmp_path, triples)
+        loaded = load_snapshot(str(path)).graph
+        assert set(loaded) == set(graph)
+        assert loaded.fingerprint() == graph.fingerprint()
+        assert loaded.index_stats() == graph.index_stats()
+        assert loaded.serialize("ntriples") == graph.serialize("ntriples")
+        # The rebuilt dictionary is a bijection over the loaded terms.
+        terms = [loaded.dictionary.decode(tid)
+                 for triple in loaded.triples_ids() for tid in triple]
+        assert all(loaded.dictionary.intern(term) == loaded.dictionary.lookup(term)
+                   for term in terms)
+
+    @given(st.lists(_rich_triples, min_size=1, max_size=25),
+           st.data())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_any_single_byte_corruption_is_a_typed_failure(self, tmp_path,
+                                                           triples, data):
+        from repro.storage import SnapshotError, load_snapshot
+
+        _, path = self._save(tmp_path, triples)
+        blob = bytearray(path.read_bytes())
+        position = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        blob[position] ^= mask  # guaranteed to change the byte
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(path))
+
+    @given(st.lists(_rich_triples, min_size=1, max_size=25), st.data())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_any_truncation_is_a_typed_failure(self, tmp_path, triples, data):
+        from repro.storage import SnapshotError, load_snapshot
+
+        _, path = self._save(tmp_path, triples)
+        blob = path.read_bytes()
+        keep = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        path.write_bytes(blob[:keep])
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(path))
+
+    @given(st.lists(_rich_triples, min_size=1, max_size=25),
+           st.integers(min_value=2, max_value=0xFFFF))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_unknown_format_versions_are_rejected(self, tmp_path, triples,
+                                                  version):
+        import struct
+
+        from repro.storage import FORMAT_VERSION, SnapshotError, load_snapshot
+
+        if version == FORMAT_VERSION:
+            version += 1
+        _, path = self._save(tmp_path, triples)
+        blob = bytearray(path.read_bytes())
+        struct.pack_into("<H", blob, 4, version)  # the version field
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(str(path))

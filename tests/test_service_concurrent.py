@@ -33,6 +33,9 @@ from dataclasses import replace
 
 import pytest
 
+from repro.owl import MaterializationCache
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI
 from repro.service import (
     BackpressureError,
     ExplanationRequest,
@@ -511,3 +514,187 @@ class TestSessionEviction:
         registry.close("gone")
         with pytest.raises(KeyError):
             registry.get("gone")
+
+
+# ---------------------------------------------------------------------------
+# Single-flight materialisation (the cold-start dog-pile fix)
+# ---------------------------------------------------------------------------
+class TestSingleFlight:
+    """Concurrent first-touch requests must share ONE materialisation.
+
+    Before single-flight, N threads racing a cold cache key all found a
+    miss and all ran the ~300ms reasoner — the thundering herd behind a
+    cold shard multiplied its warm-up cost by the client count.
+    """
+
+    @staticmethod
+    def _tiny_graph():
+        graph = Graph()
+        graph.add((IRI("urn:ex:s"), IRI("urn:ex:p"), IRI("urn:ex:o")))
+        return graph
+
+    def test_concurrent_first_touch_materialises_exactly_once(self):
+        graph = self._tiny_graph()
+        cache = MaterializationCache(max_size=4)
+        release = threading.Event()
+        runs = []
+
+        class _BlockingReasoner:
+            def __init__(self, target):
+                self._target = target
+
+            def run(self):
+                runs.append(threading.get_ident())
+                assert release.wait(timeout=30)
+                return self._target.copy()
+
+        results = []
+
+        def worker():
+            results.append(cache.materialize(
+                graph, reasoner_factory=_BlockingReasoner))
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        # The claimant is parked inside run(); wait until every other
+        # thread is provably queued behind it, then let the build finish.
+        deadline = time.time() + 30
+        while cache.single_flight_waits < WORKERS - 1:
+            assert time.time() < deadline, \
+                f"only {cache.single_flight_waits} waiters queued up"
+            time.sleep(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+        assert len(runs) == 1, "the dog-pile ran the reasoner more than once"
+        assert cache.misses == 1
+        assert cache.hits == WORKERS - 1
+        assert cache.single_flight_waits == WORKERS - 1
+        assert all(result is results[0] for result in results), \
+            "waiters must observe the one published closure"
+
+    def test_failed_build_does_not_strand_waiters(self):
+        graph = self._tiny_graph()
+        cache = MaterializationCache(max_size=4)
+        fail_release = threading.Event()
+        calls = []
+
+        class _FlakyReasoner:
+            """First build crashes (after the waiter queues); retry works."""
+
+            def __init__(self, target):
+                self._target = target
+
+            def run(self):
+                calls.append(threading.get_ident())
+                if len(calls) == 1:
+                    assert fail_release.wait(timeout=30)
+                    raise RuntimeError("reasoner crashed mid-build")
+                return self._target.copy()
+
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(cache.materialize(
+                    graph, reasoner_factory=_FlakyReasoner))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        deadline = time.time() + 30
+        while cache.single_flight_waits < 1:
+            assert time.time() < deadline, "the waiter never queued"
+            time.sleep(0.005)
+        fail_release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+        # The claimant propagated its crash; the waiter woke to a missing
+        # entry, claimed the build itself, and succeeded.
+        assert len(errors) == 1 and "crashed" in str(errors[0])
+        assert len(results) == 1 and len(calls) == 2
+        assert cache.misses == 1
+
+    def test_sharded_first_touch_dogpile_materialises_once(self, engine):
+        sharded = ShardedExplanationService(
+            num_shards=1, workers_per_shard=max(2, WORKERS),
+            queue_size=64, engine=engine)
+        try:
+            user, context = paper_user(), paper_context()
+            session_ids = [sharded.open_session(user, context).session_id
+                           for _ in range(max(2, WORKERS))]
+            barrier = threading.Barrier(len(session_ids))
+            fingerprints, errors = [], []
+
+            def client(session_id):
+                try:
+                    barrier.wait(timeout=30)
+                    response = sharded.ask(QUESTION, session_id=session_id)
+                    fingerprints.append(response.scenario.inferred.fingerprint())
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            _run_threads([lambda sid=sid: client(sid) for sid in session_ids])
+            assert not errors, f"dog-pile clients failed: {errors[:3]}"
+            stats = sharded.shards[0].service.engine.builder.closure_cache.stats()
+            assert stats["misses"] == 1, \
+                "N concurrent first-touch asks must cost one materialisation"
+            assert stats["single_flight_waits"] >= 1
+            assert len(set(fingerprints)) == 1
+        finally:
+            sharded.stop()
+
+
+# ---------------------------------------------------------------------------
+# Internal errors are honest 500s, never reclassified as client faults
+# ---------------------------------------------------------------------------
+class TestInternalErrors:
+    @pytest.fixture()
+    def server(self, engine):
+        sharded = ShardedExplanationService(
+            num_shards=1, workers_per_shard=1, queue_size=4, engine=engine)
+        server = ExplanationServer(sharded, port=0).start()
+        yield server
+        server.stop()
+
+    def test_handler_bug_is_500_with_counter(self, server, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("wiring bug")
+
+        monkeypatch.setattr(server.service, "ask", boom)
+        status, body = _request(server.url, "/ask",
+                                {"question": QUESTION, "persona": "paper"})
+        assert status == 500
+        assert body["error"] == "internal_error"
+        assert "wiring bug" not in body["message"], \
+            "internal exception detail must stay in the server log"
+        assert server.internal_errors == 1
+        status, stats = _request(server.url, "/stats")
+        assert status == 200 and stats["internal_errors"] == 1
+
+    def test_raw_keyerror_is_a_500_not_a_400(self, server, monkeypatch):
+        """The old transport mapped any KeyError to 400, masking bugs."""
+        def boom(*args, **kwargs):
+            raise KeyError("internal-lookup-key")
+
+        monkeypatch.setattr(server.service, "ask", boom)
+        status, body = _request(server.url, "/ask",
+                                {"question": QUESTION, "persona": "paper"})
+        assert status == 500 and body["error"] == "internal_error"
+        assert server.internal_errors == 1
+
+    def test_unknown_entities_stay_400_with_prose_message(self, server):
+        status, body = _request(server.url, "/sessions", {"persona": "nope"})
+        assert status == 400 and body["error"] == "bad_request"
+        # UnknownEntityError renders as prose, not KeyError's quoted repr.
+        assert "nope" in body["message"]
+        assert not body["message"].startswith('"')
+        assert server.internal_errors == 0

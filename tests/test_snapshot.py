@@ -1,0 +1,205 @@
+"""Unit tests for the persistent snapshot store (`repro.storage.snapshot`).
+
+Covers the graph-family round-trip (terms, triples, namespaces, index
+metadata), closure-entry persistence — including delta-chained entries
+and the cold-start ``install`` path — and the fail-closed behaviour on
+corrupted, truncated or wrong-version files.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.owl import MaterializationCache, Reasoner
+from repro.owl.vocabulary import RDF_TYPE, RDFS_SUBCLASSOF
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.storage import (
+    ClosureEntry,
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+)
+
+EX = "http://example.org/"
+
+
+def _family_graph() -> Graph:
+    """A small graph exercising every term kind and a subclass chain."""
+    graph = Graph()
+    graph.namespace_manager.bind("ex", EX)
+    graph.add((IRI(EX + "Dog"), RDFS_SUBCLASSOF, IRI(EX + "Animal")))
+    graph.add((IRI(EX + "Animal"), RDFS_SUBCLASSOF, IRI(EX + "Thing")))
+    graph.add((IRI(EX + "rex"), RDF_TYPE, IRI(EX + "Dog")))
+    graph.add((IRI(EX + "rex"), IRI(EX + "name"), Literal("Rex")))
+    graph.add((IRI(EX + "rex"), IRI(EX + "age"), Literal(7)))
+    graph.add((IRI(EX + "rex"), IRI(EX + "motto"), Literal("wuff", language="de")))
+    return graph
+
+
+def _scenario(base: Graph, tag: str) -> Graph:
+    """A per-tenant variant of ``base`` (same family, small delta)."""
+    scenario = base.copy()
+    scenario.add((IRI(EX + tag), RDF_TYPE, IRI(EX + "Dog")))
+    return scenario
+
+
+class TestGraphRoundTrip:
+    def test_graph_methods_round_trip(self, tmp_path):
+        graph = _family_graph()
+        path = str(tmp_path / "family.snap")
+        stats = graph.to_snapshot(path)
+        assert stats["triples"] == len(graph)
+        loaded = Graph.from_snapshot(path)
+        assert set(loaded) == set(graph)
+        assert loaded.fingerprint() == graph.fingerprint()
+        assert loaded.index_stats() == graph.index_stats()
+        assert loaded.serialize("ntriples") == graph.serialize("ntriples")
+
+    def test_namespace_bindings_survive(self, tmp_path):
+        graph = _family_graph()
+        path = str(tmp_path / "family.snap")
+        graph.to_snapshot(path)
+        loaded = Graph.from_snapshot(path)
+        assert dict(loaded.namespaces())["ex"] == IRI(EX)
+        assert loaded.qname(IRI(EX + "Dog")) == "ex:Dog"
+
+    def test_loaded_graph_is_independently_mutable(self, tmp_path):
+        graph = _family_graph()
+        path = str(tmp_path / "family.snap")
+        graph.to_snapshot(path)
+        loaded = Graph.from_snapshot(path)
+        probe = (IRI(EX + "probe"), IRI(EX + "p"), IRI(EX + "o"))
+        loaded.add(probe)
+        loaded.remove((IRI(EX + "rex"), IRI(EX + "name"), Literal("Rex")))
+        assert probe in loaded and probe not in graph
+        assert len(loaded) == len(graph)
+
+    def test_empty_graph_round_trips(self, tmp_path):
+        path = str(tmp_path / "empty.snap")
+        Graph().to_snapshot(path)
+        loaded = Graph.from_snapshot(path)
+        assert len(loaded) == 0
+        assert loaded.fingerprint() == Graph().fingerprint()
+
+
+class TestClosurePersistence:
+    def _entries(self, base):
+        """Three reasoned closure entries over ``base`` (shared family)."""
+        entries = []
+        for n, tag in enumerate(("tenant-a", "tenant-b", "tenant-c")):
+            asserted = _scenario(base, tag)
+            closure = Reasoner(asserted).run()
+            entries.append(ClosureEntry(asserted=asserted, closure=closure,
+                                        label=tag if n else None))
+        return entries
+
+    def test_closure_entries_round_trip(self, tmp_path):
+        base = _family_graph()
+        entries = self._entries(base)
+        path = str(tmp_path / "warm.snap")
+        stats = save_snapshot(path, base, closures=entries)
+        assert stats["closures"] == len(entries)
+        loaded = load_snapshot(path)
+        assert len(loaded.closures) == len(entries)
+        for saved, restored in zip(entries, loaded.closures):
+            assert set(restored.asserted) == set(saved.asserted)
+            assert set(restored.closure) == set(saved.closure)
+            assert restored.label == saved.label
+            assert restored.asserted.fingerprint() == saved.asserted.fingerprint()
+            assert restored.closure.fingerprint() == saved.closure.fingerprint()
+            # Restored graphs are one family with the loaded base.
+            assert restored.asserted.dictionary is loaded.graph.dictionary
+
+    def test_delta_chained_siblings_round_trip(self, tmp_path):
+        """Near-identical sibling closures (the fleet-snapshot shape the
+        prev-chaining optimisation targets) restore exactly."""
+        base = _family_graph()
+        entries = []
+        for n in range(6):
+            asserted = _scenario(base, f"sibling-{n}")
+            closure = Reasoner(asserted).run()
+            entries.append(ClosureEntry(asserted=asserted, closure=closure,
+                                        label=f"sibling-{n}"))
+        path = str(tmp_path / "chained.snap")
+        save_snapshot(path, base, closures=entries)
+        loaded = load_snapshot(path)
+        for saved, restored in zip(entries, loaded.closures):
+            assert set(restored.closure) == set(saved.closure)
+            assert restored.closure.fingerprint() == saved.closure.fingerprint()
+
+    def test_loaded_entries_install_as_cache_hits(self, tmp_path):
+        base = _family_graph()
+        entries = self._entries(base)
+        path = str(tmp_path / "warm.snap")
+        save_snapshot(path, base, closures=entries)
+        loaded = load_snapshot(path)
+        cache = MaterializationCache(max_size=8)
+        for entry in loaded.closures:
+            cache.install(entry.asserted, entry.closure, entry.post_added)
+        # Re-building the same scenario over the *loaded* family is a hit.
+        scenario = _scenario(loaded.graph, "tenant-b")
+        closure = cache.materialize(scenario)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 0
+        assert set(closure) == set(Reasoner(scenario).run())
+
+    def test_foreign_family_closures_are_rejected(self, tmp_path):
+        base = _family_graph()
+        foreign = _family_graph()  # same content, different dictionary
+        entry = ClosureEntry(asserted=foreign, closure=Reasoner(foreign).run())
+        with pytest.raises(SnapshotError, match="family"):
+            save_snapshot(str(tmp_path / "bad.snap"), base, closures=[entry])
+
+
+class TestFailClosed:
+    def _saved(self, tmp_path, closures=False):
+        base = _family_graph()
+        entries = []
+        if closures:
+            asserted = _scenario(base, "tenant-a")
+            entries = [ClosureEntry(asserted=asserted,
+                                    closure=Reasoner(asserted).run())]
+        path = tmp_path / "family.snap"
+        save_snapshot(str(path), base, closures=entries)
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._saved(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[:4] = b"NOPE"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="not a graph snapshot"):
+            load_snapshot(str(path))
+
+    def test_wrong_version(self, tmp_path):
+        path = self._saved(tmp_path)
+        blob = bytearray(path.read_bytes())
+        struct.pack_into("<H", blob, len(MAGIC), FORMAT_VERSION + 1)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(str(path))
+
+    def test_truncated_header_and_payload(self, tmp_path):
+        path = self._saved(tmp_path)
+        blob = path.read_bytes()
+        for keep in (0, 10, len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:keep])
+            with pytest.raises(SnapshotError):
+                load_snapshot(str(path))
+
+    def test_payload_corruption_fails_the_crc(self, tmp_path):
+        path = self._saved(tmp_path, closures=True)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="CRC"):
+            load_snapshot(str(path))
+
+    def test_missing_file_is_a_snapshot_error(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(str(tmp_path / "does-not-exist.snap"))
