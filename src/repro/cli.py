@@ -107,6 +107,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--session-ttl", type=float, default=None,
                        help="evict sessions idle for this many seconds "
                             "(default: no TTL)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline in --port mode: a miss "
+                            "returns a typed 504 and queued-but-expired work "
+                            "is skipped (default: unbounded; a request's own "
+                            "'timeout' field overrides)")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="graceful-drain bound on shutdown in --port mode: "
+                            "in-flight work gets this long, the rest is "
+                            "cancelled with a typed 503 (default: drain "
+                            "fully)")
     serve.add_argument("--snapshot", default=None, metavar="PATH",
                        help="cold-start from a snapshot file (see 'repro "
                             "snapshot save') instead of rebuilding the "
@@ -300,29 +312,33 @@ def _parse_request_line(line: str, default_persona: str):
 def _serve_http(engine: Optional[ExplanationEngine], args: argparse.Namespace) -> int:
     """The --port mode: the sharded, concurrent HTTP/JSON server."""
     from .service import ExplanationServer, ShardedExplanationService
+    from .testing import faults
 
+    # Chaos knobs: REPRO_FAULTS="site=action@trigger[:ms];..." plus
+    # REPRO_FAULT_SEED activate the deterministic fault injector for this
+    # process (zero overhead when unset).
+    injector = faults.install_from_env()
+    if injector is not None:
+        print(f"fault injection active: {len(injector.faults)} scheduled "
+              f"faults (seed {injector.seed})", file=sys.stderr)
+    common = dict(
+        num_shards=args.shards,
+        workers_per_shard=args.workers,
+        queue_size=args.queue_size,
+        session_ttl=args.session_ttl,
+        default_persona=args.persona,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+    )
     if args.snapshot is not None:
         # Zero-warm-up cold start: shards rebuild the graph family from
         # the snapshot file and seed any persisted closures instead of
         # re-parsing turtle and re-running the reasoner.
-        service = ShardedExplanationService(
-            num_shards=args.shards,
-            workers_per_shard=args.workers,
-            queue_size=args.queue_size,
-            session_ttl=args.session_ttl,
-            snapshot=args.snapshot,
-            default_persona=args.persona,
-        ).warm()
+        service = ShardedExplanationService(snapshot=args.snapshot, **common).warm()
     else:
-        service = ShardedExplanationService(
-            num_shards=args.shards,
-            workers_per_shard=args.workers,
-            queue_size=args.queue_size,
-            session_ttl=args.session_ttl,
-            engine=engine,
-            default_persona=args.persona,
-        ).warm()
-    server = ExplanationServer(service, host=args.host, port=args.port)
+        service = ShardedExplanationService(engine=engine, **common).warm()
+    server = ExplanationServer(service, host=args.host, port=args.port,
+                               drain_timeout=args.drain_timeout)
     print(f"serving on {server.url} "
           f"({args.shards} shards x {args.workers} workers, "
           f"queue {args.queue_size}/shard)", file=sys.stderr)

@@ -1,21 +1,41 @@
-"""Typed request-validation errors shared across the serving stack.
+"""Typed errors shared across the serving stack.
 
 The HTTP transport used to map *any* ``KeyError``/``ValueError``/
 ``TypeError`` escaping a handler to a 400 — which meant an internal bug
 (a broken index, a ``None`` where a graph was expected) masqueraded as a
-client error and never surfaced in logs.  This module gives "the request
-itself is invalid" its own exception family so transports can map exactly
-that family to 400 and let everything else crash loudly as a 500.
+client error and never surfaced in logs.  This module gives each failure
+mode the transport has to distinguish its own exception family:
+
+* :class:`RequestError` — the request itself is invalid (HTTP 400);
+* :class:`UnavailableError` — the service cannot take the request right
+  now but a retry may succeed (HTTP 503 with ``Retry-After``): shard
+  queue backpressure, an open circuit breaker, a draining fleet, or a
+  typed transient failure such as a lost worker;
+* :class:`DeadlineExceededError` — the request's deadline expired before
+  a result was produced (HTTP 504);
+* anything else escaping a handler is an internal bug and must surface
+  as a logged 500, never be reclassified as the client's fault.
 
 The module is deliberately a leaf (no intra-package imports): it is
-raised from the foodkg loaders, the user registry, the question parser
-and the engine, and caught in the CLI and the HTTP server, so it must be
-importable from anywhere without cycles.
+raised from the foodkg loaders, the user registry, the question parser,
+the engine and the serving layer, and caught in the CLI and the HTTP
+server, so it must be importable from anywhere without cycles.
 """
 
 from __future__ import annotations
 
-__all__ = ["RequestError", "UnknownEntityError"]
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "RequestError",
+    "UnknownEntityError",
+    "UnavailableError",
+    "ShardUnavailableError",
+    "ServiceDrainingError",
+    "TransientServingError",
+    "WorkerLostError",
+    "DeadlineExceededError",
+]
 
 
 class RequestError(ValueError):
@@ -40,3 +60,113 @@ class UnknownEntityError(RequestError, KeyError):
     def __str__(self) -> str:
         # KeyError.__str__ renders repr(args[0]); these are prose messages.
         return Exception.__str__(self)
+
+
+class UnavailableError(RuntimeError):
+    """The service cannot take this request right now; retry later.
+
+    The retryable 503 family: admission-control backpressure, an open
+    per-shard circuit breaker, a draining fleet, and typed transient
+    failures.  ``retry_after`` (seconds) tells a well-behaved client when
+    a retry has a chance instead of letting it hot-loop; transports
+    surface it both as the HTTP ``Retry-After`` header and as a
+    machine-readable field of the JSON payload, alongside ``reason``.
+    """
+
+    #: Machine-readable discriminator for the 503 payload's ``reason``
+    #: field; subclasses override it.
+    reason = "unavailable"
+
+    def __init__(self, message: str, *, reason: Optional[str] = None,
+                 retry_after: Optional[float] = None,
+                 scope: str = "service", shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        if reason is not None:
+            self.reason = reason
+        self.retry_after = retry_after
+        self.scope = scope
+        self.shard = shard
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The transport-friendly (JSON-serialisable) view of the rejection."""
+        return {
+            "error": self.reason,
+            "reason": self.reason,
+            "message": str(self),
+            "scope": self.scope,
+            "shard": self.shard,
+            "retry_after": self.retry_after,
+            "retryable": True,
+        }
+
+
+class ShardUnavailableError(UnavailableError):
+    """A shard's circuit breaker is open: fail fast instead of queueing.
+
+    Raised when sustained failures or deadline misses opened the shard's
+    breaker (or while a half-open probe is already in flight).  Callers
+    should back off for :attr:`retry_after` seconds — the cooldown the
+    breaker will wait before probing the shard again.
+    """
+
+    reason = "breaker_open"
+
+
+class ServiceDrainingError(UnavailableError):
+    """The service is draining (or stopped): new work is rejected.
+
+    Also set on the futures of queued-but-unstarted work that a bounded
+    :meth:`stop(timeout=...)` cancelled when the drain deadline expired.
+    """
+
+    reason = "draining"
+
+
+class TransientServingError(UnavailableError):
+    """A request failed for a reason unrelated to the request itself.
+
+    The typed "infrastructure hiccup" family: the work was accepted but
+    did not complete because of a fault in the serving machinery (a lost
+    worker, an injected chaos fault) rather than anything the client
+    sent.  An **idempotent** retry may succeed — the sharded service
+    retries asks (never updates) on this family with jittered
+    exponential backoff.
+    """
+
+    reason = "transient"
+
+
+class WorkerLostError(TransientServingError):
+    """The worker executing (or about to execute) this request died.
+
+    The request was never (fully) executed, so retrying an idempotent
+    ask is safe.  The watchdog restarts the worker independently.
+    """
+
+    reason = "worker_lost"
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline expired before a result was produced.
+
+    Raised to the caller when the per-request timeout elapses, and set on
+    queued work that expired before a worker picked it up (expired work
+    is skipped, never executed).  Transports map it to HTTP 504.
+    """
+
+    def __init__(self, message: str, *, timeout: Optional[float] = None,
+                 shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+        self.shard = shard
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The transport-friendly (JSON-serialisable) view of the timeout."""
+        return {
+            "error": "deadline_exceeded",
+            "reason": "deadline_exceeded",
+            "message": str(self),
+            "timeout": self.timeout,
+            "shard": self.shard,
+            "retryable": True,
+        }

@@ -5,27 +5,46 @@ into a service suitable for heavy interactive traffic:
 
 * :class:`ExplanationService` — one cached, session-aware instance;
 * :class:`ShardedExplanationService` — N independent shards behind
-  bounded worker queues, with snapshot-isolated reads and typed
-  :class:`BackpressureError` load shedding;
-* :class:`ExplanationServer` — the HTTP/JSON transport over the shards.
+  bounded worker queues, with snapshot-isolated reads, typed
+  :class:`BackpressureError` load shedding, per-request deadlines,
+  worker supervision, per-shard :class:`CircuitBreaker`\\ s and graceful
+  drain (see ``docs/architecture.md`` § Failure model);
+* :class:`ExplanationServer` — the HTTP/JSON transport over the shards
+  (503 + ``Retry-After`` for the unavailable family, 504 for deadline
+  misses).
 
 See ``docs/architecture.md`` for where the cache layers and the serving
 topology sit in the request data flow.
 """
 
+from ..errors import (
+    DeadlineExceededError,
+    ServiceDrainingError,
+    ShardUnavailableError,
+    TransientServingError,
+    UnavailableError,
+    WorkerLostError,
+)
 from .api import BackpressureError, ExplanationRequest, ExplanationResponse, ServiceStats
 from .server import ExplanationServer
 from .service import ExplanationService
-from .shards import FleetStats, ServiceShard, ShardedExplanationService
+from .shards import CircuitBreaker, FleetStats, ServiceShard, ShardedExplanationService
 
 __all__ = [
     "BackpressureError",
+    "CircuitBreaker",
+    "DeadlineExceededError",
     "ExplanationRequest",
     "ExplanationResponse",
     "ExplanationServer",
     "ExplanationService",
     "FleetStats",
+    "ServiceDrainingError",
     "ServiceShard",
     "ServiceStats",
+    "ShardUnavailableError",
     "ShardedExplanationService",
+    "TransientServingError",
+    "UnavailableError",
+    "WorkerLostError",
 ]

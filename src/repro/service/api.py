@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..core.explanation import Explanation
+from ..errors import UnavailableError
 from ..users.context import SystemContext
 from ..users.profile import UserProfile
 
@@ -22,40 +23,40 @@ __all__ = [
 ]
 
 
-class BackpressureError(RuntimeError):
+class BackpressureError(UnavailableError):
     """The service shed this request instead of queueing it.
 
     Raised by admission control when a service instance is already at its
     in-flight limit (``ExplanationService(max_pending=...)``) or when a
     shard's bounded request queue is full
     (:class:`repro.service.shards.ShardedExplanationService`).  It is a
-    *typed*, expected overload signal — transports map it to a retryable
-    status (the HTTP server returns 503 with this payload) instead of a
-    traceback, and every rejection is counted in
-    :attr:`ServiceStats.requests_rejected`.
+    *typed*, expected overload signal — part of the retryable
+    :class:`~repro.errors.UnavailableError` 503 family, so transports map
+    it to 503 + ``Retry-After`` instead of a traceback, and every
+    rejection is counted in :attr:`ServiceStats.requests_rejected`.
     """
+
+    reason = "backpressure"
 
     def __init__(self, message: str, *, scope: str = "service",
                  shard: Optional[int] = None,
                  queue_depth: Optional[int] = None,
-                 limit: Optional[int] = None) -> None:
-        super().__init__(message)
-        self.scope = scope
-        self.shard = shard
+                 limit: Optional[int] = None,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message, retry_after=retry_after, scope=scope,
+                         shard=shard)
         self.queue_depth = queue_depth
         self.limit = limit
 
     def to_payload(self) -> Dict[str, Any]:
         """The transport-friendly (JSON-serialisable) view of the rejection."""
-        return {
-            "error": "backpressure",
-            "message": str(self),
-            "scope": self.scope,
-            "shard": self.shard,
-            "queue_depth": self.queue_depth,
-            "limit": self.limit,
-            "retryable": True,
-        }
+        payload = super().to_payload()
+        # Keep the pre-UnavailableError payload shape: clients key on
+        # ``error == "backpressure"`` plus queue telemetry.
+        payload["error"] = "backpressure"
+        payload["queue_depth"] = self.queue_depth
+        payload["limit"] = self.limit
+        return payload
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,27 @@ class ServiceStats:
     #: Requests shed by admission control (never served; see
     #: :class:`BackpressureError`).
     requests_rejected: int = 0
+    #: Requests whose deadline expired while the caller was waiting on the
+    #: result (:class:`~repro.errors.DeadlineExceededError` raised to the
+    #: caller).
+    requests_timed_out: int = 0
+    #: Queued requests whose deadline had already expired when a worker
+    #: dequeued them; skipped before execution, never run.
+    requests_expired: int = 0
+    #: Queued requests cancelled by a bounded drain
+    #: (``stop(timeout=...)``) before any worker picked them up.
+    requests_cancelled: int = 0
+    #: Worker threads currently alive for this instance's shard (0 for an
+    #: unsharded service, which has no workers).
+    workers_live: int = 0
+    #: Worker threads the watchdog restarted (dead) or retired-and-replaced
+    #: (wedged) over the instance's lifetime.
+    workers_restarted: int = 0
+    #: Circuit-breaker telemetry for this instance's shard:
+    #: ``{"state": "closed|open|half_open", "opens": ..., "failures": ...,
+    #: "timeouts": ..., "rejected_fast": ...}`` (empty for an unsharded
+    #: service).
+    breaker: Dict[str, Any] = field(default_factory=dict)
     scenario_cache_hits: int = 0
     scenario_cache_misses: int = 0
     scenario_updates: int = 0
@@ -153,6 +175,14 @@ class ServiceStats:
         lines = [
             f"requests served:        {self.requests_served}",
             f"requests rejected:      {self.requests_rejected} (backpressure)",
+            f"requests timed out:     {self.requests_timed_out} "
+            f"({self.requests_expired} expired in queue, "
+            f"{self.requests_cancelled} cancelled by drain)",
+            f"workers:                {self.workers_live} live / "
+            f"{self.workers_restarted} restarted; breaker "
+            f"{self.breaker.get('state', 'n/a')} "
+            f"({self.breaker.get('opens', 0)} opens, "
+            f"{self.breaker.get('rejected_fast', 0)} fast-failed)",
             f"serve latency:          p50 {self.latency_ms.get('p50', 0.0):.1f} ms / "
             f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms / "
             f"max {self.latency_ms.get('max_ms', 0.0):.1f} ms "

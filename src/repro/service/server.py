@@ -21,27 +21,43 @@ the *work* is admission-controlled: a handler immediately enqueues the
 request on its session's shard and waits on the result, so a full shard
 queue surfaces as an immediate **503** carrying the typed
 :class:`~repro.service.api.BackpressureError` payload — clients see a
-retryable JSON error, never a growing backlog or a traceback.  Malformed
-requests (bad JSON, unparseable questions, unknown foods/personas) raise
-the typed :class:`~repro.errors.RequestError` family and map to **400**
-with a JSON error body.  *Anything else* escaping a handler is an
-internal bug: it returns **500**, logs the full traceback, and bumps the
-``internal_errors`` counter surfaced by ``GET /stats`` — it is never
-reclassified as the client's fault (the transport used to map any
-``KeyError``/``ValueError``/``TypeError`` to 400, which masked real
-defects as bad requests).
+retryable JSON error, never a growing backlog or a traceback.
+
+The full status taxonomy mirrors ``repro.errors``:
+
+* every :class:`~repro.errors.UnavailableError` — backpressure, an open
+  circuit breaker, a draining fleet, a typed transient — maps to **503**
+  with a ``Retry-After`` header and a machine-readable ``reason`` field
+  in the JSON body, so clients can back off instead of hot-looping;
+* a :class:`~repro.errors.DeadlineExceededError` maps to **504** (the
+  per-request deadline comes from the fleet's ``request_timeout`` or the
+  request's own ``"timeout"`` field, in seconds);
+* malformed requests (bad JSON, unparseable questions, unknown
+  foods/personas) raise the typed :class:`~repro.errors.RequestError`
+  family and map to **400** with a JSON error body;
+* *anything else* escaping a handler is an internal bug: it returns
+  **500**, logs the full traceback, and bumps the ``internal_errors``
+  counter surfaced by ``GET /stats`` — it is never reclassified as the
+  client's fault (the transport used to map any ``KeyError``/
+  ``ValueError``/``TypeError`` to 400, which masked real defects as bad
+  requests).
+
+:meth:`ExplanationServer.stop` drains gracefully: the service is marked
+draining first (new ``POST`` work is rejected with a 503 ``reason:
+"draining"`` while in-flight requests finish within the drain deadline),
+and only then is the listener shut down.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from ..errors import RequestError
-from .api import BackpressureError
+from ..errors import DeadlineExceededError, RequestError, UnavailableError
 from .shards import ShardedExplanationService
 
 __all__ = ["ExplanationServer"]
@@ -66,13 +82,22 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.quiet:  # pragma: no cover - log plumbing
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_unavailable(self, exc: UnavailableError) -> None:
+        """503 with the typed payload and an HTTP ``Retry-After`` header."""
+        retry_after = exc.retry_after if exc.retry_after is not None else 1.0
+        self._send_json(503, exc.to_payload(),
+                        headers={"Retry-After": str(max(1, math.ceil(retry_after)))})
 
     def _read_json(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -105,6 +130,15 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": "bad_request", "message": str(exc)})
             return
+        if self.service.draining:
+            # Refuse new work during a graceful drain; in-flight requests
+            # keep completing until the drain deadline.
+            self._send_json(503, {
+                "error": "draining", "reason": "draining",
+                "message": "service is draining; retry against another instance",
+                "retry_after": 1.0, "retryable": True,
+            }, headers={"Retry-After": "1"})
+            return
         try:
             if self.path == "/ask":
                 self._send_json(*self._handle_ask(payload))
@@ -114,9 +148,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(*self._handle_update(payload))
             else:
                 self._send_json(404, {"error": "not_found", "path": self.path})
-        except BackpressureError as exc:
-            # The load-shedding path: a typed, retryable 503 — not a 500.
-            self._send_json(503, exc.to_payload())
+        except UnavailableError as exc:
+            # The fail-fast 503 family: backpressure, breaker-open,
+            # draining, typed transients — retryable, with Retry-After.
+            self._send_unavailable(exc)
+        except DeadlineExceededError as exc:
+            self._send_json(504, exc.to_payload())
         except RequestError as exc:
             # Only the typed request-validation family is the client's
             # fault: unparseable questions, unknown personas/foods/
@@ -142,6 +179,20 @@ class _Handler(BaseHTTPRequestHandler):
                 "message": "internal server error (see server log)"}
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _timeout_from(payload: Dict[str, Any]) -> Optional[float]:
+        """The request's own deadline (seconds), or None for the default."""
+        raw = payload.get("timeout")
+        if raw is None:
+            return None
+        try:
+            timeout = float(raw)
+        except (TypeError, ValueError):
+            raise RequestError(f"'timeout' must be a number, got {raw!r}") from None
+        if timeout <= 0:
+            raise RequestError("'timeout' must be positive")
+        return timeout
+
     def _handle_ask(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         question = payload.get("question")
         if not question:
@@ -151,6 +202,7 @@ class _Handler(BaseHTTPRequestHandler):
             session_id=payload.get("session_id"),
             persona=payload.get("persona"),
             explanation_type=payload.get("explanation_type"),
+            timeout=self._timeout_from(payload),
         )
         return 200, response.summary()
 
@@ -176,6 +228,7 @@ class _Handler(BaseHTTPRequestHandler):
             question,
             session_id=payload.get("session_id"),
             persona=payload.get("persona"),
+            timeout=self._timeout_from(payload),
             **additions,
         )
         return 200, {
@@ -201,8 +254,10 @@ class ExplanationServer:
 
     def __init__(self, service: ShardedExplanationService,
                  host: str = "127.0.0.1", port: int = 8080,
-                 quiet: bool = True) -> None:
+                 quiet: bool = True,
+                 drain_timeout: Optional[float] = None) -> None:
         self.service = service
+        self.drain_timeout = drain_timeout
         handler = type("BoundHandler", (_Handler,), {"service": service, "quiet": quiet})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -234,11 +289,20 @@ class ExplanationServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut the listener down and stop the shard workers."""
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Drain gracefully, then shut the listener down.
+
+        The service drains *before* the listener closes: from the first
+        moment new ``POST`` work is rejected with 503 ``reason:
+        "draining"`` while in-flight requests finish (bounded by
+        ``timeout``, default ``drain_timeout``); queued work past the
+        deadline is cancelled with a typed error.  Only then does the
+        listener stop accepting connections.
+        """
+        self.service.stop(timeout=timeout if timeout is not None
+                          else self.drain_timeout)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
-        self.service.stop()

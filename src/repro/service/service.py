@@ -43,6 +43,7 @@ from ..errors import RequestError
 from ..core.scenario import Scenario
 from ..foodkg.schema import FoodCatalog
 from ..sparql import planner_stats, prepared_cache
+from ..testing import faults
 from ..users.context import SystemContext
 from ..users.personas import persona as persona_lookup
 from ..users.profile import UserProfile
@@ -219,6 +220,8 @@ class ExplanationService:
                 self.scenario_cache_hits += 1
                 self._scenarios.move_to_end(key)
                 return cached, True
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("materialize", question=question.question_type)
         scenario = self.engine.build_scenario(question, user, context)
         with self._scenario_lock:
             self.scenario_cache_misses += 1
@@ -268,6 +271,8 @@ class ExplanationService:
             scenario, hit = self._scenario(question, user, context)
             if self.snapshot_reads:
                 scenario = scenario.snapshot()
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.fire("query", question=question.question_type)
             explanation = self.engine.explain(
                 question, user, context,
                 explanation_type=request.explanation_type,

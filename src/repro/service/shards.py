@@ -32,6 +32,34 @@ against COW snapshots of its cached scenarios (see
 ``update_scenario`` on the same session observes either the pre- or the
 post-update scenario, never a torn mixture, and never blocks behind the
 update lock.
+
+Failure model (see ``docs/architecture.md`` § Failure model):
+
+* **Deadlines** — :meth:`ServiceShard.submit`/:meth:`~ServiceShard.call`
+  take a per-request ``timeout``; a caller that waits past it gets a
+  typed :class:`~repro.errors.DeadlineExceededError` and queued work
+  whose deadline already expired is skipped before execution, so a
+  deadline miss never wedges a caller or wastes a worker.
+* **Supervision** — each worker keeps a :class:`_WorkerState` heartbeat;
+  :meth:`ServiceShard.supervise` (driven by the fleet's watchdog thread)
+  restarts dead workers and retires-and-replaces wedged ones (a Python
+  thread cannot be killed, so a wedged worker is abandoned to finish or
+  not while a fresh one takes its slot).
+* **Circuit breaker** — consecutive failures or sustained deadline
+  misses open the shard's :class:`CircuitBreaker`; callers then fail
+  fast with :class:`~repro.errors.ShardUnavailableError` carrying a
+  ``retry_after`` instead of queueing behind a sick shard.  After a
+  jittered exponential cooldown a single half-open probe decides whether
+  to close it again.
+* **Retry** — the fleet retries **idempotent asks** (never updates) on
+  :class:`~repro.errors.TransientServingError` with jittered exponential
+  backoff, within the request's deadline.
+* **Graceful drain** — ``stop(timeout=...)`` first gates new submits
+  (fixing the submit/stop race where a request enqueued into a stopping
+  shard was never drained), waits for in-flight work up to the deadline,
+  then cancels the remainder with typed
+  :class:`~repro.errors.ServiceDrainingError` so no caller is left
+  hanging.  ``stop`` is idempotent and safe to call concurrently.
 """
 
 from __future__ import annotations
@@ -39,18 +67,32 @@ from __future__ import annotations
 import gc
 import itertools
 import queue
+import random
 import threading
+import time
 import zlib
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import ExplanationEngine
 from ..core.scenario import Scenario, ScenarioBuilder
+from ..errors import (
+    DeadlineExceededError,
+    RequestError,
+    ServiceDrainingError,
+    ShardUnavailableError,
+    TransientServingError,
+    UnavailableError,
+    WorkerLostError,
+)
 from ..foodkg.catalog import build_core_catalog
 from ..foodkg.schema import FoodCatalog
 from ..owl import MaterializationCache
 from ..storage.snapshot import GraphSnapshot, load_snapshot
+from ..testing import faults
+from ..testing.faults import InjectedWorkerCrash
 from ..users.context import SystemContext
 from ..users.personas import persona as persona_lookup
 from ..users.profile import UserProfile
@@ -58,14 +100,173 @@ from ..users.sessions import SessionRegistry, UserSession
 from .api import BackpressureError, ExplanationRequest, ExplanationResponse, ServiceStats
 from .service import ExplanationService, percentile
 
-__all__ = ["ServiceShard", "ShardedExplanationService", "FleetStats"]
+__all__ = ["CircuitBreaker", "ServiceShard", "ShardedExplanationService", "FleetStats"]
+
+
+class CircuitBreaker:
+    """Fail-fast gate for one shard: closed → open → half-open → closed.
+
+    Closed is the steady state; every completed request reports its
+    outcome here.  ``failure_threshold`` consecutive failures or
+    ``timeout_threshold`` consecutive deadline misses trip it **open**:
+    :meth:`acquire` then raises :class:`ShardUnavailableError`
+    immediately (no queueing behind a sick shard) with a ``retry_after``
+    equal to the remaining cooldown.  The cooldown is jittered
+    exponential — ``cooldown × 2^(open streak) × U[0.5, 1.0)`` from a
+    seeded RNG, capped at ``max_cooldown`` — so a fleet of callers does
+    not re-converge on the shard in lockstep.  When it elapses the
+    breaker goes **half-open**: exactly one probe request is admitted;
+    its success closes the breaker, its failure re-opens with a doubled
+    cooldown.
+    """
+
+    def __init__(self, shard_index: int, *, failure_threshold: int = 5,
+                 timeout_threshold: int = 8, cooldown: float = 0.25,
+                 max_cooldown: float = 30.0, seed: int = 0) -> None:
+        if failure_threshold <= 0 or timeout_threshold <= 0:
+            raise ValueError("breaker thresholds must be positive")
+        self.shard_index = shard_index
+        self.failure_threshold = failure_threshold
+        self.timeout_threshold = timeout_threshold
+        self.cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        # Distinct stream per shard from one fleet seed, deterministically.
+        self._rng = random.Random((seed << 8) ^ shard_index)
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._consecutive_timeouts = 0
+        self._open_streak = 0
+        self._open_until = 0.0
+        self._probe_in_flight = False
+        # Lifetime telemetry (exported via stats()).
+        self.opens = 0
+        self.failures = 0
+        self.timeouts = 0
+        self.rejected_fast = 0
+
+    # -- state ----------------------------------------------------------
+    def _state_locked(self) -> str:
+        if self._state == "open" and time.monotonic() >= self._open_until:
+            self._state = "half_open"
+            self._probe_in_flight = False
+        return self._state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _cooldown_locked(self) -> float:
+        base = min(self.cooldown * (2 ** max(self._open_streak - 1, 0)),
+                   self.max_cooldown)
+        return base * (0.5 + self._rng.random() / 2.0)
+
+    def _open_locked(self) -> None:
+        self._state = "open"
+        self._open_streak += 1
+        self.opens += 1
+        self._open_until = time.monotonic() + self._cooldown_locked()
+        self._probe_in_flight = False
+        self._consecutive_failures = 0
+        self._consecutive_timeouts = 0
+
+    # -- admission ------------------------------------------------------
+    def acquire(self) -> None:
+        """Admit one request, or fail fast with :class:`ShardUnavailableError`."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return
+            if state == "half_open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            self.rejected_fast += 1
+            if state == "open":
+                retry_after = max(self._open_until - time.monotonic(), 0.0)
+            else:  # half-open with the probe already in flight
+                retry_after = self.cooldown
+            raise ShardUnavailableError(
+                f"shard {self.shard_index} circuit breaker is "
+                f"{'open' if state == 'open' else 'probing'}; "
+                f"retry in {retry_after:.2f}s",
+                scope="shard", shard=self.shard_index,
+                retry_after=round(max(retry_after, 0.001), 3),
+            )
+
+    # -- outcomes -------------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._probe_in_flight = False
+            self._open_streak = 0
+            self._consecutive_failures = 0
+            self._consecutive_timeouts = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._probe_in_flight = False
+            if self._state_locked() != "closed":
+                # A failed probe (or a failure while open) escalates.
+                self._open_locked()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open_locked()
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+            self._probe_in_flight = False
+            if self._state_locked() != "closed":
+                self._open_locked()
+                return
+            self._consecutive_timeouts += 1
+            if self._consecutive_timeouts >= self.timeout_threshold:
+                self._open_locked()
+
+    def record_neutral(self) -> None:
+        """An outcome that says nothing about shard health (shed work)."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    def stats_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "opens": self.opens,
+                "failures": self.failures,
+                "timeouts": self.timeouts,
+                "rejected_fast": self.rejected_fast,
+            }
+
+
+class _WorkerState:
+    """One worker thread's heartbeat, as seen by the supervisor."""
+
+    __slots__ = ("thread", "name", "busy_since", "retired")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.thread: Optional[threading.Thread] = None
+        #: Monotonic time this worker started executing its current
+        #: request, or ``None`` while idle.  The watchdog reads it to
+        #: detect wedged workers.
+        self.busy_since: Optional[float] = None
+        #: Set by the watchdog when the worker is deemed wedged: if the
+        #: thread ever comes back to the queue it must exit instead of
+        #: taking more work (its slot has already been re-staffed).
+        self.retired = False
 
 
 class ServiceShard:
     """One shard: a private :class:`ExplanationService` behind a bounded queue."""
 
     def __init__(self, index: int, service: ExplanationService,
-                 queue_size: int = 64, workers: int = 2) -> None:
+                 queue_size: int = 64, workers: int = 2, *,
+                 breaker: Optional[CircuitBreaker] = None,
+                 wedge_timeout: Optional[float] = 30.0) -> None:
         if queue_size <= 0:
             raise ValueError("queue_size must be positive")
         if workers <= 0:
@@ -75,70 +276,319 @@ class ServiceShard:
         self.queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
         self.queue_size = queue_size
         self.workers = workers
+        self.breaker = breaker if breaker is not None else CircuitBreaker(index)
+        self.wedge_timeout = wedge_timeout
         self.rejected = 0
-        self._threads: List[threading.Thread] = []
+        self.timed_out = 0
+        self.expired = 0
+        self.cancelled = 0
+        self.workers_restarted = 0
+        self._worker_states: List[_WorkerState] = []
+        self._retired: List[_WorkerState] = []
+        self._worker_seq = itertools.count()
         self._started = False
+        #: True from the moment a stop() begins, forever: new submits are
+        #: rejected with ServiceDrainingError.  Never set on a shard that
+        #: was never started, which stays usable as a plain service.
+        self._stopping = False
+        # One lock makes the draining-check + enqueue in submit() atomic
+        # against stop() flipping _stopping — the fix for the race where a
+        # submit could slip into a stopping shard's queue after the drain
+        # pass and wait forever.  Also guards the worker-state lists.
+        self._gate = threading.Lock()
+        self._stopped_event = threading.Event()
 
+    # ------------------------------------------------------------------
+    # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for n in range(self.workers):
-            thread = threading.Thread(
-                target=self._work, name=f"shard-{self.index}-worker-{n}", daemon=True)
-            thread.start()
-            self._threads.append(thread)
-
-    def stop(self) -> None:
-        """Stop the workers after the queue drains."""
-        if not self._started:
-            return
-        for _ in self._threads:
-            self.queue.put(None)  # blocking put: a sentinel is never shed
-        for thread in self._threads:
-            thread.join()
-        self._threads = []
-        self._started = False
-
-    def _work(self) -> None:
-        while True:
-            item = self.queue.get()
-            if item is None:
+        with self._gate:
+            if self._started or self._stopping:
                 return
-            future, fn, args, kwargs = item
-            if not future.set_running_or_notify_cancel():
-                continue
-            try:
-                future.set_result(fn(*args, **kwargs))
-            except BaseException as exc:  # noqa: BLE001 - relayed via the future
-                future.set_exception(exc)
+            self._started = True
+            for _ in range(self.workers):
+                self._spawn_worker_locked()
+
+    def _spawn_worker_locked(self) -> _WorkerState:
+        state = _WorkerState(f"shard-{self.index}-worker-{next(self._worker_seq)}")
+        thread = threading.Thread(target=self._work, args=(state,),
+                                  name=state.name, daemon=True)
+        state.thread = thread
+        self._worker_states.append(state)
+        thread.start()
+        return state
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Drain and stop the workers; bound the drain with ``timeout``.
+
+        With ``timeout=None`` the queue drains completely (every queued
+        request is served) before the workers exit.  With a bounded
+        timeout, work still queued when the deadline passes is cancelled
+        with a typed :class:`ServiceDrainingError` and counted in
+        ``requests_cancelled``; a worker wedged past the deadline is
+        abandoned (daemon thread) rather than joined forever.
+
+        Idempotent and safe to call concurrently: the first caller
+        drains, later callers wait for it to finish.
+        """
+        with self._gate:
+            if not self._started:
+                if self._stopping:
+                    # A concurrent stop() is (or was) draining; wait it out.
+                    already = True
+                else:
+                    return  # never started: nothing to drain
+            elif self._stopping:
+                already = True
+            else:
+                self._stopping = True
+                already = False
+            active = [s for s in self._worker_states if not s.retired]
+        if already:
+            self._stopped_event.wait(timeout)
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if deadline is not None:
+            # Give in-flight and queued work until the deadline.
+            while time.monotonic() < deadline:
+                if self.queue.empty() and all(s.busy_since is None for s in active):
+                    break
+                time.sleep(0.005)
+            # Cancel whatever did not make it: claim each queued item away
+            # from the workers, then fail its future with a typed error.
+            while True:
+                try:
+                    item = self.queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    continue
+                future = item[0]
+                if future.set_running_or_notify_cancel():
+                    self.cancelled += 1
+                    future.set_exception(ServiceDrainingError(
+                        f"shard {self.index} drained before this request ran",
+                        scope="shard", shard=self.index))
+        for _ in active:
+            self.queue.put(None)  # blocking put: a sentinel is never shed
+        for state in active:
+            if deadline is None:
+                state.thread.join()
+            else:
+                state.thread.join(max(deadline - time.monotonic(), 0.05))
+        for state in self._retired:
+            # Wedged threads may never return; give them a token grace.
+            state.thread.join(0.05)
+        with self._gate:
+            self._worker_states = []
+            self._retired = []
+            self._started = False
+        self._stopped_event.set()
 
     # ------------------------------------------------------------------
-    def submit(self, fn, *args, **kwargs) -> "Future":
-        """Enqueue one unit of work; shed it immediately if the queue is full."""
-        future: Future = Future()
+    # Supervision
+    # ------------------------------------------------------------------
+    def supervise(self) -> int:
+        """One watchdog pass: restart dead workers, replace wedged ones.
+
+        Returns the number of workers restarted or replaced.  A dead
+        worker (its thread exited — a crash) is simply restarted.  A
+        wedged worker (executing one request for longer than
+        ``wedge_timeout``) cannot be killed — Python threads are not
+        interruptible — so it is *retired*: marked to exit if it ever
+        returns to the queue, and a fresh worker takes its slot so the
+        shard regains capacity immediately.
+        """
+        restarted = 0
+        with self._gate:
+            if not self._started or self._stopping:
+                return 0
+            now = time.monotonic()
+            for state in list(self._worker_states):
+                if not state.thread.is_alive():
+                    self._worker_states.remove(state)
+                    self._spawn_worker_locked()
+                    self.workers_restarted += 1
+                    restarted += 1
+                elif (self.wedge_timeout is not None
+                      and state.busy_since is not None
+                      and now - state.busy_since > self.wedge_timeout):
+                    state.retired = True
+                    self._worker_states.remove(state)
+                    self._retired.append(state)
+                    self._spawn_worker_locked()
+                    self.workers_restarted += 1
+                    restarted += 1
+        return restarted
+
+    def workers_live(self) -> int:
+        with self._gate:
+            return sum(1 for s in self._worker_states if s.thread.is_alive())
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _work(self, state: _WorkerState) -> None:
+        in_hand = None
         try:
-            self.queue.put_nowait((future, fn, args, kwargs))
+            while True:
+                item = self.queue.get()
+                if state.retired:
+                    # Our slot was re-staffed while we were wedged.  Hand
+                    # whatever we just took to a live worker and exit —
+                    # an orderly handoff, not a failure signal.
+                    if item is None:
+                        self.queue.put(None)
+                    else:
+                        self._salvage(item, record_failure=False)
+                    return
+                if item is None:
+                    return
+                in_hand = item
+                future, fn, args, kwargs, deadline = item
+                if deadline is not None and time.monotonic() > deadline:
+                    # Expired while queued: skip it, never execute it.
+                    self._expire(future)
+                    in_hand = None
+                    continue
+                injector = faults.ACTIVE
+                if injector is not None:
+                    injector.fire("worker", shard=self.index, worker=state.name)
+                if not future.set_running_or_notify_cancel():
+                    in_hand = None
+                    continue
+                state.busy_since = time.monotonic()
+                try:
+                    result = fn(*args, **kwargs)
+                except BaseException as exc:  # noqa: BLE001 - relayed via the future
+                    future.set_exception(exc)
+                    self._record_outcome(exc)
+                else:
+                    future.set_result(result)
+                    self._record_outcome(None)
+                finally:
+                    state.busy_since = None
+                in_hand = None
+        except BaseException as exc:
+            # The worker itself is dying — an injected crash, or a bug
+            # outside request execution.  Salvage the request it was
+            # holding so no caller hangs; the watchdog restores capacity.
+            state.busy_since = None
+            if in_hand is not None:
+                self._salvage(in_hand)
+            if isinstance(exc, InjectedWorkerCrash):
+                return  # simulated death: die quietly, like the real thing
+            raise
+
+    def _record_outcome(self, exc: Optional[BaseException]) -> None:
+        """Feed one completed request's outcome to the circuit breaker."""
+        if exc is None or isinstance(exc, RequestError):
+            # A served request — even an invalid one — proves the shard
+            # healthy; client errors are the client's problem.
+            self.breaker.record_success()
+        elif isinstance(exc, DeadlineExceededError):
+            self.breaker.record_timeout()
+        elif isinstance(exc, TransientServingError):
+            self.breaker.record_failure()
+        elif isinstance(exc, UnavailableError):
+            # Shed work (service-level backpressure) says nothing about
+            # this shard's health.
+            self.breaker.record_neutral()
+        else:
+            # An unexpected internal error is a shard failure signal.
+            self.breaker.record_failure()
+
+    def _expire(self, future: "Future") -> None:
+        self.expired += 1
+        self.breaker.record_timeout()
+        if future.set_running_or_notify_cancel():
+            future.set_exception(DeadlineExceededError(
+                f"shard {self.index}: deadline expired while the request "
+                f"was still queued", shard=self.index))
+
+    def _salvage(self, item, record_failure: bool = True) -> None:
+        """Re-home the request a dying/retired worker was holding."""
+        future, _fn, _args, _kwargs, deadline = item
+        if future.done():
+            return
+        if record_failure:
+            self.breaker.record_failure()
+        if deadline is not None and time.monotonic() > deadline:
+            self.expired += 1
+            if future.set_running_or_notify_cancel():
+                future.set_exception(DeadlineExceededError(
+                    f"shard {self.index}: deadline expired while the request "
+                    f"awaited a replacement worker", shard=self.index))
+            return
+        try:
+            self.queue.put_nowait(item)
         except queue.Full:
-            self.rejected += 1
-            raise BackpressureError(
-                f"shard {self.index} queue is full "
-                f"({self.queue_size} pending requests); retry later",
-                scope="shard",
-                shard=self.index,
-                queue_depth=self.queue_size,
-                limit=self.queue_size,
-            ) from None
+            if future.set_running_or_notify_cancel():
+                future.set_exception(WorkerLostError(
+                    f"shard {self.index}: worker died before executing this "
+                    f"request and the queue is full", scope="shard",
+                    shard=self.index, retry_after=0.05))
+
+    # ------------------------------------------------------------------
+    def submit(self, fn, *args, timeout: Optional[float] = None, **kwargs) -> "Future":
+        """Enqueue one unit of work; shed it immediately if the queue is full.
+
+        ``timeout`` (seconds) sets the request's deadline: the caller's
+        wait is bounded (see :meth:`call`) and a worker that dequeues the
+        item after the deadline skips it instead of executing it.
+        Raises :class:`ServiceDrainingError` once the shard is stopping
+        and :class:`ShardUnavailableError` while its breaker is open.
+        """
+        future: Future = Future()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._gate:
+            if self._stopping:
+                raise ServiceDrainingError(
+                    f"shard {self.index} is draining; new work rejected",
+                    scope="shard", shard=self.index, retry_after=1.0)
+            self.breaker.acquire()
+            try:
+                self.queue.put_nowait((future, fn, args, kwargs, deadline))
+            except queue.Full:
+                self.rejected += 1
+                self.breaker.record_neutral()
+                raise BackpressureError(
+                    f"shard {self.index} queue is full "
+                    f"({self.queue_size} pending requests); retry later",
+                    scope="shard",
+                    shard=self.index,
+                    queue_depth=self.queue_size,
+                    limit=self.queue_size,
+                    retry_after=0.1,
+                ) from None
         return future
 
-    def call(self, fn, *args, **kwargs):
-        """Submit and wait: the synchronous serving path."""
+    def call(self, fn, *args, timeout: Optional[float] = None, **kwargs):
+        """Submit and wait: the synchronous serving path.
+
+        With a ``timeout``, a missed deadline raises a typed
+        :class:`DeadlineExceededError` (counted in ``requests_timed_out``)
+        and the queued work is cancelled so no worker wastes time on it.
+        """
         if not self._started:
+            if self._stopping:
+                raise ServiceDrainingError(
+                    f"shard {self.index} is stopped; new work rejected",
+                    scope="shard", shard=self.index, retry_after=1.0)
             # Direct execution keeps a stopped (or never-started) shard
             # usable as a plain service, e.g. in single-threaded tools.
             return fn(*args, **kwargs)
-        return self.submit(fn, *args, **kwargs).result()
+        future = self.submit(fn, *args, timeout=timeout, **kwargs)
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            self.timed_out += 1
+            self.breaker.record_timeout()
+            raise DeadlineExceededError(
+                f"shard {self.index}: no result within the "
+                f"{timeout:.3f}s deadline", timeout=timeout,
+                shard=self.index) from None
 
     def queue_depth(self) -> int:
         return self.queue.qsize()
@@ -149,6 +599,12 @@ class ServiceShard:
         # Queue-level sheds are counted here, service-level sheds inside the
         # service; the shard's view is the sum of both.
         stats.requests_rejected += self.rejected
+        stats.requests_timed_out = self.timed_out
+        stats.requests_expired = self.expired
+        stats.requests_cancelled = self.cancelled
+        stats.workers_live = self.workers_live()
+        stats.workers_restarted = self.workers_restarted
+        stats.breaker = self.breaker.stats_dict()
         return stats
 
 
@@ -158,11 +614,18 @@ class FleetStats:
 
     requests_served: int = 0
     requests_rejected: int = 0
+    requests_timed_out: int = 0
+    requests_expired: int = 0
+    requests_cancelled: int = 0
     scenario_cache_hits: int = 0
     scenario_cache_misses: int = 0
     scenario_updates: int = 0
     active_sessions: int = 0
     session_rebuilds: int = 0
+    workers_live: int = 0
+    workers_restarted: int = 0
+    breaker_opens: int = 0
+    breaker_states: List[str] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
     latency_ms: Dict[str, float] = field(default_factory=dict)
     shards: List[ServiceStats] = field(default_factory=list)
@@ -173,6 +636,12 @@ class FleetStats:
             f"shards:                 {len(self.shards)}",
             f"requests served:        {self.requests_served}",
             f"requests rejected:      {self.requests_rejected} (backpressure)",
+            f"requests timed out:     {self.requests_timed_out} "
+            f"({self.requests_expired} expired in queue, "
+            f"{self.requests_cancelled} cancelled by drain)",
+            f"workers:                {self.workers_live} live / "
+            f"{self.workers_restarted} restarted; "
+            f"{self.breaker_opens} breaker opens {self.breaker_states}",
             f"serve latency:          p50 {self.latency_ms.get('p50', 0.0):.1f} ms / "
             f"p99 {self.latency_ms.get('p99', 0.0):.1f} ms / "
             f"max {self.latency_ms.get('max_ms', 0.0):.1f} ms "
@@ -192,21 +661,34 @@ class FleetStats:
             "shards": len(self.shards),
             "requests_served": self.requests_served,
             "requests_rejected": self.requests_rejected,
+            "requests_timed_out": self.requests_timed_out,
+            "requests_expired": self.requests_expired,
+            "requests_cancelled": self.requests_cancelled,
             "scenario_cache_hits": self.scenario_cache_hits,
             "scenario_cache_misses": self.scenario_cache_misses,
             "scenario_updates": self.scenario_updates,
             "active_sessions": self.active_sessions,
             "session_rebuilds": self.session_rebuilds,
+            "workers_live": self.workers_live,
+            "workers_restarted": self.workers_restarted,
+            "breaker_opens": self.breaker_opens,
+            "breaker_states": list(self.breaker_states),
             "queue_depths": list(self.queue_depths),
             "latency_ms": dict(self.latency_ms),
             "per_shard": [
                 {
                     "requests_served": s.requests_served,
                     "requests_rejected": s.requests_rejected,
+                    "requests_timed_out": s.requests_timed_out,
+                    "requests_expired": s.requests_expired,
+                    "requests_cancelled": s.requests_cancelled,
                     "scenario_cache_hits": s.scenario_cache_hits,
                     "scenario_cache_misses": s.scenario_cache_misses,
                     "queue_depth": s.queue_depth,
                     "active_sessions": s.active_sessions,
+                    "workers_live": s.workers_live,
+                    "workers_restarted": s.workers_restarted,
+                    "breaker": dict(s.breaker),
                 }
                 for s in self.shards
             ],
@@ -218,10 +700,21 @@ class ShardedExplanationService:
 
     One instance fans requests out across ``num_shards`` independent
     :class:`ExplanationService` shards (see the module docstring for the
-    isolation and routing model).  The public surface mirrors the
-    single-instance service — :meth:`ask`, :meth:`explain`,
+    isolation, routing and failure model).  The public surface mirrors
+    the single-instance service — :meth:`ask`, :meth:`explain`,
     :meth:`explain_batch`, :meth:`update_scenario`, session management,
     :meth:`stats` — so callers and transports can swap one for the other.
+
+    Fault-tolerance knobs: ``request_timeout`` is the default per-request
+    deadline (``None`` = unbounded; per-call ``timeout=`` overrides);
+    ``drain_timeout`` bounds :meth:`stop`; ``retry_attempts``/
+    ``retry_backoff`` govern the internal retry of idempotent asks on
+    :class:`TransientServingError`; ``breaker_*`` configure each shard's
+    :class:`CircuitBreaker`; ``wedge_timeout``/``watchdog_interval``
+    configure supervision (``watchdog_interval=None`` disables the
+    watchdog thread; call :meth:`supervise` manually, e.g. from tests).
+    ``fault_seed`` seeds every jitter source so chaos runs are
+    reproducible.
     """
 
     def __init__(
@@ -239,6 +732,16 @@ class ShardedExplanationService:
         start: bool = True,
         default_persona: str = "paper",
         snapshot=None,
+        request_timeout: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
+        retry_attempts: int = 2,
+        retry_backoff: float = 0.05,
+        breaker_failure_threshold: int = 5,
+        breaker_timeout_threshold: int = 8,
+        breaker_cooldown: float = 0.25,
+        wedge_timeout: Optional[float] = 30.0,
+        watchdog_interval: Optional[float] = 0.25,
+        fault_seed: int = 0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -265,6 +768,18 @@ class ShardedExplanationService:
             self._base_engine = engine if engine is not None else ExplanationEngine(catalog=catalog)
             shared_catalog = self._base_engine.catalog
         base_graph = self._base_engine.builder._base
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self.retry_attempts = retry_attempts
+        self.retry_backoff = retry_backoff
+        self._retry_rng = random.Random((fault_seed << 8) ^ 0xA5)
+        self._retry_lock = threading.Lock()
+        self._watchdog_interval = watchdog_interval
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._stopped = False
+        self._draining = False
         self._shards: List[ServiceShard] = []
         for index in range(num_shards):
             builder = ScenarioBuilder(
@@ -281,9 +796,18 @@ class ShardedExplanationService:
                 default_persona=default_persona,
                 snapshot_reads=snapshot_reads,
             )
+            breaker = CircuitBreaker(
+                index,
+                failure_threshold=breaker_failure_threshold,
+                timeout_threshold=breaker_timeout_threshold,
+                cooldown=breaker_cooldown,
+                seed=fault_seed,
+            )
             self._shards.append(ServiceShard(index, service,
                                              queue_size=queue_size,
-                                             workers=workers_per_shard))
+                                             workers=workers_per_shard,
+                                             breaker=breaker,
+                                             wedge_timeout=wedge_timeout))
         self._session_counter = itertools.count(1)
         self._round_robin = itertools.count()
         self.default_persona = default_persona
@@ -328,19 +852,63 @@ class ShardedExplanationService:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
+        if self._draining:
+            return
         for shard in self._shards:
             shard.start()
+        if self._watchdog_interval is not None and self._watchdog is None:
+            self._watchdog = threading.Thread(
+                target=self._watch, name="fleet-watchdog", daemon=True)
+            self._watchdog.start()
 
-    def stop(self) -> None:
-        for shard in self._shards:
-            shard.stop()
-        if self._froze_gc:
-            # Hand the seeded working set back to the collector so a
-            # process that retires one fleet and builds another (tests,
-            # rolling restarts in-process) doesn't grow the permanent
-            # generation without bound.
-            gc.unfreeze()
-            self._froze_gc = False
+    def _watch(self) -> None:
+        while not self._watchdog_stop.wait(self._watchdog_interval):
+            for shard in self._shards:
+                try:
+                    shard.supervise()
+                except Exception:  # noqa: BLE001 - the watchdog must outlive anything
+                    pass
+
+    def supervise(self) -> int:
+        """Run one supervision pass over every shard (watchdog step)."""
+        return sum(shard.supervise() for shard in self._shards)
+
+    @property
+    def draining(self) -> bool:
+        """True once a stop() has begun; transports 503 new work."""
+        return self._draining
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Drain the fleet and stop every shard; see :meth:`ServiceShard.stop`.
+
+        ``timeout`` (default ``drain_timeout``) bounds the *total* drain
+        across all shards; queued work past the deadline is cancelled with
+        :class:`ServiceDrainingError`.  Idempotent and safe to call
+        concurrently — later callers wait for the first drain to finish.
+        """
+        if timeout is None:
+            timeout = self.drain_timeout
+        self._draining = True
+        with self._stop_lock:
+            if self._stopped:
+                return
+            if self._watchdog is not None:
+                self._watchdog_stop.set()
+                self._watchdog.join(1.0)
+                self._watchdog = None
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for shard in self._shards:
+                remaining = (None if deadline is None
+                             else max(deadline - time.monotonic(), 0.0))
+                shard.stop(timeout=remaining)
+            if self._froze_gc:
+                # Hand the seeded working set back to the collector so a
+                # process that retires one fleet and builds another (tests,
+                # rolling restarts in-process) doesn't grow the permanent
+                # generation without bound.
+                gc.unfreeze()
+                self._froze_gc = False
+            self._stopped = True
 
     def __enter__(self) -> "ShardedExplanationService":
         self.start()
@@ -435,15 +1003,48 @@ class ShardedExplanationService:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def explain(self, request: ExplanationRequest) -> ExplanationResponse:
+    def _retry_delay(self, attempt: int) -> float:
+        with self._retry_lock:
+            jitter = 0.5 + self._retry_rng.random() / 2.0
+        return min(self.retry_backoff * (2 ** attempt), 2.0) * jitter
+
+    def explain(self, request: ExplanationRequest,
+                timeout: Optional[float] = None) -> ExplanationResponse:
         """Serve one request on its home shard's worker pool.
 
-        Raises :class:`BackpressureError` if the shard's queue is full;
-        request-level errors (unparseable question, unknown food) propagate
-        exactly as the underlying service raises them.
+        ``timeout`` (default ``request_timeout``) bounds the whole call,
+        retries included; expiry raises :class:`DeadlineExceededError`.
+        Asks are idempotent, so a :class:`TransientServingError` (e.g. a
+        lost worker) is retried up to ``retry_attempts`` times with
+        jittered exponential backoff before surfacing.  Raises
+        :class:`BackpressureError` if the shard's queue is full and
+        :class:`ShardUnavailableError` while its breaker is open (neither
+        is retried internally — the caller owns that backoff); request-
+        level errors propagate exactly as the underlying service raises
+        them.
         """
+        if timeout is None:
+            timeout = self.request_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         shard = self._shard_for_request(request)
-        return shard.call(shard.service.explain, request)
+        attempt = 0
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExceededError(
+                    f"request deadline ({timeout:.3f}s) expired",
+                    timeout=timeout, shard=shard.index)
+            try:
+                return shard.call(shard.service.explain, request,
+                                  timeout=remaining)
+            except TransientServingError:
+                if attempt >= self.retry_attempts:
+                    raise
+                delay = self._retry_delay(attempt)
+                if deadline is not None and time.monotonic() + delay >= deadline:
+                    raise
+                time.sleep(delay)
+                attempt += 1
 
     def ask(
         self,
@@ -453,48 +1054,75 @@ class ShardedExplanationService:
         user: Optional[UserProfile] = None,
         context: Optional[SystemContext] = None,
         explanation_type: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> ExplanationResponse:
         """Convenience wrapper mirroring :meth:`ExplanationService.ask`."""
         return self.explain(ExplanationRequest(
             question=question, session_id=session_id, persona=persona,
             user=user, context=context, explanation_type=explanation_type,
-        ))
+        ), timeout=timeout)
 
-    def explain_batch(self, requests: Sequence[ExplanationRequest]) -> List[ExplanationResponse]:
+    def explain_batch(self, requests: Sequence[ExplanationRequest],
+                      timeout: Optional[float] = None) -> List[ExplanationResponse]:
         """Serve a batch across shards concurrently, preserving order.
 
         All requests are enqueued up front (so shards work in parallel)
         and the responses are gathered in request order.  A shed request
-        surfaces its :class:`BackpressureError` when its slot is reached.
+        surfaces its :class:`BackpressureError` (or breaker/draining
+        rejection) when its slot is reached; ``timeout`` bounds the whole
+        batch.
         """
-        futures: List[Tuple[Optional[Future], Optional[BackpressureError]]] = []
+        if timeout is None:
+            timeout = self.request_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        futures: List[Tuple[ServiceShard, Optional[Future], Optional[UnavailableError]]] = []
         for request in requests:
             shard = self._shard_for_request(request)
             try:
                 if shard._started:
-                    futures.append((shard.submit(shard.service.explain, request), None))
+                    futures.append((shard, shard.submit(
+                        shard.service.explain, request, timeout=timeout), None))
                 else:
                     # Degenerate unstarted mode: execute inline.
                     result: Future = Future()
                     result.set_result(shard.service.explain(request))
-                    futures.append((result, None))
-            except BackpressureError as exc:
-                futures.append((None, exc))
+                    futures.append((shard, result, None))
+            except UnavailableError as exc:
+                futures.append((shard, None, exc))
         responses: List[ExplanationResponse] = []
-        for future, rejection in futures:
+        for shard, future, rejection in futures:
             if rejection is not None:
                 raise rejection
-            responses.append(future.result())
+            remaining = (None if deadline is None
+                         else max(deadline - time.monotonic(), 0.0))
+            try:
+                responses.append(future.result(remaining))
+            except FutureTimeoutError:
+                future.cancel()
+                shard.timed_out += 1
+                shard.breaker.record_timeout()
+                raise DeadlineExceededError(
+                    f"batch deadline ({timeout:.3f}s) expired",
+                    timeout=timeout, shard=shard.index) from None
         return responses
 
     def update_scenario(self, question: str, session_id: Optional[str] = None,
-                        persona: Optional[str] = None, **additions) -> Scenario:
-        """Apply a scenario update on the owning shard's worker pool."""
+                        persona: Optional[str] = None,
+                        timeout: Optional[float] = None, **additions) -> Scenario:
+        """Apply a scenario update on the owning shard's worker pool.
+
+        Updates are **not** idempotent, so unlike :meth:`explain` they are
+        never retried internally — a transient failure surfaces to the
+        caller, who knows whether re-applying is safe.
+        """
+        if timeout is None:
+            timeout = self.request_timeout
         request = ExplanationRequest(question=question, session_id=session_id,
                                      persona=persona)
         shard = self._shard_for_request(request)
         return shard.call(shard.service.update_scenario, question,
-                          session_id=session_id, persona=persona, **additions)
+                          session_id=session_id, persona=persona,
+                          timeout=timeout, **additions)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -512,11 +1140,18 @@ class ShardedExplanationService:
         return FleetStats(
             requests_served=sum(s.requests_served for s in per_shard),
             requests_rejected=sum(s.requests_rejected for s in per_shard),
+            requests_timed_out=sum(s.requests_timed_out for s in per_shard),
+            requests_expired=sum(s.requests_expired for s in per_shard),
+            requests_cancelled=sum(s.requests_cancelled for s in per_shard),
             scenario_cache_hits=sum(s.scenario_cache_hits for s in per_shard),
             scenario_cache_misses=sum(s.scenario_cache_misses for s in per_shard),
             scenario_updates=sum(s.scenario_updates for s in per_shard),
             active_sessions=sum(s.active_sessions for s in per_shard),
             session_rebuilds=sum(s.session_rebuilds for s in per_shard),
+            workers_live=sum(s.workers_live for s in per_shard),
+            workers_restarted=sum(s.workers_restarted for s in per_shard),
+            breaker_opens=sum(s.breaker.get("opens", 0) for s in per_shard),
+            breaker_states=[s.breaker.get("state", "closed") for s in per_shard],
             queue_depths=[s.queue_depth for s in per_shard],
             latency_ms={
                 "p50": percentile(samples, 0.50) * 1000.0,

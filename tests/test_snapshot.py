@@ -203,3 +203,55 @@ class TestFailClosed:
     def test_missing_file_is_a_snapshot_error(self, tmp_path):
         with pytest.raises(SnapshotError, match="cannot read"):
             load_snapshot(str(tmp_path / "does-not-exist.snap"))
+
+
+class TestAtomicWrites:
+    """A failed save must never damage an existing snapshot on disk."""
+
+    def test_torn_write_leaves_previous_snapshot_intact(self, tmp_path):
+        from repro.testing.faults import Fault, FaultInjector, InjectedFault, injected
+
+        base = _family_graph()
+        path = tmp_path / "family.snap"
+        save_snapshot(str(path), base)
+        good = path.read_bytes()
+
+        bigger = _family_graph()
+        bigger.add((IRI(EX + "extra"), RDF_TYPE, IRI(EX + "Dog")))
+        torn = FaultInjector(
+            faults=[Fault(site="snapshot_write", action="error", at=(0,))]
+        )
+        with injected(torn):
+            with pytest.raises(InjectedFault):
+                save_snapshot(str(path), bigger)
+
+        # The original file is byte-identical and still loads.
+        assert path.read_bytes() == good
+        loaded = load_snapshot(str(path))
+        assert len(loaded.graph) == len(base)
+
+    def test_failed_save_leaves_no_temp_files(self, tmp_path):
+        from repro.testing.faults import Fault, FaultInjector, InjectedFault, injected
+
+        path = tmp_path / "family.snap"
+        torn = FaultInjector(
+            faults=[Fault(site="snapshot_write", action="error", at=(0,))]
+        )
+        with injected(torn):
+            with pytest.raises(InjectedFault):
+                save_snapshot(str(path), _family_graph())
+
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_replaces_atomically(self, tmp_path):
+        path = tmp_path / "family.snap"
+        save_snapshot(str(path), _family_graph())
+
+        bigger = _family_graph()
+        bigger.add((IRI(EX + "extra"), RDF_TYPE, IRI(EX + "Dog")))
+        save_snapshot(str(path), bigger)
+
+        loaded = load_snapshot(str(path))
+        assert len(loaded.graph) == len(bigger)
+        # No stray temp files once the replace lands.
+        assert [p.name for p in tmp_path.iterdir()] == ["family.snap"]
