@@ -1,0 +1,742 @@
+"""Process-pool closure: partitioned fixpoint rounds and bulk materialisation.
+
+The semi-naive engine in :mod:`repro.owl.reasoner` is the last hot path
+pinned to one core.  This module fans it out two ways:
+
+**Partitioned fixpoint** (:func:`run_parallel`, surfaced as
+:meth:`~repro.owl.reasoner.Reasoner.run_parallel`).  Each round's rule
+evaluation is *candidate generation* (pure joins against the round-start
+graph state) followed by a *fold* (adding candidates through the
+journal-aware graph API, which is what maintains fingerprints, predicate
+counters and rule-firing counts).  Candidate generation is the
+parallelisable part: the delta is split by predicate ID (property rules —
+oversized predicate groups are sliced further) and classification
+candidates by individual-ID range, partitions are evaluated in
+``ProcessPoolExecutor`` workers, and the coordinator folds the returned
+``(int, int, int)`` triples per rule family in the exact serial family
+order.  Because candidates are a pure function of ``(delta, round-start
+state)`` and folds dedup, the fixed point *and the per-rule firing counts*
+are identical to :meth:`Reasoner.run` by construction — ``run()`` stays
+the single-core differential oracle.
+
+Workers are ``fork``-children: they inherit the coordinator's working
+graph, reasoner (including the compiled class-expression matchers, which
+are closures and deliberately never pickled) and the module-level
+:data:`_WORKER` context.  Per round they receive only the *fold batches*
+they have not yet applied — the coordinator keeps the batch history and a
+per-worker applied watermark (reported back with every result), and
+updates ``_WORKER.applied`` parent-side after each fold so that a worker
+forked mid-generation inherits a graph/watermark pair that is consistent
+by construction.  Catch-up application is idempotent (graph adds dedup),
+so late workers and arbitrary task scheduling are safe.  Workers
+pre-filter candidates already present in their synced graph, which keeps
+the coordinator's serial fold proportional to genuinely-new triples.
+
+**Bulk materialisation** (:func:`bulk_materialise`, surfaced as
+:meth:`~repro.owl.closure.MaterializationCache.materialise_many` and
+:meth:`~repro.core.scenario.ScenarioBuilder.build_many`).  Fleet warm-up
+closes *many independent scenario graphs*; here the unit of parallelism
+is a whole closure.  Each fork-child runs the plain serial ``run()`` on
+one inherited graph and ships back the closure's encoded storage
+(triple set, the three permutation indexes, predicate counters, content
+hash), which the coordinator adopts wholesale over the shared term
+dictionary — pickling pre-built indexes is C-speed, so the coordinator's
+serial share per scenario is a fraction of reasoning it out.  If a child
+interned new terms (its dictionary diverged), it falls back to shipping
+``(new terms, derived triples)`` and the coordinator re-interns and folds
+through the journal path instead.
+
+**Fallbacks.**  Both engines degrade to the serial oracle rather than
+fail: ``workers <= 1``, a missing ``fork`` start method, or non-monotone
+classification axioms (mirroring ``supports_incremental_extension``)
+fall back wholesale; rounds whose delta is below the cost-model
+``threshold`` are evaluated serially on the coordinator (pool overhead
+would exceed the work); a partition whose worker dies or raises
+(including injected ``worker_pool`` faults, see
+:mod:`repro.testing.faults`) is retried serially on the coordinator with
+an identical evaluation context; a broken pool downgrades the remaining
+rounds to serial.  Every decision is counted in :func:`parallel_stats`.
+
+Fork caveat: pools must be created from a moment when no other thread
+holds locks the children might need (the classic fork-with-threads
+hazard).  The serving layer therefore only uses pool workers during
+cold-start warm-up, before request traffic starts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.dictionary import KIND_IRI
+from ..rdf.graph import EncodedTriple, Graph
+from ..testing import faults
+
+__all__ = [
+    "run_parallel",
+    "bulk_materialise",
+    "parallel_stats",
+    "reset_parallel_stats",
+    "ParallelStats",
+    "DEFAULT_THRESHOLD",
+]
+
+#: Cost-model floor: a round whose delta holds fewer triples than this is
+#: evaluated serially on the coordinator — pool dispatch, catch-up
+#: shipping and result pickling would cost more than the evaluation.
+DEFAULT_THRESHOLD = 512
+
+#: Fold order for phase-A families: the serial engine's property families
+#: followed by its type families.  Folding concatenated partitions in this
+#: order reproduces the serial firing counts exactly.
+_PHASE_A_FAMILIES = (
+    "subPropertyOf", "inverseOf", "symmetric", "transitive",
+    "propertyChain", "domain-range", "subClassOf-types",
+)
+
+#: Serialises publishing the fork-inherited globals with spawning the pool
+#: that inherits them, so two concurrent parallel runs (or a run and a
+#: bulk pass) can never fork each other's state mid-publish.
+_FORK_GUARD = threading.Lock()
+
+
+class ParallelStats:
+    """Thread-safe process-wide counters for the parallel engines.
+
+    Like :func:`repro.sparql.planner.planner_stats` these are
+    *process-local*: pool workers never touch them — everything a worker
+    learns travels back through its task result and is folded (and
+    counted) on the coordinator.
+    """
+
+    _FIELDS = ("parallel_closures", "pool_rounds", "serial_rounds",
+               "pool_retries", "pool_fallbacks", "bulk_pool_closures")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.parallel_closures = 0
+        self.pool_rounds = 0
+        self.serial_rounds = 0
+        self.pool_retries = 0
+        self.pool_fallbacks = 0
+        self.bulk_pool_closures = 0
+        self.partition_skew = 0.0
+
+    def record_round(self, pooled: bool, skew: float = 0.0) -> None:
+        with self._lock:
+            if pooled:
+                self.pool_rounds += 1
+                if skew > self.partition_skew:
+                    self.partition_skew = skew
+            else:
+                self.serial_rounds += 1
+
+    def record_closure(self, pooled: bool) -> None:
+        with self._lock:
+            if pooled:
+                self.parallel_closures += 1
+            else:
+                self.pool_fallbacks += 1
+
+    def record_retry(self, count: int = 1) -> None:
+        with self._lock:
+            self.pool_retries += count
+
+    def record_bulk(self, count: int) -> None:
+        with self._lock:
+            self.bulk_pool_closures += count
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            stats: Dict[str, float] = {name: getattr(self, name)
+                                       for name in self._FIELDS}
+            stats["partition_skew"] = round(self.partition_skew, 3)
+            return stats
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._FIELDS:
+                setattr(self, name, 0)
+            self.partition_skew = 0.0
+
+
+_STATS = ParallelStats()
+
+
+def parallel_stats() -> Dict[str, float]:
+    """A snapshot of the process-wide parallel-closure counters."""
+    return _STATS.snapshot()
+
+
+def reset_parallel_stats() -> None:
+    """Zero the process-wide parallel-closure counters (tests)."""
+    _STATS.reset()
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        return os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _WorkerContext:
+    """Fork-inherited coordinator state.
+
+    ``graph`` is the coordinator's *live* working graph and ``applied``
+    the number of fold batches it reflects; the coordinator updates
+    ``applied`` immediately after every fold, and forks only happen
+    between folds (pool spawning is driven by task submission), so any
+    child inherits a consistent pair.  After the fork the child owns its
+    copies and catches up by applying the batch history it is shipped.
+    """
+
+    __slots__ = ("reasoner", "graph", "enc", "applied",
+                 "ancestor_cache", "type_index")
+
+    def __init__(self, reasoner, graph: Graph, enc) -> None:
+        self.reasoner = reasoner
+        self.graph = graph
+        self.enc = enc
+        self.applied = 0
+        self.ancestor_cache: Dict[int, Tuple[int, ...]] = {}
+        self.type_index: Optional[Dict[int, Set[int]]] = None
+
+
+_WORKER: Optional[_WorkerContext] = None
+
+
+class _WorkerDesync(RuntimeError):
+    """A worker could not reproduce the coordinator's evaluation state
+    (missing history, or it interned terms the coordinator doesn't have);
+    the coordinator retries the partition serially."""
+
+
+def _catch_up(ctx: _WorkerContext, first_index: int,
+              batches: Sequence[Sequence[EncodedTriple]]) -> None:
+    """Apply the fold batches this worker hasn't seen yet.
+
+    ``batches[i]`` is global batch ``first_index + i``.  Application is
+    idempotent (adds dedup), so a worker forked with a newer graph than
+    its shipped suffix simply re-applies no-ops.
+    """
+    start = ctx.applied - first_index
+    if start < 0:
+        raise _WorkerDesync(
+            f"worker at batch {ctx.applied} shipped history from {first_index}")
+    pending = batches[start:]
+    if not pending:
+        return
+    graph = ctx.graph
+    type_index = ctx.type_index
+    rdf_type = ctx.enc.rdf_type
+    kinds = ctx.enc.dictionary.kinds
+    for batch in pending:
+        graph.add_encoded_many(batch)
+        if type_index is not None:
+            for s, p, o in batch:
+                if p == rdf_type and kinds[o] == KIND_IRI:
+                    entry = type_index.get(s)
+                    if entry is None:
+                        type_index[s] = {o}
+                    else:
+                        entry.add(o)
+    ctx.applied += len(pending)
+
+
+def _eval_partition(kind: str, payload, first_index: int,
+                    batches: Sequence[Sequence[EncodedTriple]],
+                    round_no: int, part_no: int):
+    """Pool-worker task: evaluate one partition against synced state.
+
+    Returns ``(pid, applied, families)`` where ``families`` is a tuple of
+    candidate lists pre-filtered against the worker's graph (dropping
+    candidates that are already present is correctness-neutral — they
+    would fold as non-counted duplicates — and shrinks the coordinator's
+    serial fold).
+    """
+    ctx = _WORKER
+    if ctx is None:
+        raise _WorkerDesync("worker has no inherited context")
+    injector = faults.ACTIVE
+    if injector is not None:
+        injector.fire("worker_pool", kind=kind, round=round_no,
+                      partition=part_no, pid=os.getpid())
+    terms_before = len(ctx.enc.dictionary.terms)
+    _catch_up(ctx, first_index, batches)
+    reasoner, graph, enc = ctx.reasoner, ctx.graph, ctx.enc
+    if kind == "delta":
+        subs, invs, syms, trans, chains = \
+            reasoner._property_candidates_encoded(graph, payload, enc)
+        drs, types = reasoner._type_candidates_encoded(
+            graph, payload, enc, ctx.ancestor_cache)
+        families = (subs, invs, syms, trans, chains, drs, types)
+    else:  # "classify"
+        if ctx.type_index is None:
+            ctx.type_index = reasoner._type_index_ids(graph, enc)
+        families = (reasoner._classification_candidates_encoded(
+            graph, payload, enc, ctx.type_index),)
+    if len(enc.dictionary.terms) != terms_before:
+        # The evaluation interned terms locally; their IDs are unknown to
+        # the coordinator, so the result cannot be folded.
+        raise _WorkerDesync("worker interned new terms during evaluation")
+    triples = graph._triples
+    filtered = tuple([t for t in family if t not in triples]
+                     for family in families)
+    return os.getpid(), ctx.applied, filtered
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def _partition_delta(delta: Sequence[EncodedTriple],
+                     bins: int) -> Tuple[List[List[EncodedTriple]], float]:
+    """Split a round's delta by predicate ID, LPT-packed into ``bins``.
+
+    Groups larger than the per-bin target are sliced (a single dominant
+    predicate — e.g. a transitive closure — must not serialise the round).
+    Returns the non-empty partitions and the skew ``max/mean``.
+    """
+    groups: Dict[int, List[EncodedTriple]] = {}
+    for triple in delta:
+        groups.setdefault(triple[1], []).append(triple)
+    target = max(1, -(-len(delta) // bins))
+    units: List[List[EncodedTriple]] = []
+    for group in groups.values():
+        if len(group) > target:
+            units.extend(group[i:i + target]
+                         for i in range(0, len(group), target))
+        else:
+            units.append(group)
+    units.sort(key=len, reverse=True)
+    parts: List[List[EncodedTriple]] = [[] for _ in range(bins)]
+    sizes = [0] * bins
+    for unit in units:
+        slot = sizes.index(min(sizes))
+        parts[slot].extend(unit)
+        sizes[slot] += len(unit)
+    parts = [part for part in parts if part]
+    mean = len(delta) / len(parts)
+    skew = (max(sizes) / mean) if mean else 1.0
+    return parts, skew
+
+
+def _partition_candidates(candidates: Set[int],
+                          bins: int) -> List[List[int]]:
+    """Split classification candidates into contiguous individual-ID
+    ranges of equal count."""
+    ordered = sorted(candidates)
+    size = max(1, -(-len(ordered) // bins))
+    return [ordered[i:i + size] for i in range(0, len(ordered), size)]
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class _PhasePool:
+    """The per-generation pool plus the catch-up bookkeeping around it."""
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self.executor: Optional[ProcessPoolExecutor] = None
+        self.broken = False
+        self.history: List[List[EncodedTriple]] = []
+        self.applied_by_pid: Dict[int, int] = {}
+        self.spawn_floor = 0
+
+    def ensure(self) -> bool:
+        """Create the pool lazily; ``False`` if it can't be created."""
+        if self.executor is not None:
+            return True
+        if self.broken:
+            return False
+        try:
+            context = multiprocessing.get_context("fork")
+            self.executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context)
+            # Any process forked from here on inherits at least this many
+            # applied batches (_WORKER.applied is kept current parentside).
+            self.spawn_floor = len(self.history)
+        except (OSError, ValueError):
+            self.broken = True
+            return False
+        return True
+
+    def floor(self) -> int:
+        """The lowest batch index any live worker might still need.
+
+        Workers report their watermark with every result; a worker that
+        has never reported forked no earlier than pool creation, so
+        ``spawn_floor`` bounds it.
+        """
+        known = list(self.applied_by_pid.values())
+        if len(known) < self.workers:
+            known.append(self.spawn_floor)
+        return min(known) if known else 0
+
+    def push_batch(self, batch: List[EncodedTriple]) -> None:
+        self.history.append(batch)
+        if _WORKER is not None:
+            _WORKER.applied = len(self.history)
+
+    def shutdown(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=not self.broken, cancel_futures=True)
+            self.executor = None
+
+    def run_phase(self, kind: str, parts: List[list], round_no: int,
+                  serial_eval: Callable[[str, list], Tuple[list, ...]]
+                  ) -> List[Tuple[list, ...]]:
+        """Evaluate ``parts`` in the pool; retry failures serially.
+
+        Failed partitions (injected faults, worker crashes, a broken
+        pool) are re-evaluated on the coordinator through ``serial_eval``
+        — the coordinator's graph is at the exact round state the workers
+        evaluated against, so the retry is differentially equivalent.
+        """
+        results: List[Optional[Tuple[list, ...]]] = [None] * len(parts)
+        floor = self.floor()
+        suffix = self.history[floor:]
+        futures = {}
+        if self.executor is not None and not self.broken:
+            try:
+                with _FORK_GUARD:
+                    for index, part in enumerate(parts):
+                        future = self.executor.submit(
+                            _eval_partition, kind, part, floor, suffix,
+                            round_no, index)
+                        futures[future] = index
+            except (RuntimeError, OSError):
+                self.broken = True
+        for future, index in futures.items():
+            try:
+                pid, applied, families = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BrokenProcessPool:
+                self.broken = True
+            except BaseException:
+                # Includes injected worker faults; the partition is
+                # retried below.
+                pass
+            else:
+                previous = self.applied_by_pid.get(pid, 0)
+                self.applied_by_pid[pid] = max(previous, applied)
+                results[index] = families
+        retries = 0
+        for index, part in enumerate(parts):
+            if results[index] is None:
+                retries += 1
+                results[index] = serial_eval(kind, part)
+        if retries:
+            _STATS.record_retry(retries)
+        return results  # type: ignore[return-value]
+
+
+def run_parallel(reasoner, workers: Optional[int] = None,
+                 threshold: Optional[int] = None) -> Graph:
+    """Materialise ``reasoner.base_graph``'s closure with pooled rounds.
+
+    See the module docstring for the architecture; see
+    :meth:`repro.owl.reasoner.Reasoner.run_parallel` for the contract.
+    """
+    workers = _resolve_workers(workers)
+    threshold = DEFAULT_THRESHOLD if threshold is None else max(1, int(threshold))
+    if (workers <= 1 or not _fork_available()
+            or not reasoner._monotone_classification
+            or len(reasoner.base_graph) < threshold):
+        _STATS.record_closure(pooled=False)
+        return reasoner.run()
+
+    from .reasoner import ReasoningReport
+
+    start = time.perf_counter()
+    working = reasoner.base_graph.copy()
+    reasoner.report = ReasoningReport(input_triples=len(reasoner.base_graph))
+    reasoner._materialise_schema(working)
+
+    global _WORKER
+    pool = _PhasePool(workers)
+    pooled_rounds = 0
+    with _FORK_GUARD:
+        _WORKER = _WorkerContext(reasoner, working,
+                                 reasoner._encoded_axioms(working))
+    try:
+        pooled_rounds = _parallel_fixpoint(reasoner, working, pool, threshold)
+    finally:
+        pool.shutdown()
+        with _FORK_GUARD:
+            _WORKER = None
+    reasoner.report.inferred_triples = len(working) - reasoner.report.input_triples
+    reasoner.report.elapsed_seconds = time.perf_counter() - start
+    _STATS.record_closure(pooled=pooled_rounds > 0)
+    if reasoner.check_consistency:
+        reasoner._check_consistency(working)
+    return working
+
+
+def _parallel_fixpoint(reasoner, working: Graph, pool: _PhasePool,
+                       threshold: int) -> int:
+    """The pooled mirror of ``Reasoner._fixpoint_encoded``.
+
+    Returns the number of pooled rounds; ``reasoner.report.iterations``
+    is set to the total round count.
+    """
+    enc = reasoner._encoded_axioms(working)
+    ancestor_cache: Dict[int, Tuple[int, ...]] = {}
+    reasoner._active_type_index = None
+    pooled_rounds = 0
+
+    def serial_eval(kind: str, part: list) -> Tuple[list, ...]:
+        if kind == "delta":
+            subs, invs, syms, trans, chains = \
+                reasoner._property_candidates_encoded(working, part, enc)
+            drs, types = reasoner._type_candidates_encoded(
+                working, part, enc, ancestor_cache)
+            return (subs, invs, syms, trans, chains, drs, types)
+        return (reasoner._classification_candidates_encoded(
+            working, part, enc, reasoner._active_type_index),)
+
+    delta: Sequence[EncodedTriple] = list(working._triples)
+    iteration = 0
+    try:
+        while delta and iteration < reasoner.max_iterations:
+            iteration += 1
+            initial = iteration == 1
+            out: List[EncodedTriple] = []
+            pooled = len(delta) >= threshold and pool.ensure()
+            if not pooled:
+                # Serial round through the exact oracle code path; its
+                # folds still enter the history so workers stay in sync.
+                reasoner._apply_property_rules_encoded(working, delta, out, enc)
+                reasoner._apply_type_rules_encoded(
+                    working, delta, out, enc, ancestor_cache)
+                phase_a = len(out)
+                reasoner._apply_restriction_rules_encoded(
+                    working, delta, out, check_everything=initial)
+                pool.push_batch(out[:phase_a])
+                pool.push_batch(out[phase_a:])
+                _STATS.record_round(pooled=False)
+                delta = out
+                continue
+
+            pooled_rounds += 1
+            # Phase A: property + per-triple type rules over delta
+            # partitions, evaluated against the round-start state.
+            parts, skew = _partition_delta(delta, pool.workers)
+            results = pool.run_phase("delta", parts, iteration, serial_eval)
+            merged: List[List[EncodedTriple]] = [[] for _ in _PHASE_A_FAMILIES]
+            for families in results:
+                for slot, family in enumerate(families):
+                    merged[slot].extend(family)
+            for family, rule in zip(merged, _PHASE_A_FAMILIES):
+                reasoner._add_all_encoded(working, family, rule, out, enc)
+            pool.push_batch(list(out))
+            _STATS.record_round(pooled=True, skew=skew)
+
+            # Phase B: restriction classification over candidate ID
+            # ranges, against the post-phase-A state the workers reach by
+            # applying the batch just pushed.
+            if reasoner._has_restrictions:
+                if initial:
+                    candidates = reasoner._individuals_ids(working, enc)
+                else:
+                    candidates = reasoner._restriction_candidates_ids(
+                        working, delta, enc)
+                if candidates:
+                    if reasoner._active_type_index is None:
+                        reasoner._active_type_index = \
+                            reasoner._type_index_ids(working, enc)
+                    phase_a = len(out)
+                    cparts = _partition_candidates(candidates, pool.workers)
+                    cresults = pool.run_phase(
+                        "classify", cparts, iteration, serial_eval)
+                    additions: List[EncodedTriple] = []
+                    for families in cresults:
+                        additions.extend(families[0])
+                    reasoner._add_all_encoded(
+                        working, additions, "classification", out, enc)
+                    # Consequence emission is cheap and reads the freshly
+                    # updated type index: keep it on the coordinator.
+                    consequences = reasoner._restriction_consequences_encoded(
+                        working, candidates, enc, reasoner._active_type_index)
+                    reasoner._add_all_encoded(
+                        working, consequences, "restriction-consequences",
+                        out, enc)
+                    pool.push_batch(out[phase_a:])
+            delta = out
+    finally:
+        reasoner._active_type_index = None
+    reasoner.report.iterations = iteration
+    return pooled_rounds
+
+
+# ----------------------------------------------------------------------
+# Bulk (scenario-level) materialisation
+# ----------------------------------------------------------------------
+class _BulkJobs:
+    """Fork-inherited state for one ``bulk_materialise`` pass."""
+
+    __slots__ = ("graphs", "factory")
+
+    def __init__(self, graphs: Sequence[Graph], factory) -> None:
+        self.graphs = graphs
+        self.factory = factory
+
+
+_BULK: Optional[_BulkJobs] = None
+
+
+def _bulk_close(index: int):
+    """Pool-worker task: close one inherited graph, ship the storage back.
+
+    The fast payload adopts the closure's encoded storage wholesale on
+    the coordinator (valid because the child shares the parent's term-ID
+    space and term hashes under ``fork``).  If the child interned new
+    terms its IDs have diverged, so it degrades to a ``(new terms,
+    derived triples)`` payload the coordinator re-interns and folds.
+    """
+    jobs = _BULK
+    if jobs is None:
+        raise _WorkerDesync("bulk worker has no inherited jobs")
+    injector = faults.ACTIVE
+    if injector is not None:
+        injector.fire("worker_pool", kind="bulk", partition=index,
+                      pid=os.getpid())
+    graph = jobs.graphs[index]
+    terms_before = len(graph.dictionary.terms)
+    from .reasoner import Reasoner
+    reasoner = (jobs.factory(graph) if jobs.factory is not None
+                else Reasoner(graph))
+    closure = reasoner.run()
+    if len(closure.dictionary.terms) != terms_before:
+        new_terms = list(closure.dictionary.terms[terms_before:])
+        asserted = graph._triples
+        derived = [t for t in closure._triples if t not in asserted]
+        return ("remap", index, terms_before, new_terms, derived)
+    return ("adopt", index, closure._triples, closure._spo, closure._pos,
+            closure._osp, closure._pred_counts, closure._content_hash)
+
+
+def _adopt_closure(source: Graph, payload) -> Graph:
+    """Rebuild a worker-produced closure over the coordinator's dictionary."""
+    _, _, triples, spo, pos, osp, pred_counts, content_hash = payload
+    clone = Graph(identifier=source.identifier)
+    clone.namespace_manager = source.namespace_manager.copy()
+    clone._dict = source._dict
+    clone._triples = triples
+    clone._spo = spo
+    clone._pos = pos
+    clone._osp = osp
+    clone._pred_counts = pred_counts
+    clone._content_hash = content_hash
+    return clone
+
+
+def _remap_closure(source: Graph, payload) -> Graph:
+    """Fold a diverged worker closure through the journal-aware add path."""
+    _, _, terms_before, new_terms, derived = payload
+    dictionary = source.dictionary
+    id_map: Dict[int, int] = {}
+    for offset, term in enumerate(new_terms):
+        id_map[terms_before + offset] = dictionary.intern(term)
+    remap = id_map.get
+    closure = source.copy()
+    closure.add_encoded_many(
+        [(remap(s, s), remap(p, p), remap(o, o)) for s, p, o in derived])
+    return closure
+
+
+def bulk_materialise(graphs: Sequence[Graph], reasoner_factory=None,
+                     workers: Optional[int] = None
+                     ) -> Iterator[Tuple[int, Graph]]:
+    """Yield ``(index, closure)`` for every graph, pooled when possible.
+
+    Results arrive in completion order.  Falls back to serial closure for
+    ``workers <= 1``, a single job, or a missing ``fork`` start method;
+    individual failed jobs (injected faults, worker crashes) are retried
+    serially on the coordinator, and a broken pool drains the remaining
+    jobs serially.  The caller owns cache/single-flight semantics — this
+    is pure closure production.
+    """
+    from .reasoner import Reasoner
+
+    workers = _resolve_workers(workers)
+    workers = min(workers, len(graphs))
+
+    def close_serial(index: int) -> Graph:
+        graph = graphs[index]
+        reasoner = (reasoner_factory(graph) if reasoner_factory is not None
+                    else Reasoner(graph))
+        return reasoner.run()
+
+    if workers <= 1 or len(graphs) < 2 or not _fork_available():
+        for index in range(len(graphs)):
+            yield index, close_serial(index)
+        return
+
+    global _BULK
+    pending: List[int] = []
+    futures = {}
+    executor: Optional[ProcessPoolExecutor] = None
+    try:
+        try:
+            with _FORK_GUARD:
+                _BULK = _BulkJobs(graphs, reasoner_factory)
+                context = multiprocessing.get_context("fork")
+                executor = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context)
+                futures = {executor.submit(_bulk_close, index): index
+                           for index in range(len(graphs))}
+        except (OSError, ValueError, RuntimeError):
+            # Pool never came up: close everything serially.
+            for index in range(len(graphs)):
+                yield index, close_serial(index)
+            return
+        broken = False
+        pooled = 0
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                payload = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BrokenProcessPool:
+                broken = True
+                pending.append(index)
+                continue
+            except BaseException:
+                pending.append(index)
+                continue
+            source = graphs[index]
+            if payload[0] == "adopt":
+                closure = _adopt_closure(source, payload)
+            else:
+                closure = _remap_closure(source, payload)
+            pooled += 1
+            yield index, closure
+        if pooled:
+            _STATS.record_bulk(pooled)
+        if pending:
+            _STATS.record_retry(len(pending))
+            if broken and executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+            for index in pending:
+                yield index, close_serial(index)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        with _FORK_GUARD:
+            _BULK = None

@@ -366,6 +366,24 @@ class Reasoner:
             self._check_consistency(working)
         return working
 
+    def run_parallel(self, workers: Optional[int] = None,
+                     threshold: Optional[int] = None) -> Graph:
+        """:meth:`run`, with each round's rule evaluation fanned out over a
+        process pool (see :mod:`repro.owl.parallel`).
+
+        The fixed point, the rule-firing counts in :attr:`report` and the
+        resulting graph (fingerprint, pred-counters, indexes) are identical
+        to :meth:`run` — workers only *propose* candidate triples; every
+        fold happens on the coordinator through the normal journal-aware
+        add path.  Falls back to plain :meth:`run` automatically when the
+        pool cannot pay for itself (``workers <= 1``, a graph smaller than
+        the cost-model threshold, no ``fork`` start method) or when the
+        schema has non-monotone classification axioms, mirroring
+        :attr:`supports_incremental_extension`.
+        """
+        from .parallel import run_parallel as _run_parallel
+        return _run_parallel(self, workers=workers, threshold=threshold)
+
     def run_term(self) -> Graph:
         """The term-object semi-naive engine (the pre-encoding ``run()``).
 
@@ -569,11 +587,19 @@ class Reasoner:
             self._active_type_index = None
         return iteration
 
-    def _apply_property_rules_encoded(self, graph: Graph,
-                                      delta: Sequence[EncodedTriple],
-                                      out: List[EncodedTriple],
-                                      enc: _EncodedAxioms) -> None:
-        """The property rule family joined through the integer indexes."""
+    def _property_candidates_encoded(
+            self, graph: Graph, delta: Sequence[EncodedTriple],
+            enc: _EncodedAxioms) -> Tuple[List[EncodedTriple], ...]:
+        """Property-family candidate triples derived from ``delta``.
+
+        Pure candidate generation: every join reads the *pre-round* graph
+        state and nothing is added here.  The serial fold and the parallel
+        partition workers share this exact code path, which is what makes
+        ``run_parallel`` firing-counts equal to ``run()`` by construction —
+        per family, the set of candidates is a function of (delta, graph
+        state at round start) only, so concatenating partition results
+        reproduces the serial candidate set.
+        """
         spo = graph._spo
         pos = graph._pos
         kinds = enc.dictionary.kinds
@@ -624,7 +650,15 @@ class Reasoner:
                     for left, right in self._chain_matches_encoded(
                             graph, chain, position, s, o, kinds):
                         chain_adds.append((left, head, right))
+        return sub_adds, inv_adds, sym_adds, trans_adds, chain_adds
 
+    def _apply_property_rules_encoded(self, graph: Graph,
+                                      delta: Sequence[EncodedTriple],
+                                      out: List[EncodedTriple],
+                                      enc: _EncodedAxioms) -> None:
+        """The property rule family joined through the integer indexes."""
+        sub_adds, inv_adds, sym_adds, trans_adds, chain_adds = \
+            self._property_candidates_encoded(graph, delta, enc)
         self._add_all_encoded(graph, sub_adds, "subPropertyOf", out, enc)
         self._add_all_encoded(graph, inv_adds, "inverseOf", out, enc)
         self._add_all_encoded(graph, sym_adds, "symmetric", out, enc)
@@ -663,11 +697,20 @@ class Reasoner:
                 return []
         return [(left, right) for left in lefts for right in rights]
 
-    def _apply_type_rules_encoded(self, graph: Graph,
-                                  delta: Sequence[EncodedTriple],
-                                  out: List[EncodedTriple],
-                                  enc: _EncodedAxioms,
-                                  ancestor_cache: Dict[int, Tuple[int, ...]]) -> None:
+    def _type_candidates_encoded(
+            self, graph: Graph, delta: Sequence[EncodedTriple],
+            enc: _EncodedAxioms,
+            ancestor_cache: Dict[int, Tuple[int, ...]]
+    ) -> Tuple[List[EncodedTriple], List[EncodedTriple]]:
+        """Domain/range and subclass-propagation candidates from ``delta``.
+
+        Like :meth:`_property_candidates_encoded` this is pure candidate
+        generation shared by the serial fold and the pool workers.  The
+        only graph state it consults is the subClassOf fragment, which is
+        static for the whole fixpoint (no rule derives ``subClassOf``), so
+        partition workers evaluating against their round-start snapshot see
+        exactly what the serial engine sees.
+        """
         spo = graph._spo
         kinds = enc.dictionary.kinds
         terms = enc.dictionary.terms
@@ -708,6 +751,15 @@ class Reasoner:
                     ancestor_cache[o] = ancestors
                 for ancestor in ancestors:
                     type_adds.append((s, rdf_type, ancestor))
+        return dr_adds, type_adds
+
+    def _apply_type_rules_encoded(self, graph: Graph,
+                                  delta: Sequence[EncodedTriple],
+                                  out: List[EncodedTriple],
+                                  enc: _EncodedAxioms,
+                                  ancestor_cache: Dict[int, Tuple[int, ...]]) -> None:
+        dr_adds, type_adds = self._type_candidates_encoded(
+            graph, delta, enc, ancestor_cache)
         self._add_all_encoded(graph, dr_adds, "domain-range", out, enc)
         self._add_all_encoded(graph, type_adds, "subClassOf-types", out, enc)
 
@@ -804,6 +856,28 @@ class Reasoner:
 
         # (a) classification: expression ≡/⊒ named class — if an individual
         # satisfies the expression it gains the named type.
+        additions = self._classification_candidates_encoded(
+            graph, candidates, enc, type_index)
+        self._add_all_encoded(graph, additions, "classification", out, enc)
+
+        # (b) consequence direction: named class ⊑ expression.  The shared
+        # type index already reflects the (a) classifications.
+        additions = self._restriction_consequences_encoded(
+            graph, candidates, enc, type_index)
+        self._add_all_encoded(graph, additions, "restriction-consequences", out, enc)
+
+    def _classification_candidates_encoded(
+            self, graph: Graph, candidates: Iterable[int],
+            enc: _EncodedAxioms,
+            type_index: Dict[int, Set[int]]) -> List[EncodedTriple]:
+        """Named-class memberships the compiled matchers grant ``candidates``.
+
+        Pure candidate generation over a fixed (graph, type_index) state —
+        the partitionable half of restriction classification.  Splitting
+        ``candidates`` by individual and concatenating the results is
+        equivalent to one serial pass because each individual is matched
+        independently.
+        """
         empty: Set[int] = set()
         additions: List[EncodedTriple] = []
         rdf_type = enc.rdf_type
@@ -819,16 +893,20 @@ class Reasoner:
                     continue
                 if matcher(graph, individual, type_index):
                     additions.append((individual, rdf_type, named))
-        self._add_all_encoded(graph, additions, "classification", out, enc)
+        return additions
 
-        # (b) consequence direction: named class ⊑ expression.  The shared
-        # type index already reflects the (a) classifications.
-        additions = []
+    def _restriction_consequences_encoded(
+            self, graph: Graph, candidates: Iterable[int],
+            enc: _EncodedAxioms,
+            type_index: Dict[int, Set[int]]) -> List[EncodedTriple]:
+        """Triples the consequence emitters derive for typed ``candidates``."""
+        empty: Set[int] = set()
+        additions: List[EncodedTriple] = []
         for sub, emit in enc.complex_superclasses:
             for member in candidates:
                 if sub in type_index.get(member, empty):
                     emit(graph, member, additions)
-        self._add_all_encoded(graph, additions, "restriction-consequences", out, enc)
+        return additions
 
     def _add_all_encoded(self, graph: Graph, triples: List[EncodedTriple],
                          rule: str, out: List[EncodedTriple],

@@ -296,6 +296,12 @@ class ServiceShard:
         # submit could slip into a stopping shard's queue after the drain
         # pass and wait forever.  Also guards the worker-state lists.
         self._gate = threading.Lock()
+        # Deadline counters (timed_out, expired) are bumped from caller
+        # threads and worker threads concurrently; `+=` on an attribute is
+        # not atomic, so without a lock two simultaneous timeouts can lose
+        # an increment.  A dedicated lock (never held while calling out)
+        # keeps these honest without entangling them with the _gate.
+        self._counter_lock = threading.Lock()
         self._stopped_event = threading.Event()
 
     # ------------------------------------------------------------------
@@ -499,7 +505,8 @@ class ServiceShard:
             self.breaker.record_failure()
 
     def _expire(self, future: "Future") -> None:
-        self.expired += 1
+        with self._counter_lock:
+            self.expired += 1
         self.breaker.record_timeout()
         if future.set_running_or_notify_cancel():
             future.set_exception(DeadlineExceededError(
@@ -514,7 +521,8 @@ class ServiceShard:
         if record_failure:
             self.breaker.record_failure()
         if deadline is not None and time.monotonic() > deadline:
-            self.expired += 1
+            with self._counter_lock:
+                self.expired += 1
             if future.set_running_or_notify_cancel():
                 future.set_exception(DeadlineExceededError(
                     f"shard {self.index}: deadline expired while the request "
@@ -583,7 +591,8 @@ class ServiceShard:
             return future.result(timeout)
         except FutureTimeoutError:
             future.cancel()
-            self.timed_out += 1
+            with self._counter_lock:
+                self.timed_out += 1
             self.breaker.record_timeout()
             raise DeadlineExceededError(
                 f"shard {self.index}: no result within the "
@@ -742,6 +751,7 @@ class ShardedExplanationService:
         wedge_timeout: Optional[float] = 30.0,
         watchdog_interval: Optional[float] = 0.25,
         fault_seed: int = 0,
+        reasoner_workers: int = 1,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -811,6 +821,9 @@ class ShardedExplanationService:
         self._session_counter = itertools.count(1)
         self._round_robin = itertools.count()
         self.default_persona = default_persona
+        #: Process-pool size for bulk scenario warm-up (see :meth:`warm`);
+        #: 1 keeps every closure on the caller's thread.
+        self.reasoner_workers = reasoner_workers
         self._froze_gc = False
         if loaded is not None:
             self._seed_closures(loaded)
@@ -929,13 +942,30 @@ class ShardedExplanationService:
         after a cold start pays warm-path cost instead of convoying on
         first-touch scenario builds (see
         :meth:`ExplanationService.prewarm_scenario`).
+
+        With ``reasoner_workers > 1`` the requests are grouped by home
+        shard and each group is closed in one bulk pass
+        (:meth:`ExplanationService.prewarm_many` →
+        :meth:`repro.owl.MaterializationCache.materialise_many`), so a
+        fleet cold-start materialises all seeded tenants' scenarios
+        across a process pool instead of one serial closure at a time.
         """
         for shard in self._shards:
             shard.service.warm()
         if requests:
-            for question, user, context in requests:
-                shard = self._shard_by_key(user.identifier)
-                shard.service.prewarm_scenario(question, user, context)
+            if self.reasoner_workers > 1:
+                by_shard: Dict[int, List[Tuple]] = {}
+                for question, user, context in requests:
+                    shard = self._shard_by_key(user.identifier)
+                    by_shard.setdefault(shard.index, []).append(
+                        (question, user, context))
+                for index, group in by_shard.items():
+                    self._shards[index].service.prewarm_many(
+                        group, workers=self.reasoner_workers)
+            else:
+                for question, user, context in requests:
+                    shard = self._shard_by_key(user.identifier)
+                    shard.service.prewarm_scenario(question, user, context)
         return self
 
     @property
@@ -1099,7 +1129,8 @@ class ShardedExplanationService:
                 responses.append(future.result(remaining))
             except FutureTimeoutError:
                 future.cancel()
-                shard.timed_out += 1
+                with shard._counter_lock:
+                    shard.timed_out += 1
                 shard.breaker.record_timeout()
                 raise DeadlineExceededError(
                     f"batch deadline ({timeout:.3f}s) expired",

@@ -23,13 +23,14 @@ File layout (all integers little-endian)::
 
     header   magic "RSNP" | u16 version | u16 flags | u64 term_count
              | u64 triple_count | u64 payload_len | i64 fingerprint_hash
-             | u32 closure_count | u32 payload_crc32
+             | u32 closure_count | u32 crc32
     payload  namespaces | term table | triple IDs (u32[3*n])
              | index metadata | closure entries
 
 Validation happens *before* any data is trusted: the magic and format
 version gate decoding, ``payload_len`` catches truncation, and the CRC-32
-over the payload bytes catches corruption.  After the rebuild the triple
+— seeded over the header prefix, then run across the payload, so it
+covers every file byte except its own field — catches corruption.  After the rebuild the triple
 count, the distinct subject/predicate/object counts and the per-predicate
 counters are compared against the stored metadata, so a decode bug can
 never hand back a silently different graph.  Every failure raises a typed
@@ -88,7 +89,10 @@ __all__ = [
 ]
 
 MAGIC = b"RSNP"
-FORMAT_VERSION = 1
+#: Version 2 extends the CRC-32 to cover the header prefix (everything
+#: before the CRC field itself), closing the v1 gap where a flipped
+#: ``flags`` or ``fingerprint_hash`` byte loaded silently.
+FORMAT_VERSION = 2
 
 #: magic, version, flags, term_count, triple_count, payload_len,
 #: fingerprint_hash, closure_count, payload_crc32
@@ -350,10 +354,14 @@ def save_snapshot(path: Union[str, "object"], graph: Graph,
 
     payload = b"".join(out)
     size, content_hash = graph.fingerprint()
-    header = _HEADER.pack(MAGIC, FORMAT_VERSION, 0, term_count, triple_count,
+    # The CRC is the last header field and covers everything else in the
+    # file — header prefix and payload — so any single corrupted byte is
+    # a typed load failure.
+    prefix = _HEADER.pack(MAGIC, FORMAT_VERSION, 0, term_count, triple_count,
                           len(payload), content_hash, len(closure_list),
-                          zlib.crc32(payload) & 0xFFFFFFFF)
-    _write_atomic(str(path), header + payload)
+                          0)[:-_U32.size]
+    crc = zlib.crc32(payload, zlib.crc32(prefix)) & 0xFFFFFFFF
+    _write_atomic(str(path), prefix + _U32.pack(crc) + payload)
     return {
         "terms": term_count,
         "triples": triple_count,
@@ -623,15 +631,21 @@ def load_snapshot(path: Union[str, "object"]) -> GraphSnapshot:
             f"unsupported snapshot format version {version} "
             f"(this build reads version {FORMAT_VERSION})"
         )
+    if _flags:
+        raise SnapshotError(
+            f"unsupported snapshot flags 0x{_flags:04x} "
+            f"(format version {FORMAT_VERSION} defines none)"
+        )
     payload = data[_HEADER.size:]
     if len(payload) != payload_len:
         raise SnapshotError(
             f"snapshot payload is {len(payload)} bytes, header promises "
             f"{payload_len} (truncated or trailing garbage)"
         )
-    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-        raise SnapshotError("snapshot payload failed its CRC-32 check "
-                            "(corrupted file)")
+    if zlib.crc32(payload, zlib.crc32(data[:_HEADER.size - _U32.size])) \
+            & 0xFFFFFFFF != crc:
+        raise SnapshotError("snapshot failed its CRC-32 check "
+                            "(corrupted header or payload)")
 
     # Everything decoded here is long-lived graph structure, so cyclic-GC
     # passes triggered by the allocation burst are pure overhead; pausing

@@ -1,0 +1,304 @@
+"""Parallel closure and bulk materialisation: differential + fault tests.
+
+``Reasoner.run_parallel`` and ``bulk_materialise`` must be extensionally
+indistinguishable from the single-core oracle ``run()`` — same triples,
+same fingerprint, same rule-firing counts, same iteration count — under
+pooled rounds, under serial fallback, and under injected worker faults.
+
+The pool size scales with ``REPRO_TEST_WORKERS`` (the CI matrix runs 2
+and 8); locally it defaults to 2 so the suite stays fast on small
+machines.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.questions import ContrastiveQuestion, WhatIfConditionQuestion, WhyQuestion
+from repro.core.scenario import ScenarioBuilder
+from repro.foodkg.catalog import build_core_catalog
+from repro.foodkg.generator import generate_catalog
+from repro.foodkg.loader import load_catalog
+from repro.foodkg.schema import FoodCatalog
+from repro.ontology.feo import build_combined_ontology
+from repro.owl import (
+    MaterializationCache,
+    Reasoner,
+    bulk_materialise,
+    parallel_stats,
+    reset_parallel_stats,
+)
+from repro.owl.parallel import _fork_available
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.testing.faults import Fault, FaultInjector, injected
+from repro.users.personas import paper_context, paper_user
+
+WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "2")))
+
+pytestmark = pytest.mark.skipif(
+    not _fork_available(), reason="parallel closure needs the fork start method")
+
+
+def build_random_kg(seed: int, ingredients: int = 8, recipes: int = 5) -> Graph:
+    catalog = generate_catalog(
+        base=FoodCatalog(), extra_ingredients=ingredients, extra_recipes=recipes,
+        seed=seed,
+    )
+    graph = build_combined_ontology()
+    load_catalog(catalog, graph)
+    return graph
+
+
+def assert_identical_closure(parallel: Graph, serial: Graph,
+                             preasoner: Reasoner, sreasoner: Reasoner) -> None:
+    """Exact equality: triples, fingerprint, firings, iterations."""
+    missing = serial._triples - parallel._triples
+    extra = parallel._triples - serial._triples
+    assert not missing and not extra, (
+        f"closures differ: {len(missing)} missing, {len(extra)} extra")
+    assert parallel.fingerprint() == serial.fingerprint()
+    assert preasoner.report.rule_firings == sreasoner.report.rule_firings
+    assert preasoner.report.iterations == sreasoner.report.iterations
+    assert preasoner.report.inferred_triples == sreasoner.report.inferred_triples
+
+
+# ---------------------------------------------------------------------------
+# Differential equality
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_run_parallel_matches_run_exactly(seed):
+    base = build_random_kg(seed)
+    sreasoner = Reasoner(base.copy())
+    serial = sreasoner.run()
+    preasoner = Reasoner(base.copy())
+    # A tiny threshold forces pooled rounds even on this small KG.
+    parallel = preasoner.run_parallel(workers=WORKERS, threshold=16)
+    assert_identical_closure(parallel, serial, preasoner, sreasoner)
+
+
+def test_run_parallel_pools_rounds():
+    reset_parallel_stats()
+    base = build_random_kg(5)
+    closure = Reasoner(base.copy()).run_parallel(workers=WORKERS, threshold=16)
+    stats = parallel_stats()
+    assert stats["parallel_closures"] == 1
+    assert stats["pool_rounds"] > 0
+    assert stats["partition_skew"] >= 1.0
+    assert len(closure) > len(base)
+
+
+def test_workers_one_is_the_oracle():
+    base = build_random_kg(7)
+    sreasoner = Reasoner(base.copy())
+    serial = sreasoner.run()
+    preasoner = Reasoner(base.copy())
+    parallel = preasoner.run_parallel(workers=1)
+    assert_identical_closure(parallel, serial, preasoner, sreasoner)
+
+
+def test_huge_threshold_falls_back_to_serial_rounds():
+    """Rounds below the delta threshold run the oracle code path."""
+    reset_parallel_stats()
+    base = build_random_kg(3)
+    sreasoner = Reasoner(base.copy())
+    serial = sreasoner.run()
+    preasoner = Reasoner(base.copy())
+    parallel = preasoner.run_parallel(workers=WORKERS, threshold=10**6)
+    assert_identical_closure(parallel, serial, preasoner, sreasoner)
+    assert parallel_stats()["pool_fallbacks"] >= 1
+
+
+def _all_values_from_graph() -> Graph:
+    graph = Graph()
+    graph.parse(
+        "@prefix ex: <http://example.org/> .\n"
+        "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+        "ex:DogLover owl:equivalentClass [ a owl:Restriction ;\n"
+        "    owl:onProperty ex:hasPet ; owl:allValuesFrom ex:Dog ] .\n"
+        "ex:ann ex:hasPet ex:rex . ex:rex a ex:Dog .\n"
+    )
+    return graph
+
+
+def test_non_monotone_classification_falls_back():
+    """Closed-world axioms (allValuesFrom) disable partitioned rounds,
+    mirroring ``supports_incremental_extension``."""
+    reset_parallel_stats()
+    base = _all_values_from_graph()
+    sreasoner = Reasoner(base.copy(), check_consistency=False)
+    serial = sreasoner.run()
+    preasoner = Reasoner(base.copy(), check_consistency=False)
+    assert not preasoner.supports_incremental_extension
+    parallel = preasoner.run_parallel(workers=WORKERS, threshold=1)
+    assert parallel._triples == serial._triples
+    assert preasoner.report.rule_firings == sreasoner.report.rule_firings
+    assert parallel_stats()["pool_fallbacks"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Bulk materialisation
+# ---------------------------------------------------------------------------
+
+def _scenario_deltas(base: Graph, count: int):
+    """``count`` distinct scenario-style extensions of a shared base."""
+    graphs = []
+    for i in range(count):
+        graph = base.copy()
+        subject = IRI(f"http://example.org/user{i}")
+        graph.add((subject, IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                   IRI("https://purl.org/heals/feo#User")))
+        graph.add((subject, IRI("http://example.org/likes"),
+                   Literal(f"dish-{i}")))
+        graphs.append(graph)
+    return graphs
+
+
+def test_bulk_materialise_matches_serial_closures():
+    reset_parallel_stats()
+    base = build_random_kg(13)
+    graphs = _scenario_deltas(base, 3)
+    serial = {i: Reasoner(g.copy()).run() for i, g in enumerate(graphs)}
+    results = dict(bulk_materialise(graphs, workers=WORKERS))
+    assert set(results) == set(serial)
+    for i in serial:
+        assert results[i]._triples == serial[i]._triples, i
+        assert results[i].fingerprint() == serial[i].fingerprint(), i
+    assert parallel_stats()["bulk_pool_closures"] >= 1
+
+
+def test_bulk_materialised_graphs_are_live():
+    """Adopted closures must be normal graphs: queryable and extendable."""
+    base = build_random_kg(17)
+    graphs = _scenario_deltas(base, 2)
+    for _, closure in bulk_materialise(graphs, workers=WORKERS):
+        assert len(list(closure.triples((None, None, None)))) == len(closure)
+        probe = IRI("http://example.org/probe")
+        closure.add((probe, probe, probe))
+        assert (probe, probe, probe) in closure
+
+
+def test_materialise_many_counters_and_dedup():
+    base = build_random_kg(19)
+    graphs = _scenario_deltas(base, 3)
+    graphs.append(graphs[0].copy())  # duplicate within the input batch
+    cache = MaterializationCache(max_size=8)
+    closures = cache.materialise_many(graphs, workers=WORKERS)
+    assert len(closures) == 4
+    assert closures[0].fingerprint() == closures[3].fingerprint()
+    stats = cache.stats()
+    assert stats["bulk_builds"] == 3  # the duplicate never built twice
+    # Second pass: everything is already cached.
+    again = cache.materialise_many(graphs, workers=WORKERS)
+    stats = cache.stats()
+    assert stats["bulk_hits"] == 4
+    assert stats["bulk_builds"] == 3
+    for first, second in zip(closures, again):
+        assert first.fingerprint() == second.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Scenario and fleet warm-up wiring
+# ---------------------------------------------------------------------------
+
+def test_build_many_matches_per_request_build():
+    catalog = build_core_catalog()
+    user, context = paper_user(), paper_context()
+    requests = [
+        (WhyQuestion(text="Why should I eat Cauliflower Potato Curry?",
+                     recipe="Cauliflower Potato Curry"), user, context),
+        (ContrastiveQuestion(text="Why soup over soup?",
+                             primary="Butternut Squash Soup",
+                             secondary="Broccoli Cheddar Soup"), user, context),
+        (WhatIfConditionQuestion(text="What if I was pregnant?",
+                                 condition="pregnancy"), user, context),
+    ]
+    bulk_builder = ScenarioBuilder(catalog,
+                                   closure_cache=MaterializationCache(max_size=8))
+    # Same base graph => identical assembled fingerprints, so the two
+    # builders' scenarios are directly comparable.
+    serial_builder = ScenarioBuilder(catalog, base_graph=bulk_builder._base)
+    scenarios = bulk_builder.build_many(requests, workers=WORKERS)
+    for scenario, (question, u, c) in zip(scenarios, requests):
+        reference = serial_builder.build(question, u, c)
+        assert scenario.asserted.fingerprint() == reference.asserted.fingerprint()
+        assert scenario.inferred._triples == reference.inferred._triples
+        assert scenario.ecosystem_iri == reference.ecosystem_iri
+
+
+def test_fleet_warm_closes_seeded_tenants_in_bulk():
+    from repro.service import ShardedExplanationService
+
+    user, context = paper_user(), paper_context()
+    requests = [
+        (WhyQuestion(text="Why should I eat Cauliflower Potato Curry?",
+                     recipe="Cauliflower Potato Curry"), user, context),
+        (WhatIfConditionQuestion(text="What if I was pregnant?",
+                                 condition="pregnancy"), user, context),
+    ]
+    fleet = ShardedExplanationService(
+        num_shards=2, workers_per_shard=1, start=False,
+        reasoner_workers=WORKERS, watchdog_interval=None)
+    try:
+        fleet.warm(requests)
+        # Every request now hits its home shard's scenario cache.
+        for question, u, c in requests:
+            shard = fleet._shard_by_key(u.identifier)
+            assert shard.service.prewarm_scenario(question, u, c)
+    finally:
+        fleet.stop()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection at the worker_pool site
+# ---------------------------------------------------------------------------
+
+def _run_with_faults(fault: Fault):
+    base = build_random_kg(29)
+    sreasoner = Reasoner(base.copy())
+    serial = sreasoner.run()
+    reset_parallel_stats()
+    preasoner = Reasoner(base.copy())
+    with injected(FaultInjector(faults=(fault,))):
+        parallel = preasoner.run_parallel(workers=WORKERS, threshold=16)
+    assert_identical_closure(parallel, serial, preasoner, sreasoner)
+    return parallel_stats()
+
+
+def test_worker_pool_error_retries_partition_serially():
+    """An injected transient error in every pool worker: the coordinator
+    retries each failed partition on its own thread, and the closure is
+    still exact."""
+    stats = _run_with_faults(Fault(site="worker_pool", action="error", every=1))
+    assert stats["pool_retries"] > 0
+
+
+def test_worker_pool_crash_is_contained():
+    """An injected crash (BaseException) in a worker's first partition
+    surfaces as a failed task; the coordinator recovers it serially."""
+    stats = _run_with_faults(Fault(site="worker_pool", action="crash", at=(0,)))
+    assert stats["pool_retries"] > 0 or stats["pool_fallbacks"] > 0
+
+
+def test_worker_pool_latency_spike_only_slows():
+    """A latency fault must not change the result (and must not count as
+    a retry)."""
+    stats = _run_with_faults(
+        Fault(site="worker_pool", action="latency", at=(0,), delay_ms=20.0))
+    assert stats["pool_retries"] == 0
+
+
+def test_worker_pool_fault_in_bulk_close_falls_back():
+    base = build_random_kg(31)
+    graphs = _scenario_deltas(base, 2)
+    serial = {i: Reasoner(g.copy()).run() for i, g in enumerate(graphs)}
+    reset_parallel_stats()
+    fault = Fault(site="worker_pool", action="error", every=1)
+    with injected(FaultInjector(faults=(fault,))):
+        results = dict(bulk_materialise(graphs, workers=WORKERS))
+    for i in serial:
+        assert results[i]._triples == serial[i]._triples, i
+    assert parallel_stats()["pool_retries"] > 0
